@@ -1,0 +1,125 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation section at a reduced scale (one or two settings each; the
+// full sweeps are produced by cmd/fedbench, optionally with -full).
+// DESIGN.md §4 maps each benchmark to the paper artifact it reproduces,
+// and EXPERIMENTS.md records a captured run against the paper's numbers.
+//
+// Each benchmark iteration performs a complete experiment (federated
+// training under attack plus the relevant defense or measurement), so
+// ns/op is the end-to-end cost of regenerating that artifact.
+package fedcleanse
+
+import (
+	"testing"
+
+	"github.com/fedcleanse/fedcleanse/internal/eval"
+	"github.com/fedcleanse/fedcleanse/internal/fl"
+)
+
+// benchSink prevents dead-code elimination of experiment results.
+var benchSink any
+
+// onePair keeps the default bench cost bounded: a single backdoor task.
+var onePair = []eval.Pair{{VL: 9, AL: 2}}
+
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchSink = eval.TableI(onePair)
+	}
+}
+
+func BenchmarkTableII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchSink = eval.TableII(onePair)
+	}
+}
+
+func BenchmarkTableIII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchSink = eval.TableIII(onePair)
+	}
+}
+
+func BenchmarkTableIV(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchSink = eval.TableIV(eval.Pair{VL: 9, AL: 2})
+	}
+}
+
+func BenchmarkTableV(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchSink = eval.TableV(onePair)
+	}
+}
+
+func BenchmarkTableVI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchSink = eval.TableVI(onePair)
+	}
+}
+
+func BenchmarkTableVII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchSink = eval.TableVII([]int{1, 9})
+	}
+}
+
+func BenchmarkFig3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchSink = eval.Fig3([]int{3})
+	}
+}
+
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchSink = eval.Fig5([]int{2})
+	}
+}
+
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchSink = eval.Fig6([]int{2}, []float64{5, 4, 3, 2})
+	}
+}
+
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchSink = eval.Fig7([]int{10})
+	}
+}
+
+func BenchmarkFig8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchSink = eval.Fig8([]int{1, 6})
+	}
+}
+
+func BenchmarkFig9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchSink = eval.Fig9()
+	}
+}
+
+func BenchmarkFig10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchSink = eval.Fig10([]float64{0.01})
+	}
+}
+
+// BenchmarkAdaptiveAttacks is the ablation for the paper's §VI-B
+// discussion: the defense against a rank-manipulating attacker (Attack 1)
+// and an AW-aware self-clipping attacker.
+func BenchmarkAdaptiveAttacks(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := eval.MNISTScenario(9, 2)
+		t := eval.Build(s)
+		t.Attackers[0].SetDefenseBehavior(fl.AttackerDefenseBehavior{
+			ManipulateRanks: true,
+			LieAccuracy:     true,
+		})
+		t.Attackers[0].SelfClipDelta = 3
+		t.Server.Train(nil)
+		m, _ := t.DefendMode("all")
+		benchSink = [2]float64{t.ModelTA(m), t.ModelAA(m)}
+	}
+}

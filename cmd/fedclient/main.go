@@ -1,0 +1,91 @@
+// Command fedclient runs one federated participant as a standalone
+// process, serving the transport protocol over HTTP. All processes of a
+// federation must be started with the same scenario flags (dataset,
+// victim, target, seed, population sizes); each derives its own shard
+// deterministically from the shared seed, so no data ever crosses the
+// wire.
+//
+// Example (one attacker and two honest clients on loopback):
+//
+//	fedclient -index 0 -listen 127.0.0.1:7001 &
+//	fedclient -index 1 -listen 127.0.0.1:7002 &
+//	fedclient -index 2 -listen 127.0.0.1:7003 &
+//	fedserve -clients 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"github.com/fedcleanse/fedcleanse/internal/core"
+	"github.com/fedcleanse/fedcleanse/internal/eval"
+	"github.com/fedcleanse/fedcleanse/internal/fl"
+	"github.com/fedcleanse/fedcleanse/internal/transport"
+)
+
+func main() {
+	ds := flag.String("dataset", "mnist", "dataset: mnist, fashion or cifar")
+	victim := flag.Int("victim", 9, "victim label (VL)")
+	target := flag.Int("target", 2, "attack label (AL)")
+	index := flag.Int("index", 0, "this participant's index in the population")
+	listen := flag.String("listen", "127.0.0.1:0", "listen address")
+	seed := flag.Int64("seed", 0, "experiment seed (0 = scenario default)")
+	flag.Parse()
+
+	s, ok := scenarioByName(*ds, *victim, *target)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown dataset %q\n", *ds)
+		os.Exit(2)
+	}
+	if *seed != 0 {
+		s.Seed = *seed
+	}
+	if *index < 0 || *index >= s.Clients {
+		fmt.Fprintf(os.Stderr, "index %d outside population of %d\n", *index, s.Clients)
+		os.Exit(2)
+	}
+
+	template, shards, _, _ := eval.Components(s)
+	part := eval.ParticipantFor(s, *index, template, shards[*index])
+	full, ok := part.(interface {
+		fl.Participant
+		core.ReportClient
+		core.AccuracyReporter
+	})
+	if !ok {
+		fmt.Fprintln(os.Stderr, "participant does not implement the transport surface")
+		os.Exit(1)
+	}
+	cs := transport.NewClientServer(full, template)
+	addr, err := cs.Serve(*listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	role := "honest client"
+	if *index < s.Attackers {
+		role = "ATTACKER"
+	}
+	fmt.Printf("participant %d (%s) serving on %s\n", *index, role, addr)
+
+	// Serve until interrupted.
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	<-ch
+}
+
+// scenarioByName maps a CLI dataset name to its scenario.
+func scenarioByName(name string, victim, target int) (eval.Scenario, bool) {
+	switch name {
+	case "mnist":
+		return eval.MNISTScenario(victim, target), true
+	case "fashion":
+		return eval.FashionScenario(victim, target), true
+	case "cifar":
+		return eval.CIFARScenario(victim, target), true
+	default:
+		return eval.Scenario{}, false
+	}
+}

@@ -1,0 +1,83 @@
+// Command fedserve runs the federated aggregation server against remote
+// fedclient processes, then (optionally) the defense pipeline — one
+// federation spread across OS processes, communicating only through the
+// transport protocol. Start it with the same scenario flags as the
+// fedclient processes (see cmd/fedclient for a full example).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/fedcleanse/fedcleanse/internal/core"
+	"github.com/fedcleanse/fedcleanse/internal/eval"
+	"github.com/fedcleanse/fedcleanse/internal/fl"
+	"github.com/fedcleanse/fedcleanse/internal/metrics"
+	"github.com/fedcleanse/fedcleanse/internal/nn"
+	"github.com/fedcleanse/fedcleanse/internal/transport"
+)
+
+func main() {
+	ds := flag.String("dataset", "mnist", "dataset: mnist, fashion or cifar")
+	victim := flag.Int("victim", 9, "victim label (VL)")
+	target := flag.Int("target", 2, "attack label (AL)")
+	clients := flag.String("clients", "", "comma-separated client addresses, in participant-index order")
+	seed := flag.Int64("seed", 0, "experiment seed (0 = scenario default)")
+	defend := flag.Bool("defend", true, "run the defense pipeline after training")
+	flag.Parse()
+
+	var s eval.Scenario
+	switch *ds {
+	case "mnist":
+		s = eval.MNISTScenario(*victim, *target)
+	case "fashion":
+		s = eval.FashionScenario(*victim, *target)
+	case "cifar":
+		s = eval.CIFARScenario(*victim, *target)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown dataset %q\n", *ds)
+		os.Exit(2)
+	}
+	if *seed != 0 {
+		s.Seed = *seed
+	}
+	addrs := strings.Split(*clients, ",")
+	if *clients == "" || len(addrs) == 0 {
+		fmt.Fprintln(os.Stderr, "-clients is required")
+		os.Exit(2)
+	}
+
+	template, _, test, validation := eval.Components(s)
+	parts := make([]fl.Participant, len(addrs))
+	for i, addr := range addrs {
+		parts[i] = transport.NewRemoteClient(i, strings.TrimSpace(addr))
+	}
+	// The population size follows the actually connected clients.
+	s.FL.SelectPerRound = 0
+	server := fl.NewServer(template, parts, s.FL, s.Seed+300)
+
+	ta := func(m *nn.Sequential) float64 { return 100 * metrics.Accuracy(m, test, 0) }
+	aa := func(m *nn.Sequential) float64 {
+		return 100 * metrics.AttackSuccessRate(m, test, s.Poison, 0)
+	}
+
+	fmt.Printf("training over %d remote clients ...\n", len(parts))
+	server.Train(func(round int) {
+		fmt.Printf("round %2d: TA=%5.1f AA=%5.1f\n", round, ta(server.Model), aa(server.Model))
+	})
+
+	if !*defend {
+		return
+	}
+	fmt.Println("\nrunning the defense pipeline over the wire ...")
+	cfg := core.DefaultPipelineConfig()
+	m := server.Model.Clone()
+	evalFn := func(mm *nn.Sequential) float64 { return metrics.Accuracy(mm, validation, 0) }
+	rep := core.RunPipeline(m, fl.ReportClients(parts), server, evalFn, cfg)
+	fmt.Printf("pruned %d neurons, %d fine-tune rounds, zeroed %d weights\n",
+		len(rep.Prune.Pruned), rep.FineTune.Rounds, rep.AW.Zeroed)
+	fmt.Printf("result: TA %.1f -> %.1f, AA %.1f -> %.1f\n",
+		ta(server.Model), ta(m), aa(server.Model), aa(m))
+}

@@ -1,0 +1,33 @@
+// Quickstart: train a federated model under a backdoor attack, then clean
+// it with the paper's full defense pipeline (federated pruning +
+// fine-tuning + adjusting extreme weights).
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	fedcleanse "github.com/fedcleanse/fedcleanse"
+)
+
+func main() {
+	// Scenario: 10 clients (one malicious), non-IID 3-label shards, and a
+	// 3-pixel backdoor making images of digit 9 predict as digit 2.
+	s := fedcleanse.MNISTScenario(9, 2)
+
+	fmt.Println("federated training with a model-replacement backdoor attacker ...")
+	t := fedcleanse.Run(s)
+	fmt.Printf("after training:  test accuracy %5.1f%%   attack success %5.1f%%\n",
+		t.TA(), t.AA())
+
+	fmt.Println("running the defense pipeline (prune -> fine-tune -> adjust weights) ...")
+	model, report := t.Defend(fedcleanse.DefaultPipelineConfig())
+
+	fmt.Printf("after defense:   test accuracy %5.1f%%   attack success %5.1f%%\n",
+		t.ModelTA(model), t.ModelAA(model))
+	fmt.Printf("\npipeline: pruned %d neurons of layer %d, %d fine-tuning rounds, "+
+		"zeroed %d extreme weights (final delta %.2f)\n",
+		len(report.Prune.Pruned), report.TargetLayer,
+		report.FineTune.Rounds, report.AW.Zeroed, report.AW.FinalDelta)
+}

@@ -1,0 +1,3 @@
+module github.com/fedcleanse/fedcleanse
+
+go 1.22

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/fedcleanse/fedcleanse/internal/nn"
+	"github.com/fedcleanse/fedcleanse/internal/tensor"
+)
+
+// convWithPlantedExtremes builds a single-conv model whose weights are
+// N(0,1) plus a few planted extreme values.
+func convWithPlantedExtremes(rng *rand.Rand, extremes []float64) (*nn.Sequential, *nn.Conv2D) {
+	d := tensor.ConvDims{C: 1, H: 4, W: 4, K: 3, Stride: 1, Pad: 1}
+	conv := nn.NewConv2D("conv", d, 8, rng)
+	conv.W.Value.Randn(rng, 1)
+	for i, v := range extremes {
+		conv.W.Value.Data[i] = v
+	}
+	m := nn.NewSequential(conv, nn.NewReLU("r"), nn.NewFlatten("f"),
+		nn.NewDense("fc", 8*16, 3, rng))
+	return m, conv
+}
+
+func TestAdjustWeightsZeroesExtremes(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	m, conv := convWithPlantedExtremes(rng, []float64{25, -25, 30})
+	eval := func(*nn.Sequential) float64 { return 1 } // guard never fires
+	res := AdjustWeights(m, 0, AWConfig{StartDelta: 5, MinDelta: 3, Eps: 1, MinAccuracy: 0.5}, eval)
+	if res.Zeroed < 3 {
+		t.Fatalf("zeroed %d weights, want >= 3 planted extremes", res.Zeroed)
+	}
+	for i := 0; i < 3; i++ {
+		if conv.W.Value.Data[i] != 0 {
+			t.Fatalf("planted extreme %d survived: %g", i, conv.W.Value.Data[i])
+		}
+	}
+	if res.FinalDelta != 3 {
+		t.Fatalf("final delta %g, want 3 (MinDelta reached)", res.FinalDelta)
+	}
+}
+
+func TestAdjustWeightsGuardReverts(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	m, conv := convWithPlantedExtremes(rng, []float64{25})
+	before := conv.W.Value.Clone()
+	// Guard fires immediately: no clip may survive.
+	eval := func(*nn.Sequential) float64 { return 0 }
+	res := AdjustWeights(m, 0, AWConfig{StartDelta: 5, MinDelta: 1, Eps: 1, MinAccuracy: 0.9}, eval)
+	if res.Zeroed != 0 {
+		t.Fatalf("zeroed %d despite immediate guard, want 0", res.Zeroed)
+	}
+	if !conv.W.Value.Equal(before, 0) {
+		t.Fatal("weights changed despite guard firing on first step")
+	}
+	if len(res.Curve) != 1 {
+		t.Fatalf("curve has %d points, want exactly the rejected first step", len(res.Curve))
+	}
+}
+
+func TestAdjustWeightsGuardRevertsToLastGood(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	m, conv := convWithPlantedExtremes(rng, []float64{25, -25})
+	// Accept the first clip (Δ=5), reject the second (Δ=4).
+	calls := 0
+	eval := func(*nn.Sequential) float64 {
+		calls++
+		if calls == 1 {
+			return 1
+		}
+		return 0
+	}
+	res := AdjustWeights(m, 0, AWConfig{StartDelta: 5, MinDelta: 1, Eps: 1, MinAccuracy: 0.9}, eval)
+	if res.FinalDelta != 5 {
+		t.Fatalf("final delta %g, want 5", res.FinalDelta)
+	}
+	// Extremes (|w|=25 ≫ 5σ) must still be gone from the kept clip.
+	if conv.W.Value.Data[0] != 0 || conv.W.Value.Data[1] != 0 {
+		t.Fatal("kept clip lost its zeroed extremes on revert")
+	}
+}
+
+// Property: clipping is idempotent — running AdjustWeights twice with the
+// same fixed Δ changes nothing the second time.
+func TestAdjustWeightsIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	m, conv := convWithPlantedExtremes(rng, []float64{25, -25, 18})
+	eval := func(*nn.Sequential) float64 { return 1 }
+	cfg := AWConfig{StartDelta: 3, MinDelta: 3, Eps: 1, MinAccuracy: 0.5}
+	AdjustWeights(m, 0, cfg, eval)
+	after1 := conv.W.Value.Clone()
+	AdjustWeights(m, 0, cfg, eval)
+	// The second run recomputes μ/σ on the clipped weights, so it may zero
+	// strictly more — but every already-zero weight must stay zero and no
+	// zeroed weight may come back.
+	for i, v := range conv.W.Value.Data {
+		if after1.Data[i] == 0 && v != 0 {
+			t.Fatal("second clip resurrected a zeroed weight")
+		}
+	}
+}
+
+func TestAdjustWeightsPreservesPruneMasks(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	m, conv := convWithPlantedExtremes(rng, nil)
+	m.PruneModelUnit(0, 2)
+	eval := func(*nn.Sequential) float64 { return 1 }
+	AdjustWeights(m, 0, AWConfig{StartDelta: 4, MinDelta: 2, Eps: 1, MinAccuracy: 0.5}, eval)
+	fanIn := conv.W.Value.Dim(1)
+	for j := 0; j < fanIn; j++ {
+		if conv.W.Value.Data[2*fanIn+j] != 0 {
+			t.Fatal("pruned unit resurrected by AW revert path")
+		}
+	}
+}
+
+func TestAWSweepCurveShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	m, _ := convWithPlantedExtremes(rng, []float64{25})
+	zeroCount := func(mm *nn.Sequential) float64 {
+		conv := mm.Layer(0).(*nn.Conv2D)
+		n := 0.0
+		for _, v := range conv.W.Value.Data {
+			if v == 0 {
+				n++
+			}
+		}
+		return n
+	}
+	deltas := []float64{5, 4, 3, 2, 1}
+	curves := AWSweep(m, 0, deltas, zeroCount)
+	if len(curves[0]) != len(deltas)+1 {
+		t.Fatalf("curve length %d, want %d", len(curves[0]), len(deltas)+1)
+	}
+	// Monotone: smaller Δ zeroes at least as many weights.
+	for i := 1; i < len(curves[0]); i++ {
+		if curves[0][i] < curves[0][i-1] {
+			t.Fatalf("zeroed count decreased along the sweep: %v", curves[0])
+		}
+	}
+}
+
+func TestAdjustWeightsOnDenseLayer(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	fc := nn.NewDense("fc", 10, 8, rng)
+	fc.W.Value.Randn(rng, 1)
+	fc.W.Value.Data[0] = 40
+	m := nn.NewSequential(fc)
+	eval := func(*nn.Sequential) float64 { return 1 }
+	res := AdjustWeights(m, 0, AWConfig{StartDelta: 5, MinDelta: 4, Eps: 1, MinAccuracy: 0}, eval)
+	if res.Zeroed < 1 || fc.W.Value.Data[0] != 0 {
+		t.Fatal("dense-layer extreme survived")
+	}
+}
+
+func TestDefaultAWConfig(t *testing.T) {
+	cfg := DefaultAWConfig(0.9)
+	if cfg.MinAccuracy != 0.9 || cfg.StartDelta <= cfg.MinDelta || cfg.Eps <= 0 {
+		t.Fatalf("bad default config %+v", cfg)
+	}
+	if math.Mod(cfg.StartDelta-cfg.MinDelta, cfg.Eps) > 1e-9 {
+		t.Fatalf("sweep does not land exactly on MinDelta: %+v", cfg)
+	}
+}

@@ -1,0 +1,251 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/fedcleanse/fedcleanse/internal/nn"
+)
+
+// PruneMethod selects the federated pruning flavor.
+type PruneMethod int
+
+// Pruning methods (§IV-A1, §IV-A2).
+const (
+	// RAP is Rank Aggregation-based Pruning: clients report full rank
+	// vectors; the server averages rank positions.
+	RAP PruneMethod = iota + 1
+	// MVP is Majority Voting-based Pruning: clients report binary prune
+	// votes for a server-chosen rate; the server tallies vote shares.
+	MVP
+)
+
+// String implements fmt.Stringer.
+func (m PruneMethod) String() string {
+	switch m {
+	case RAP:
+		return "RAP"
+	case MVP:
+		return "MVP"
+	default:
+		return fmt.Sprintf("PruneMethod(%d)", int(m))
+	}
+}
+
+// ReportClient is the defense's view of a federated client: given the
+// current global model and a target layer it produces either a rank or a
+// vote report derived from locally recorded activations. Honest clients
+// compute reports from true activations on their shard; adaptive attackers
+// (§VI-B) return manipulated reports. Raw activations never leave the
+// client, matching the paper's privacy argument.
+type ReportClient interface {
+	// RankReport returns the client's RAP rank vector for the layer.
+	RankReport(m *nn.Sequential, layerIdx int) []int
+	// VoteReport returns the client's MVP prune votes at rate p.
+	VoteReport(m *nn.Sequential, layerIdx int, p float64) []bool
+}
+
+// AccuracyReporter is optionally implemented by clients when the server
+// has no validation data and must rely on client-reported accuracies
+// (§IV-A). Dishonest implementations are part of the threat model.
+type AccuracyReporter interface {
+	ReportAccuracy(m *nn.Sequential) float64
+}
+
+// PipelineConfig parameterizes Algorithm 1 end to end.
+type PipelineConfig struct {
+	// Method selects RAP or MVP.
+	Method PruneMethod
+	// TargetLayer is the index of the layer to prune; -1 selects the last
+	// convolutional layer (the paper's choice).
+	TargetLayer int
+	// VoteRate is MVP's pruning rate p (the paper finds 0.3-0.7 works well).
+	VoteRate float64
+	// MaxAccuracyDrop is the pruning guard: pruning stops before the
+	// evaluator falls more than this below its pre-pruning baseline.
+	MaxAccuracyDrop float64
+	// AWMaxAccuracyDrop is the adjusting-weights guard relative to the
+	// evaluator score right before AW; 0 falls back to MaxAccuracyDrop.
+	AWMaxAccuracyDrop float64
+	// MaxPruneUnits bounds pruned units per layer (0 = unbounded).
+	MaxPruneUnits int
+	// SkipPrune and SkipAW disable individual stages, giving the paper's
+	// ablation modes: FP-only (SkipAW), AW-only (SkipPrune), FP+AW
+	// (FineTuneRounds=0) and All (everything on).
+	SkipPrune, SkipAW bool
+	// FineTuneRounds is the maximum number of fine-tuning rounds; 0 skips
+	// fine-tuning entirely (the paper's FP+AW mode).
+	FineTuneRounds int
+	// FineTunePatience stops fine-tuning after this many rounds without
+	// improvement (default 2).
+	FineTunePatience int
+	// AW configures the extreme-weight adjustment. AW.MinAccuracy == 0
+	// derives the guard from the evaluator score before AW minus
+	// MaxAccuracyDrop.
+	AW AWConfig
+	// AWLayers lists the layers whose extreme weights are adjusted. Empty
+	// selects the last convolutional layer plus the first dense layer after
+	// it: the paper clips the last conv layer of its 28×28 networks, and at
+	// this reproduction's 16×16 geometry the trigger's post-pooling
+	// activation collapses into a single spatial cell whose amplified
+	// weights sit in that dense layer (see DESIGN.md).
+	AWLayers []int
+}
+
+// DefaultPipelineConfig returns the configuration used by the paper's
+// "All" mode on the MNIST-scale experiments.
+func DefaultPipelineConfig() PipelineConfig {
+	return PipelineConfig{
+		Method:            MVP,
+		TargetLayer:       -1,
+		VoteRate:          0.5,
+		MaxAccuracyDrop:   0.02,
+		AWMaxAccuracyDrop: 0.06,
+		FineTuneRounds:    10,
+		FineTunePatience:  2,
+		AW:                AWConfig{StartDelta: 5, MinDelta: 1, Eps: 0.25},
+	}
+}
+
+// Report aggregates the telemetry of one pipeline run.
+type Report struct {
+	Method      PruneMethod
+	TargetLayer int
+	Prune       PruneResult
+	FineTune    FineTuneResult
+	AW          AWResult
+	// Accuracy milestones as seen by the evaluator.
+	AccBefore, AccAfterPrune, AccAfterFineTune, AccFinal float64
+}
+
+// RunPipeline executes the paper's Algorithm 1 on model m in place:
+// federated pruning (rank or vote aggregation over the clients' reports),
+// optional federated fine-tuning through the tuner, and adjusting extreme
+// weights. eval is the server's accuracy guard. tuner may be nil only when
+// cfg.FineTuneRounds is 0.
+func RunPipeline(m *nn.Sequential, clients []ReportClient, tuner Tuner, eval Evaluator, cfg PipelineConfig) Report {
+	if len(clients) == 0 {
+		panic("core: RunPipeline with no clients")
+	}
+	layerIdx := cfg.TargetLayer
+	if layerIdx < 0 {
+		layerIdx = m.LastConvIndex()
+		if layerIdx < 0 {
+			panic("core: model has no convolutional layer to target")
+		}
+	}
+	rep := Report{Method: cfg.Method, TargetLayer: layerIdx, AccBefore: eval(m)}
+
+	// Step 1 — federated pruning.
+	rep.AccAfterPrune = rep.AccBefore
+	if !cfg.SkipPrune {
+		order := GlobalPruneOrder(m, clients, layerIdx, cfg)
+		minAcc := rep.AccBefore - cfg.MaxAccuracyDrop
+		rep.Prune = PruneToThreshold(m, layerIdx, order, eval, minAcc, cfg.MaxPruneUnits)
+		rep.AccAfterPrune = rep.Prune.FinalAccuracy
+	}
+
+	// Step 2 — optional federated fine-tuning.
+	rep.AccAfterFineTune = rep.AccAfterPrune
+	if cfg.FineTuneRounds > 0 {
+		if tuner == nil {
+			panic("core: fine-tuning requested without a Tuner")
+		}
+		rep.FineTune = FineTune(m, tuner, cfg.FineTuneRounds, cfg.FineTunePatience, eval)
+		rep.AccAfterFineTune = rep.FineTune.Accuracies[len(rep.FineTune.Accuracies)-1]
+	}
+
+	// Step 3 — adjusting extreme weights.
+	if cfg.SkipAW {
+		rep.AccFinal = eval(m)
+		return rep
+	}
+	aw := cfg.AW
+	if aw.StartDelta == 0 {
+		aw = DefaultAWConfig(0)
+	}
+	drop := cfg.AWMaxAccuracyDrop
+	if drop == 0 {
+		drop = cfg.MaxAccuracyDrop
+	}
+	layers := cfg.AWLayers
+	if len(layers) == 0 {
+		layers = DefaultAWLayers(m, layerIdx)
+	}
+	fixedGuard := aw.MinAccuracy != 0
+	for i, li := range layers {
+		if !fixedGuard {
+			// Each layer's sweep gets its own accuracy budget relative to
+			// the model as it stands, so an early layer cannot starve the
+			// later (often more backdoor-critical) layers.
+			aw.MinAccuracy = eval(m) - drop
+		}
+		res := AdjustWeights(m, li, aw, eval)
+		if i == 0 {
+			rep.AW = res
+		} else {
+			rep.AW.Zeroed += res.Zeroed
+			rep.AW.Curve = append(rep.AW.Curve, res.Curve...)
+			if res.FinalDelta < rep.AW.FinalDelta {
+				rep.AW.FinalDelta = res.FinalDelta
+			}
+		}
+	}
+	rep.AccFinal = eval(m)
+	return rep
+}
+
+// DefaultAWLayers returns the default extreme-weight adjustment targets:
+// the pruning target layer (normally the last conv) plus the first Dense
+// layer after it.
+func DefaultAWLayers(m *nn.Sequential, pruneLayer int) []int {
+	layers := []int{pruneLayer}
+	for li := pruneLayer + 1; li < m.NumLayers(); li++ {
+		if _, ok := m.Layer(li).(*nn.Dense); ok {
+			layers = append(layers, li)
+			break
+		}
+	}
+	return layers
+}
+
+// GlobalPruneOrder collects rank or vote reports from every client and
+// aggregates them into the server's global pruning sequence for the layer.
+func GlobalPruneOrder(m *nn.Sequential, clients []ReportClient, layerIdx int, cfg PipelineConfig) []int {
+	switch cfg.Method {
+	case RAP:
+		reports := make([][]int, len(clients))
+		for i, c := range clients {
+			reports[i] = c.RankReport(m, layerIdx)
+		}
+		return PruneOrderFromRanks(AggregateRanks(reports))
+	case MVP:
+		p := cfg.VoteRate
+		if p == 0 {
+			p = 0.5
+		}
+		reports := make([][]bool, len(clients))
+		for i, c := range clients {
+			reports[i] = c.VoteReport(m, layerIdx, p)
+		}
+		return PruneOrderFromVotes(AggregateVotes(reports))
+	default:
+		panic(fmt.Sprintf("core: unknown prune method %v", cfg.Method))
+	}
+}
+
+// MeanReportedAccuracy averages client-reported accuracies, the fallback
+// evaluator for servers without a validation set. Clients that do not
+// implement AccuracyReporter are skipped; it panics if none do.
+func MeanReportedAccuracy(m *nn.Sequential, clients []ReportClient) float64 {
+	sum, n := 0.0, 0
+	for _, c := range clients {
+		if r, ok := c.(AccuracyReporter); ok {
+			sum += r.ReportAccuracy(m)
+			n++
+		}
+	}
+	if n == 0 {
+		panic("core: no client implements AccuracyReporter")
+	}
+	return sum / float64(n)
+}

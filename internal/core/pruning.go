@@ -1,0 +1,213 @@
+// Package core implements the paper's contribution: the post-training
+// backdoor-cleansing defense for federated learning. It consists of
+//
+//  1. federated pruning (§IV-A) in two flavors — Rank Aggregation-based
+//     Pruning (RAP) and Majority Voting-based Pruning (MVP) — which remove
+//     dormant "backdoor neurons" from a target layer using only rank/vote
+//     reports from clients (never raw data or activations),
+//  2. an optional federated fine-tuning phase (§IV-B) that recovers benign
+//     accuracy lost to pruning, and
+//  3. adjusting extreme weights (AW, §IV-C), which zeroes last-conv-layer
+//     weights outside μ ± Δ·σ with Δ decreased until a validation-accuracy
+//     guard would be violated.
+//
+// RunPipeline composes the three steps into the paper's Algorithm 1.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/fedcleanse/fedcleanse/internal/nn"
+)
+
+// RanksFromActivations converts a client's recorded per-neuron average
+// activations into the rank report of the RAP scheme: ranks[i] is the
+// 1-based position of neuron i when neurons are sorted by decreasing
+// activation (rank 1 = most active, rank P_L = most dormant). Ties are
+// broken by neuron index for determinism.
+func RanksFromActivations(acts []float64) []int {
+	order := argsortDesc(acts)
+	ranks := make([]int, len(acts))
+	for pos, unit := range order {
+		ranks[unit] = pos + 1
+	}
+	return ranks
+}
+
+// AggregateRanks implements the server side of RAP: the mean rank position
+// R_i of every neuron over all client reports. All reports must have equal
+// length and contain a permutation of 1..P_L (invalid reports are the
+// attacker's problem — the mean is computed as given; bounds are enforced).
+func AggregateRanks(reports [][]int) []float64 {
+	if len(reports) == 0 {
+		panic("core: AggregateRanks with no reports")
+	}
+	units := len(reports[0])
+	mean := make([]float64, units)
+	for _, r := range reports {
+		if len(r) != units {
+			panic(fmt.Sprintf("core: rank report length %d, want %d", len(r), units))
+		}
+		for i, v := range r {
+			if v < 1 || v > units {
+				panic(fmt.Sprintf("core: rank %d outside [1,%d]", v, units))
+			}
+			mean[i] += float64(v)
+		}
+	}
+	inv := 1.0 / float64(len(reports))
+	for i := range mean {
+		mean[i] *= inv
+	}
+	return mean
+}
+
+// PruneOrderFromRanks turns aggregated mean ranks into the global pruning
+// sequence: most-dormant neurons (largest mean rank) first.
+func PruneOrderFromRanks(meanRanks []float64) []int {
+	return argsortDesc(meanRanks)
+}
+
+// VotesFromActivations converts a client's activations into the MVP vote
+// report for pruning rate p: exactly ⌊p·P_L⌋ of the least-active neurons
+// receive a prune vote (true).
+func VotesFromActivations(acts []float64, p float64) []bool {
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("core: pruning rate %g outside [0,1]", p))
+	}
+	k := int(p * float64(len(acts)))
+	votes := make([]bool, len(acts))
+	order := argsortDesc(acts) // most active first
+	for i := len(order) - k; i < len(order); i++ {
+		votes[order[i]] = true
+	}
+	return votes
+}
+
+// AggregateVotes implements the server side of MVP: the fraction of clients
+// voting to prune each neuron.
+func AggregateVotes(reports [][]bool) []float64 {
+	if len(reports) == 0 {
+		panic("core: AggregateVotes with no reports")
+	}
+	units := len(reports[0])
+	share := make([]float64, units)
+	for _, r := range reports {
+		if len(r) != units {
+			panic(fmt.Sprintf("core: vote report length %d, want %d", len(r), units))
+		}
+		for i, v := range r {
+			if v {
+				share[i]++
+			}
+		}
+	}
+	inv := 1.0 / float64(len(reports))
+	for i := range share {
+		share[i] *= inv
+	}
+	return share
+}
+
+// PruneOrderFromVotes turns aggregated vote shares into the global pruning
+// sequence: highest prune-vote share first. Ties are broken by neuron
+// index.
+func PruneOrderFromVotes(share []float64) []int {
+	return argsortDesc(share)
+}
+
+// argsortDesc returns the indices of xs sorted by decreasing value, ties
+// broken by ascending index.
+func argsortDesc(xs []float64) []int {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return xs[idx[a]] > xs[idx[b]] })
+	return idx
+}
+
+// Evaluator scores a candidate model; the pruning and AW loops use it as
+// their accuracy guard. It is typically metrics.Accuracy over the server's
+// validation set, or a mean of client-reported accuracies when the server
+// holds no data.
+type Evaluator func(m *nn.Sequential) float64
+
+// PruneStep records the model state after one cumulative prune.
+type PruneStep struct {
+	// Unit is the neuron pruned at this step.
+	Unit int
+	// Accuracy is the evaluator score after the prune.
+	Accuracy float64
+}
+
+// PruneResult reports the outcome of a threshold-guarded pruning run.
+type PruneResult struct {
+	// Pruned lists the units that remain pruned in the returned model.
+	Pruned []int
+	// Steps traces every attempted prune including a final rejected one.
+	Steps []PruneStep
+	// BaselineAccuracy is the evaluator score before any pruning.
+	BaselineAccuracy float64
+	// FinalAccuracy is the evaluator score of the returned model.
+	FinalAccuracy float64
+}
+
+// PruneToThreshold prunes units of layer layerIdx of m in the given global
+// order (Algorithm 1 lines 7-13), stopping — and reverting the offending
+// prune — as soon as the evaluator drops below minAcc. m is modified in
+// place. maxUnits bounds the number of pruned units (0 means no bound
+// beyond leaving at least one unit alive).
+func PruneToThreshold(m *nn.Sequential, layerIdx int, order []int, eval Evaluator, minAcc float64, maxUnits int) PruneResult {
+	p, ok := m.Layer(layerIdx).(nn.Prunable)
+	if !ok {
+		panic("core: PruneToThreshold target layer is not prunable")
+	}
+	res := PruneResult{BaselineAccuracy: eval(m)}
+	res.FinalAccuracy = res.BaselineAccuracy
+	limit := len(order) - 1 // always keep at least one unit
+	if maxUnits > 0 && maxUnits < limit {
+		limit = maxUnits
+	}
+	for _, unit := range order {
+		if len(res.Pruned) >= limit {
+			break
+		}
+		if p.UnitPruned(unit) {
+			continue
+		}
+		backup := m.Clone()
+		m.PruneModelUnit(layerIdx, unit)
+		acc := eval(m)
+		res.Steps = append(res.Steps, PruneStep{Unit: unit, Accuracy: acc})
+		if acc < minAcc {
+			// Revert the violating prune and stop (the paper stops pruning
+			// before the test-accuracy drop).
+			m.RestoreFrom(backup)
+			break
+		}
+		res.Pruned = append(res.Pruned, unit)
+		res.FinalAccuracy = acc
+	}
+	return res
+}
+
+// PruneSweep prunes every unit of layer layerIdx in the given order without
+// any threshold, recording the score of each evaluator after each prune.
+// It is the instrument behind the paper's pruning curves (Fig. 5): pass
+// benign accuracy and attack success rate as the two evaluators. m is
+// modified in place (fully pruned on return); callers pass a clone.
+func PruneSweep(m *nn.Sequential, layerIdx int, order []int, evals ...Evaluator) [][]float64 {
+	curves := make([][]float64, len(evals))
+	for i, e := range evals {
+		curves[i] = append(curves[i], e(m)) // point 0: unpruned
+	}
+	for _, unit := range order {
+		m.PruneModelUnit(layerIdx, unit)
+		for i, e := range evals {
+			curves[i] = append(curves[i], e(m))
+		}
+	}
+	return curves
+}

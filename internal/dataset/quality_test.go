@@ -1,0 +1,99 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+)
+
+// nearestPrototypeAccuracy classifies test samples by the nearest per-class
+// mean of the training split — a crude classifier whose accuracy lower-
+// bounds the task's learnability and upper-bounds nothing, making it a
+// good generator-quality smoke signal.
+func nearestPrototypeAccuracy(train, test *Dataset) float64 {
+	el := train.Shape.Elems()
+	means := make([][]float64, train.Classes)
+	counts := make([]int, train.Classes)
+	for c := range means {
+		means[c] = make([]float64, el)
+	}
+	for _, s := range train.Samples {
+		for i, v := range s.X {
+			means[s.Label][i] += v
+		}
+		counts[s.Label]++
+	}
+	for c := range means {
+		if counts[c] == 0 {
+			continue
+		}
+		inv := 1.0 / float64(counts[c])
+		for i := range means[c] {
+			means[c][i] *= inv
+		}
+	}
+	correct := 0
+	for _, s := range test.Samples {
+		best, bestD := -1, math.Inf(1)
+		for c := range means {
+			d := 0.0
+			for i, v := range s.X {
+				diff := v - means[c][i]
+				d += diff * diff
+			}
+			if d < bestD {
+				best, bestD = c, d
+			}
+		}
+		if best == s.Label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(test.Samples))
+}
+
+// TestGeneratorsSeparability pins the difficulty ordering of the three
+// synthetic families: all are far above chance for a trivial classifier,
+// and MNIST ≥ Fashion ≥ CIFAR in nearest-prototype accuracy, mirroring
+// the real datasets' difficulty ordering the paper relies on.
+func TestGeneratorsSeparability(t *testing.T) {
+	cfg := GenConfig{TrainPerClass: 60, TestPerClass: 30, Seed: 99}
+	accOf := func(gen func(GenConfig) (*Dataset, *Dataset)) float64 {
+		tr, te := gen(cfg)
+		return nearestPrototypeAccuracy(tr, te)
+	}
+	mnist := accOf(GenSynthMNIST)
+	fashion := accOf(GenSynthFashion)
+	cifar := accOf(GenSynthCIFAR)
+	t.Logf("nearest-prototype accuracy: mnist=%.2f fashion=%.2f cifar=%.2f", mnist, fashion, cifar)
+	if mnist < 0.5 || fashion < 0.35 || cifar < 0.25 {
+		t.Fatalf("generator output not learnable: %.2f/%.2f/%.2f", mnist, fashion, cifar)
+	}
+	if mnist < fashion-0.05 {
+		t.Fatalf("difficulty ordering violated: mnist %.2f < fashion %.2f", mnist, fashion)
+	}
+	if fashion < cifar-0.05 {
+		t.Fatalf("difficulty ordering violated: fashion %.2f < cifar %.2f", fashion, cifar)
+	}
+}
+
+// TestTriggerIsOutOfDistribution verifies the trigger stamps values that
+// clean data rarely attains at those positions — the property that lets
+// backdoor neurons be distinguishable at all.
+func TestTriggerIsOutOfDistribution(t *testing.T) {
+	tr, _ := GenSynthMNIST(GenConfig{TrainPerClass: 40, TestPerClass: 1, Seed: 7})
+	trig := PixelPattern(3, tr.Shape)
+	for _, px := range trig.Pixels {
+		idx := px.C*tr.Shape.H*tr.Shape.W + px.Y*tr.Shape.W + px.X
+		saturated := 0
+		for _, s := range tr.Samples {
+			if s.X[idx] >= 0.99 {
+				saturated++
+			}
+		}
+		frac := float64(saturated) / float64(tr.Len())
+		if frac > 0.3 {
+			t.Fatalf("trigger position (%d,%d) saturated in %.0f%% of clean samples — trigger not distinctive",
+				px.X, px.Y, 100*frac)
+		}
+	}
+}

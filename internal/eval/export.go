@@ -1,0 +1,95 @@
+package eval
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV emits the table as CSV: one header row, one row per setting,
+// TA/AA pairs per mode, then the extra integer columns.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"setting"}
+	for _, m := range t.Modes {
+		header = append(header, m+"_ta", m+"_aa")
+	}
+	header = append(header, t.ExtraCols...)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("eval: WriteCSV: %w", err)
+	}
+	for _, r := range t.Rows {
+		rec := []string{r.Label}
+		for _, m := range t.Modes {
+			c := r.Cells[m]
+			rec = append(rec,
+				strconv.FormatFloat(c.TA, 'f', 2, 64),
+				strconv.FormatFloat(c.AA, 'f', 2, 64))
+		}
+		for _, e := range t.ExtraCols {
+			rec = append(rec, strconv.Itoa(r.Extra[e]))
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("eval: WriteCSV: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("eval: WriteCSV: %w", err)
+	}
+	return nil
+}
+
+// WriteJSON emits the table as indented JSON.
+func (t *Table) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(t); err != nil {
+		return fmt.Errorf("eval: WriteJSON: %w", err)
+	}
+	return nil
+}
+
+// WriteCSV emits the figure as CSV in long form: series, x, y.
+func (f *Figure) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"series", f.xLabelOrDefault(), "y"}); err != nil {
+		return fmt.Errorf("eval: WriteCSV: %w", err)
+	}
+	for _, s := range f.Series {
+		for i := range s.X {
+			rec := []string{
+				s.Name,
+				strconv.FormatFloat(s.X[i], 'f', -1, 64),
+				strconv.FormatFloat(s.Y[i], 'f', 4, 64),
+			}
+			if err := cw.Write(rec); err != nil {
+				return fmt.Errorf("eval: WriteCSV: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("eval: WriteCSV: %w", err)
+	}
+	return nil
+}
+
+// WriteJSON emits the figure as indented JSON.
+func (f *Figure) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(f); err != nil {
+		return fmt.Errorf("eval: WriteJSON: %w", err)
+	}
+	return nil
+}
+
+func (f *Figure) xLabelOrDefault() string {
+	if f.XLabel == "" {
+		return "x"
+	}
+	return f.XLabel
+}

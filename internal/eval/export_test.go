@@ -1,0 +1,107 @@
+package eval
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleTable() *Table {
+	return &Table{
+		Title:     "t",
+		Modes:     []string{"training", "all"},
+		ExtraCols: []string{"pruned"},
+		Rows: []Row{
+			{
+				Label: "9->0",
+				Cells: map[string]Cell{
+					"training": {TA: 98.25, AA: 99.7},
+					"all":      {TA: 96.9, AA: 4.7},
+				},
+				Extra: map[string]int{"pruned": 8},
+			},
+		},
+	}
+}
+
+func TestTableWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTable().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 2 {
+		t.Fatalf("%d CSV records, want 2", len(records))
+	}
+	wantHeader := []string{"setting", "training_ta", "training_aa", "all_ta", "all_aa", "pruned"}
+	for i, h := range wantHeader {
+		if records[0][i] != h {
+			t.Fatalf("header %v, want %v", records[0], wantHeader)
+		}
+	}
+	if records[1][0] != "9->0" || records[1][1] != "98.25" || records[1][5] != "8" {
+		t.Fatalf("row %v", records[1])
+	}
+}
+
+func TestTableWriteJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTable().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got Table
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Title != "t" || len(got.Rows) != 1 || got.Rows[0].Cells["all"].AA != 4.7 {
+		t.Fatalf("JSON round trip lost data: %+v", got)
+	}
+}
+
+func TestFigureWriteCSV(t *testing.T) {
+	fig := &Figure{
+		Title:  "f",
+		XLabel: "round",
+		Series: []Series{
+			{Name: "TA", X: []float64{0, 1}, Y: []float64{90, 95}},
+			{Name: "AA", X: []float64{0, 1}, Y: []float64{99, 98}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := fig.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 5 { // header + 4 points
+		t.Fatalf("%d records, want 5", len(records))
+	}
+	if records[0][1] != "round" {
+		t.Fatalf("x label %q, want round", records[0][1])
+	}
+	if records[1][0] != "TA" || !strings.HasPrefix(records[2][2], "95") {
+		t.Fatalf("rows %v", records[1:3])
+	}
+}
+
+func TestFigureWriteJSON(t *testing.T) {
+	fig := &Figure{Title: "f", Series: []Series{{Name: "s", X: []float64{1}, Y: []float64{2}}}}
+	var buf bytes.Buffer
+	if err := fig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got Figure
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Series) != 1 || got.Series[0].Y[0] != 2 {
+		t.Fatalf("JSON round trip lost data: %+v", got)
+	}
+}

@@ -1,0 +1,159 @@
+package fl
+
+import (
+	"math/rand"
+
+	"github.com/fedcleanse/fedcleanse/internal/dataset"
+	"github.com/fedcleanse/fedcleanse/internal/nn"
+)
+
+// Attacker is a malicious participant implementing the paper's threat model
+// (§III-B/C): it trains on a poisoned local dataset (clean samples plus
+// triggered victim-label copies relabeled to the target) and amplifies its
+// update by the model-replacement coefficient γ so the backdoor survives
+// averaging.
+type Attacker struct {
+	id     int
+	clean  *dataset.Dataset
+	poison *dataset.Dataset
+	model  *nn.Sequential
+	cfg    Config
+	rng    *rand.Rand
+
+	// Gamma is the attack-update amplification coefficient (1 ≤ γ ≤ N).
+	Gamma float64
+	// ScaleFromRound delays the γ amplification until the given round:
+	// §III-C notes the replacement algebra assumes benign deviations cancel,
+	// which only holds as the global model converges, so amplifying from
+	// round 0 mostly injects noise. The attacker still trains on poisoned
+	// data (unscaled) before this round.
+	ScaleFromRound int
+	// Poison describes the backdoor task.
+	Poison dataset.PoisonConfig
+	// statMask marks running-statistic positions, which are never scaled
+	// (scaling statistics would corrupt the global model and expose the
+	// attack).
+	statMask []bool
+
+	// SelfClipDelta, when > 0, makes the attacker clip its own extreme
+	// weights to μ ± SelfClipDelta·σ in the last conv layer before
+	// submitting the update — the adaptive "AW-aware" attacker of §VI-B.
+	SelfClipDelta float64
+
+	// AvoidLayer/AvoidUnits implement §VI-B Attack 2, the pruning-aware
+	// attack: the attacker (assumed to have obtained the global pruning
+	// mask) prunes those units of its local model before training, forcing
+	// the backdoor into neurons the defense will keep.
+	AvoidLayer int
+	AvoidUnits []int
+
+	// defense holds the adaptive reporting behavior (see reports.go).
+	defense AttackerDefenseBehavior
+}
+
+var _ Participant = (*Attacker)(nil)
+
+// NewAttacker builds a model-replacement backdoor attacker with the given
+// poisoning task and amplification γ.
+func NewAttacker(id int, data *dataset.Dataset, template *nn.Sequential, cfg Config,
+	poison dataset.PoisonConfig, gamma float64, seed int64) *Attacker {
+	// The attacker trains its local model longer than honest clients: the
+	// backdoor must overcome the clean supervision on near-identical victim
+	// images, which a couple of epochs cannot do reliably.
+	cfg = cfg.withDefaults()
+	cfg.LocalEpochs *= 3
+	return &Attacker{
+		id:       id,
+		clean:    data,
+		poison:   dataset.PoisonTrainSet(data, poison),
+		model:    template.Clone(),
+		cfg:      cfg.withDefaults(),
+		rng:      rand.New(rand.NewSource(seed)),
+		Gamma:    gamma,
+		Poison:   poison,
+		statMask: template.StatMask(),
+	}
+}
+
+// ID implements Participant.
+func (a *Attacker) ID() int { return a.id }
+
+// Dataset implements Participant. The attacker reports its clean shard:
+// the poisoned copies exist only inside its local training loop, exactly
+// as in the paper's threat model where the server never sees client data.
+func (a *Attacker) Dataset() *dataset.Dataset { return a.clean }
+
+// PoisonedDataset exposes the attacker's actual training mixture; the
+// defense's fine-tuning step uses it because attackers "also participate
+// in this process" (§IV-B).
+func (a *Attacker) PoisonedDataset() *dataset.Dataset { return a.poison }
+
+// LocalUpdate implements Participant: train to x_atk on the poisoned
+// mixture, then submit γ·(x_atk − w_t) (running statistics unscaled).
+func (a *Attacker) LocalUpdate(global []float64, round int) []float64 {
+	a.model.SetParamsVector(global)
+	if len(a.AvoidUnits) > 0 {
+		// Pruning-aware attack: train with the known-to-be-pruned units
+		// already dead so the backdoor cannot rely on them. The local prune
+		// masks are scoped to the attacker's working model; the submitted
+		// delta simply carries zeros at those units.
+		for _, u := range a.AvoidUnits {
+			a.model.PruneModelUnit(a.AvoidLayer, u)
+		}
+	}
+	TrainLocal(a.model, a.poison, a.cfg, a.rng)
+	if a.SelfClipDelta > 0 {
+		selfClipLastConv(a.model, a.SelfClipDelta)
+	}
+	gamma := a.Gamma
+	if round < a.ScaleFromRound {
+		gamma = 1
+	}
+	after := a.model.ParamsVector()
+	d := make([]float64, len(after))
+	for i := range d {
+		d[i] = after[i] - global[i]
+		if !a.statMask[i] {
+			d[i] *= gamma
+		}
+	}
+	return d
+}
+
+// selfClipLastConv zeroes weights outside μ ± Δ·σ in the model's last conv
+// layer, mirroring the server-side AW defense so the submitted model
+// carries no extreme values.
+func selfClipLastConv(m *nn.Sequential, delta float64) {
+	li := m.LastConvIndex()
+	if li < 0 {
+		return
+	}
+	conv := m.Layer(li).(*nn.Conv2D)
+	w := conv.W.Value
+	mu, sigma := w.Mean(), w.Std()
+	lo, hi := mu-delta*sigma, mu+delta*sigma
+	for i, v := range w.Data {
+		if v < lo || v > hi {
+			w.Data[i] = 0
+		}
+	}
+}
+
+// NewDBAAttackers builds the Distributed Backdoor Attack cohort (§V-A):
+// the global trigger is decomposed into len(shards) disjoint local
+// patterns, one per attacker; evaluation against the cohort uses the full
+// global trigger. IDs are assigned sequentially starting at firstID.
+func NewDBAAttackers(firstID int, shards []*dataset.Dataset, template *nn.Sequential,
+	cfg Config, global dataset.PoisonConfig, gamma float64, seed int64) []*Attacker {
+	parts := global.Trigger.Decompose(len(shards))
+	out := make([]*Attacker, len(shards))
+	for i, shard := range shards {
+		local := global
+		local.Trigger = parts[i]
+		out[i] = NewAttacker(firstID+i, shard, template, cfg, local, gamma, seed+int64(i))
+	}
+	return out
+}
+
+// Model exposes the attacker's local working model for diagnostics.
+func (a *Attacker) Model() *nn.Sequential { return a.model }

@@ -1,0 +1,93 @@
+package fl
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/fedcleanse/fedcleanse/internal/dataset"
+	"github.com/fedcleanse/fedcleanse/internal/metrics"
+)
+
+// dropAll fails every client.
+type dropAll struct{}
+
+func (dropAll) Dropped(int, int) bool { return true }
+
+// dropIDs fails a fixed set of client IDs.
+type dropIDs map[int]bool
+
+func (d dropIDs) Dropped(id, _ int) bool { return d[id] }
+
+func TestRoundWithAllClientsDroppedIsNoOp(t *testing.T) {
+	_, _, template, cfg := tinySetup(t, 60)
+	p := &fakeParticipant{id: 0, delta: ones(template.NumParams())}
+	srv := NewServer(template, []Participant{p}, cfg, 61)
+	srv.Drop = dropAll{}
+	before := srv.Model.ParamsVector()
+	ids := srv.Round(0)
+	if len(ids) != 0 {
+		t.Fatalf("round reported %d survivors, want 0", len(ids))
+	}
+	after := srv.Model.ParamsVector()
+	for i := range after {
+		if after[i] != before[i] {
+			t.Fatal("model changed despite total client failure")
+		}
+	}
+}
+
+func TestRoundSkipsDroppedClients(t *testing.T) {
+	_, _, template, cfg := tinySetup(t, 62)
+	n := template.NumParams()
+	parts := []Participant{
+		&fakeParticipant{id: 0, delta: ones(n)},
+		&fakeParticipant{id: 1, delta: scaled(n, 100)}, // will be dropped
+	}
+	srv := NewServer(template, parts, cfg, 63)
+	srv.Drop = dropIDs{1: true}
+	before := srv.Model.ParamsVector()
+	ids := srv.Round(0)
+	if len(ids) != 1 || ids[0] != 0 {
+		t.Fatalf("survivors %v, want [0]", ids)
+	}
+	after := srv.Model.ParamsVector()
+	for i := range after {
+		if after[i] != before[i]+1 {
+			t.Fatal("aggregate included the dropped client's delta")
+		}
+	}
+}
+
+func TestRandomDropIsDeterministicPerSeed(t *testing.T) {
+	a := &RandomDrop{P: 0.5, Rng: rand.New(rand.NewSource(1))}
+	b := &RandomDrop{P: 0.5, Rng: rand.New(rand.NewSource(1))}
+	for i := 0; i < 100; i++ {
+		if a.Dropped(0, i) != b.Dropped(0, i) {
+			t.Fatal("RandomDrop differs across equal seeds")
+		}
+	}
+}
+
+// TestTrainingSurvivesModerateDropout checks that federated training still
+// learns when 30% of client updates are lost each round.
+func TestTrainingSurvivesModerateDropout(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training under dropout is slow")
+	}
+	train, test, template, cfg := tinySetup(t, 64)
+	cfg.Rounds = 12
+	cfg.LocalEpochs = 2
+	rng := rand.New(rand.NewSource(65))
+	// IID shards keep the check about dropout, not non-IID convergence.
+	shards := dataset.PartitionKLabel(train, 5, 10, 50, rng)
+	var parts []Participant
+	for i, shard := range shards {
+		parts = append(parts, NewClient(i, shard, template, cfg, int64(70+i)))
+	}
+	srv := NewServer(template, parts, cfg, 66)
+	srv.Drop = &RandomDrop{P: 0.3, Rng: rand.New(rand.NewSource(67))}
+	srv.Train(nil)
+	if acc := metrics.Accuracy(srv.Model, test, 0); acc < 0.5 {
+		t.Fatalf("training under 30%% dropout reached only %.2f accuracy", acc)
+	}
+}

@@ -1,0 +1,140 @@
+// Package fl simulates the paper's federated-learning setting: a server
+// holding a global model, benign clients training on non-IID local shards,
+// and malicious clients mounting backdoor attacks (BadNets pixel patterns
+// with model-replacement scaling, and the Distributed Backdoor Attack).
+//
+// The aggregation rule is the paper's simplified FedAvg (§III-A): every
+// selected client contributes an equal-weight update delta,
+//
+//	w_{t+1} = w_t + (1/N) Σ Δw^i_{t+1}.
+//
+// Alternative Byzantine-robust rules (Krum, trimmed mean, ...) plug in
+// through the Aggregator interface and live in internal/robust.
+package fl
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/fedcleanse/fedcleanse/internal/dataset"
+	"github.com/fedcleanse/fedcleanse/internal/nn"
+)
+
+// Config bundles the federated training hyperparameters.
+type Config struct {
+	// Rounds of federated aggregation.
+	Rounds int
+	// SelectPerRound clients participate in each round; 0 means all.
+	SelectPerRound int
+	// LocalEpochs each client trains per round.
+	LocalEpochs int
+	// BatchSize of local SGD.
+	BatchSize int
+	// LR, Momentum, WeightDecay configure each client's local optimizer.
+	LR, Momentum, WeightDecay float64
+}
+
+// withDefaults fills unset fields with the values used throughout the
+// paper-scale experiments.
+func (c Config) withDefaults() Config {
+	if c.Rounds == 0 {
+		c.Rounds = 10
+	}
+	if c.LocalEpochs == 0 {
+		c.LocalEpochs = 1
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 20
+	}
+	if c.LR == 0 {
+		c.LR = 0.05
+	}
+	return c
+}
+
+// Participant is one federated client, benign or malicious.
+type Participant interface {
+	// ID identifies the client.
+	ID() int
+	// LocalUpdate trains on the client's data starting from the global
+	// parameter vector and returns the update delta (x_i − w_t).
+	LocalUpdate(global []float64, round int) []float64
+	// Dataset exposes the client's local shard (the defense uses it for
+	// activation recording and fine-tuning participation).
+	Dataset() *dataset.Dataset
+}
+
+// Client is an honest participant running plain local SGD.
+type Client struct {
+	id    int
+	data  *dataset.Dataset
+	model *nn.Sequential
+	cfg   Config
+	rng   *rand.Rand
+}
+
+var _ Participant = (*Client)(nil)
+
+// NewClient builds an honest client. template provides the architecture
+// and is cloned, not retained.
+func NewClient(id int, data *dataset.Dataset, template *nn.Sequential, cfg Config, seed int64) *Client {
+	return &Client{
+		id:    id,
+		data:  data,
+		model: template.Clone(),
+		cfg:   cfg.withDefaults(),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// ID implements Participant.
+func (c *Client) ID() int { return c.id }
+
+// Dataset implements Participant.
+func (c *Client) Dataset() *dataset.Dataset { return c.data }
+
+// LocalUpdate implements Participant.
+func (c *Client) LocalUpdate(global []float64, _ int) []float64 {
+	c.model.SetParamsVector(global)
+	TrainLocal(c.model, c.data, c.cfg, c.rng)
+	return deltaOf(c.model.ParamsVector(), global)
+}
+
+// Model exposes the client's working model (used by defense helpers that
+// need a same-architecture scratch model).
+func (c *Client) Model() *nn.Sequential { return c.model }
+
+// TrainLocal runs cfg.LocalEpochs of minibatch SGD over data on model m,
+// in place. It is the single training loop shared by honest clients,
+// attackers and the fine-tuning phase of the defense.
+func TrainLocal(m *nn.Sequential, data *dataset.Dataset, cfg Config, rng *rand.Rand) {
+	cfg = cfg.withDefaults()
+	opt := nn.NewSGD(cfg.LR, cfg.Momentum, cfg.WeightDecay)
+	for e := 0; e < cfg.LocalEpochs; e++ {
+		data.Shuffle(rng)
+		for lo := 0; lo < data.Len(); lo += cfg.BatchSize {
+			hi := lo + cfg.BatchSize
+			if hi > data.Len() {
+				hi = data.Len()
+			}
+			x, labels := data.Batch(lo, hi)
+			m.ZeroGrads()
+			logits := m.Forward(x, true)
+			_, d := nn.SoftmaxXent(logits, labels)
+			m.Backward(d)
+			opt.Step(m)
+		}
+	}
+}
+
+// deltaOf returns after − before element-wise.
+func deltaOf(after, before []float64) []float64 {
+	if len(after) != len(before) {
+		panic(fmt.Sprintf("fl: delta length mismatch %d vs %d", len(after), len(before)))
+	}
+	d := make([]float64, len(after))
+	for i := range d {
+		d[i] = after[i] - before[i]
+	}
+	return d
+}

@@ -1,0 +1,452 @@
+package fl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/fedcleanse/fedcleanse/internal/dataset"
+	"github.com/fedcleanse/fedcleanse/internal/metrics"
+	"github.com/fedcleanse/fedcleanse/internal/nn"
+)
+
+// tinySetup builds a small dataset, template model and config for fast
+// federated tests.
+func tinySetup(t *testing.T, seed int64) (*dataset.Dataset, *dataset.Dataset, *nn.Sequential, Config) {
+	t.Helper()
+	train, test := dataset.GenSynthMNIST(dataset.GenConfig{TrainPerClass: 30, TestPerClass: 10, Seed: seed})
+	rng := rand.New(rand.NewSource(seed))
+	template := nn.NewSmallCNN(nn.Input{C: 1, H: 16, W: 16}, 10, rng)
+	cfg := Config{Rounds: 2, LocalEpochs: 1, BatchSize: 20, LR: 0.05}
+	return train, test, template, cfg
+}
+
+func TestMeanAggregator(t *testing.T) {
+	agg := MeanAggregator{}
+	got := agg.Aggregate([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	want := []float64{3, 4}
+	for i, w := range want {
+		if math.Abs(got[i]-w) > 1e-12 {
+			t.Fatalf("mean = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMeanAggregatorPanics(t *testing.T) {
+	for _, deltas := range [][][]float64{nil, {{1, 2}, {1}}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid input accepted")
+				}
+			}()
+			MeanAggregator{}.Aggregate(deltas)
+		}()
+	}
+}
+
+func TestClientLocalUpdateMovesParams(t *testing.T) {
+	train, _, template, cfg := tinySetup(t, 1)
+	rng := rand.New(rand.NewSource(2))
+	shard := dataset.PartitionKLabel(train, 1, 3, 60, rng)[0]
+	c := NewClient(0, shard, template, cfg, 3)
+	global := template.ParamsVector()
+	delta := c.LocalUpdate(global, 0)
+	if len(delta) != len(global) {
+		t.Fatalf("delta length %d, want %d", len(delta), len(global))
+	}
+	norm := 0.0
+	for _, v := range delta {
+		norm += v * v
+	}
+	if norm == 0 {
+		t.Fatal("local training produced a zero update")
+	}
+}
+
+func TestClientUpdateIsDeterministicPerSeed(t *testing.T) {
+	train, _, template, cfg := tinySetup(t, 4)
+	// Each client gets its own identically-seeded shard: clients shuffle
+	// their shard in place during local training, so sharing one object
+	// would leak order between them.
+	mkShard := func() *dataset.Dataset {
+		return dataset.PartitionKLabel(train, 1, 3, 60, rand.New(rand.NewSource(5)))[0]
+	}
+	global := template.ParamsVector()
+	a := NewClient(0, mkShard(), template, cfg, 7).LocalUpdate(global, 0)
+	b := NewClient(0, mkShard(), template, cfg, 7).LocalUpdate(global, 0)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different updates")
+		}
+	}
+}
+
+func TestServerRoundAppliesAggregate(t *testing.T) {
+	_, _, template, cfg := tinySetup(t, 6)
+	// A fake participant returning a constant delta of +1 everywhere.
+	n := template.NumParams()
+	p := &fakeParticipant{id: 0, delta: ones(n)}
+	srv := NewServer(template, []Participant{p}, cfg, 8)
+	before := srv.Model.ParamsVector()
+	srv.Round(0)
+	after := srv.Model.ParamsVector()
+	for i := range after {
+		if math.Abs(after[i]-(before[i]+1)) > 1e-12 {
+			t.Fatalf("param %d: %g -> %g, want +1", i, before[i], after[i])
+		}
+	}
+}
+
+func TestServerAveragesAcrossParticipants(t *testing.T) {
+	_, _, template, cfg := tinySetup(t, 9)
+	n := template.NumParams()
+	parts := []Participant{
+		&fakeParticipant{id: 0, delta: ones(n)},
+		&fakeParticipant{id: 1, delta: scaled(n, 3)},
+	}
+	srv := NewServer(template, parts, cfg, 10)
+	before := srv.Model.ParamsVector()
+	srv.Round(0)
+	after := srv.Model.ParamsVector()
+	for i := range after {
+		if math.Abs(after[i]-(before[i]+2)) > 1e-12 {
+			t.Fatal("server did not average deltas")
+		}
+	}
+}
+
+func TestServerClientSelection(t *testing.T) {
+	_, _, template, cfg := tinySetup(t, 11)
+	cfg.SelectPerRound = 2
+	n := template.NumParams()
+	var parts []Participant
+	for i := 0; i < 5; i++ {
+		parts = append(parts, &fakeParticipant{id: i, delta: make([]float64, n)})
+	}
+	srv := NewServer(template, parts, cfg, 12)
+	ids := srv.Round(0)
+	if len(ids) != 2 {
+		t.Fatalf("selected %d clients, want 2", len(ids))
+	}
+	if ids[0] == ids[1] {
+		t.Fatal("selected the same client twice")
+	}
+	// SelectPerRound = 0 means everyone.
+	cfg.SelectPerRound = 0
+	srv = NewServer(template, parts, cfg, 13)
+	if ids := srv.Round(0); len(ids) != 5 {
+		t.Fatalf("selected %d clients with SelectPerRound=0, want 5", len(ids))
+	}
+}
+
+func TestAttackerScalesDeltaAfterScaleFromRound(t *testing.T) {
+	train, _, template, cfg := tinySetup(t, 14)
+	rng := rand.New(rand.NewSource(15))
+	shard := dataset.PartitionKLabelForced(train, 1, 3, 60, rng, 9, 1)[0]
+	poison := dataset.PoisonConfig{
+		Trigger:     dataset.PixelPattern(3, train.Shape),
+		VictimLabel: 9, TargetLabel: 1,
+	}
+	global := template.ParamsVector()
+	mkDelta := func(round int) []float64 {
+		a := NewAttacker(0, shard, template, cfg, poison, 4, 16)
+		a.ScaleFromRound = 1
+		return a.LocalUpdate(global, round)
+	}
+	unscaled := mkDelta(0) // round 0 < ScaleFromRound
+	scaled := mkDelta(1)
+	mask := template.StatMask()
+	for i := range unscaled {
+		if mask[i] {
+			if math.Abs(scaled[i]-unscaled[i]) > 1e-9 {
+				t.Fatal("statistic coordinate was scaled")
+			}
+			continue
+		}
+		if math.Abs(scaled[i]-4*unscaled[i]) > 1e-9 {
+			t.Fatalf("coordinate %d: scaled %g vs 4×unscaled %g", i, scaled[i], 4*unscaled[i])
+		}
+	}
+}
+
+func TestAttackerPoisonedDataset(t *testing.T) {
+	train, _, template, cfg := tinySetup(t, 17)
+	rng := rand.New(rand.NewSource(18))
+	shard := dataset.PartitionKLabelForced(train, 1, 3, 60, rng, 9, 1)[0]
+	poison := dataset.PoisonConfig{
+		Trigger:     dataset.PixelPattern(3, train.Shape),
+		VictimLabel: 9, TargetLabel: 1,
+	}
+	a := NewAttacker(0, shard, template, cfg, poison, 4, 19)
+	if a.PoisonedDataset().Len() <= a.Dataset().Len() {
+		t.Fatal("poisoned mixture contains no triggered copies")
+	}
+	// The attacker reports its clean shard to the outside world.
+	if a.Dataset().Len() != shard.Len() {
+		t.Fatal("attacker's reported dataset is not the clean shard")
+	}
+}
+
+func TestDBAAttackersCarryDisjointTriggers(t *testing.T) {
+	train, _, template, cfg := tinySetup(t, 20)
+	rng := rand.New(rand.NewSource(21))
+	shards := dataset.PartitionKLabelForced(train, 4, 3, 40, rng, 9, 4)
+	global := dataset.PoisonConfig{
+		Trigger:     dataset.DBAGlobalPattern(train.Shape),
+		VictimLabel: 9, TargetLabel: 1,
+	}
+	atk := NewDBAAttackers(0, shards, template, cfg, global, 2, 22)
+	if len(atk) != 4 {
+		t.Fatalf("%d attackers, want 4", len(atk))
+	}
+	total := 0
+	seen := map[[3]int]bool{}
+	for _, a := range atk {
+		for _, px := range a.Poison.Trigger.Pixels {
+			key := [3]int{px.X, px.Y, px.C}
+			if seen[key] {
+				t.Fatal("DBA sub-triggers overlap")
+			}
+			seen[key] = true
+			total++
+		}
+	}
+	if total != len(global.Trigger.Pixels) {
+		t.Fatalf("sub-triggers cover %d pixels, want %d", total, len(global.Trigger.Pixels))
+	}
+}
+
+func TestPruningAwareAttackerAvoidsUnits(t *testing.T) {
+	train, _, template, cfg := tinySetup(t, 23)
+	rng := rand.New(rand.NewSource(24))
+	shard := dataset.PartitionKLabelForced(train, 1, 3, 60, rng, 9, 1)[0]
+	poison := dataset.PoisonConfig{
+		Trigger:     dataset.PixelPattern(3, train.Shape),
+		VictimLabel: 9, TargetLabel: 1,
+	}
+	a := NewAttacker(0, shard, template, cfg, poison, 1, 25)
+	li := template.LastConvIndex()
+	a.AvoidLayer = li
+	a.AvoidUnits = []int{0, 1}
+	global := template.ParamsVector()
+	a.LocalUpdate(global, 0)
+	conv := a.Model().Layer(li).(*nn.Conv2D)
+	if !conv.UnitPruned(0) || !conv.UnitPruned(1) {
+		t.Fatal("pruning-aware attacker did not mask avoided units")
+	}
+}
+
+func TestAttackerSelfClipRemovesExtremes(t *testing.T) {
+	train, _, template, cfg := tinySetup(t, 26)
+	rng := rand.New(rand.NewSource(27))
+	shard := dataset.PartitionKLabelForced(train, 1, 3, 60, rng, 9, 1)[0]
+	poison := dataset.PoisonConfig{
+		Trigger:     dataset.PixelPattern(3, train.Shape),
+		VictimLabel: 9, TargetLabel: 1,
+	}
+	a := NewAttacker(0, shard, template, cfg, poison, 1, 28)
+	a.SelfClipDelta = 2
+	global := template.ParamsVector()
+	a.LocalUpdate(global, 0)
+	conv := a.Model().Layer(template.LastConvIndex()).(*nn.Conv2D)
+	w := conv.W.Value
+	mu, sg := w.Mean(), w.Std()
+	for _, v := range w.Data {
+		// After self-clipping, surviving weights sit within the clip band
+		// (recomputed statistics shift slightly; allow headroom).
+		if v != 0 && (v < mu-3*sg || v > mu+3*sg) {
+			t.Fatalf("extreme weight %g survived self-clip", v)
+		}
+	}
+}
+
+func TestReportsHonestAndAdaptive(t *testing.T) {
+	train, _, template, cfg := tinySetup(t, 29)
+	rng := rand.New(rand.NewSource(30))
+	shards := dataset.PartitionKLabelForced(train, 2, 3, 40, rng, 9, 1)
+	poison := dataset.PoisonConfig{
+		Trigger:     dataset.PixelPattern(3, train.Shape),
+		VictimLabel: 9, TargetLabel: 1,
+	}
+	a := NewAttacker(0, shards[0], template, cfg, poison, 2, 31)
+	c := NewClient(1, shards[1], template, cfg, 32)
+	li := template.LastConvIndex()
+	units := template.Layer(li).(nn.Prunable).Units()
+
+	for _, rc := range []interface {
+		RankReport(*nn.Sequential, int) []int
+		VoteReport(*nn.Sequential, int, float64) []bool
+	}{a, c} {
+		ranks := rc.RankReport(template, li)
+		if len(ranks) != units {
+			t.Fatalf("rank report length %d, want %d", len(ranks), units)
+		}
+		votes := rc.VoteReport(template, li, 0.5)
+		n := 0
+		for _, v := range votes {
+			if v {
+				n++
+			}
+		}
+		if n != units/2 {
+			t.Fatalf("%d prune votes, want %d", n, units/2)
+		}
+	}
+
+	// Lying about accuracy.
+	honest := a.ReportAccuracy(template)
+	a.SetDefenseBehavior(AttackerDefenseBehavior{LieAccuracy: true})
+	if got := a.ReportAccuracy(template); got != 1 {
+		t.Fatalf("lying attacker reported %g, want 1", got)
+	}
+	if honest == 1 {
+		t.Log("untrained model accidentally perfect on shard; honest-vs-lie indistinguishable")
+	}
+
+	// Manipulated ranks are still valid permutations.
+	a.SetDefenseBehavior(AttackerDefenseBehavior{ManipulateRanks: true})
+	ranks := a.RankReport(template, li)
+	seen := make([]bool, units+1)
+	for _, r := range ranks {
+		if r < 1 || r > units || seen[r] {
+			t.Fatal("manipulated rank report is not a permutation")
+		}
+		seen[r] = true
+	}
+}
+
+func TestReportClientsFilters(t *testing.T) {
+	train, _, template, cfg := tinySetup(t, 33)
+	rng := rand.New(rand.NewSource(34))
+	shard := dataset.PartitionKLabel(train, 1, 3, 40, rng)[0]
+	parts := []Participant{
+		NewClient(0, shard, template, cfg, 35),
+		&fakeParticipant{id: 1, delta: nil}, // not a ReportClient
+	}
+	if got := len(ReportClients(parts)); got != 1 {
+		t.Fatalf("ReportClients kept %d, want 1", got)
+	}
+}
+
+func TestFineTunePreservesMasks(t *testing.T) {
+	train, _, template, cfg := tinySetup(t, 36)
+	rng := rand.New(rand.NewSource(37))
+	shards := dataset.PartitionKLabel(train, 2, 3, 40, rng)
+	parts := []Participant{
+		NewClient(0, shards[0], template, cfg, 38),
+		NewClient(1, shards[1], template, cfg, 39),
+	}
+	srv := NewServer(template, parts, cfg, 40)
+	m := srv.Model.Clone()
+	li := m.LastConvIndex()
+	m.PruneModelUnit(li, 0)
+	srv.FineTune(m, 2)
+	conv := m.Layer(li).(*nn.Conv2D)
+	fanIn := conv.W.Value.Dim(1)
+	for j := 0; j < fanIn; j++ {
+		if conv.W.Value.Data[j] != 0 {
+			t.Fatal("fine-tuning resurrected a pruned unit")
+		}
+	}
+}
+
+func TestTrainLocalImprovesAccuracy(t *testing.T) {
+	train, test, template, _ := tinySetup(t, 41)
+	rng := rand.New(rand.NewSource(42))
+	m := template.Clone()
+	before := metrics.Accuracy(m, test, 0)
+	TrainLocal(m, train, Config{LocalEpochs: 3, BatchSize: 20, LR: 0.05}, rng)
+	after := metrics.Accuracy(m, test, 0)
+	if after <= before {
+		t.Fatalf("training did not improve accuracy: %.3f -> %.3f", before, after)
+	}
+}
+
+// fakeParticipant returns a fixed delta.
+type fakeParticipant struct {
+	id    int
+	delta []float64
+}
+
+func (f *fakeParticipant) ID() int { return f.id }
+func (f *fakeParticipant) LocalUpdate(global []float64, _ int) []float64 {
+	if f.delta == nil {
+		return make([]float64, len(global))
+	}
+	return append([]float64(nil), f.delta...)
+}
+func (f *fakeParticipant) Dataset() *dataset.Dataset { return nil }
+
+func ones(n int) []float64 { return scaled(n, 1) }
+
+func scaled(n int, v float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+func TestSampleWeightedMean(t *testing.T) {
+	agg := SampleWeightedMean{Counts: map[int]int{0: 300, 1: 100}}
+	got := agg.AggregateWeighted([][]float64{{4}, {8}}, []int{0, 1})
+	// (300·4 + 100·8) / 400 = 5.
+	if math.Abs(got[0]-5) > 1e-12 {
+		t.Fatalf("weighted mean %g, want 5", got[0])
+	}
+	// Unknown clients weigh 1.
+	got = agg.AggregateWeighted([][]float64{{4}, {8}}, []int{7, 8})
+	if math.Abs(got[0]-6) > 1e-12 {
+		t.Fatalf("default-weight mean %g, want 6", got[0])
+	}
+	// Eta scales the aggregate.
+	agg.Eta = 0.5
+	got = agg.AggregateWeighted([][]float64{{4}, {8}}, []int{7, 8})
+	if math.Abs(got[0]-3) > 1e-12 {
+		t.Fatalf("eta-scaled mean %g, want 3", got[0])
+	}
+}
+
+func TestServerUsesWeightedAggregator(t *testing.T) {
+	_, _, template, cfg := tinySetup(t, 80)
+	n := template.NumParams()
+	parts := []Participant{
+		&fakeParticipant{id: 0, delta: ones(n)},      // weight 3
+		&fakeParticipant{id: 1, delta: scaled(n, 5)}, // weight 1
+	}
+	srv := NewServer(template, parts, cfg, 81)
+	srv.Agg = SampleWeightedMean{Counts: map[int]int{0: 3, 1: 1}}
+	before := srv.Model.ParamsVector()
+	srv.Round(0)
+	after := srv.Model.ParamsVector()
+	// (3·1 + 1·5)/4 = 2.
+	for i := range after {
+		if math.Abs(after[i]-(before[i]+2)) > 1e-12 {
+			t.Fatal("weighted aggregation not applied")
+		}
+	}
+}
+
+// TestDataDominanceAttack demonstrates why the paper equalizes sample
+// counts: under sample-weighted FedAvg, an attacker claiming a huge local
+// dataset dominates the aggregate even with gamma = 1.
+func TestDataDominanceAttack(t *testing.T) {
+	_, _, template, cfg := tinySetup(t, 82)
+	n := template.NumParams()
+	parts := []Participant{
+		&fakeParticipant{id: 0, delta: scaled(n, 10)}, // "attacker"
+		&fakeParticipant{id: 1, delta: ones(n)},
+		&fakeParticipant{id: 2, delta: ones(n)},
+	}
+	srv := NewServer(template, parts, cfg, 83)
+	srv.Agg = SampleWeightedMean{Counts: map[int]int{0: 10_000, 1: 100, 2: 100}}
+	before := srv.Model.ParamsVector()
+	srv.Round(0)
+	after := srv.Model.ParamsVector()
+	// The aggregate must sit almost exactly at the attacker's delta.
+	if math.Abs(after[0]-before[0]-10) > 0.5 {
+		t.Fatalf("attacker with dominant sample count moved params by %g, want ~10",
+			after[0]-before[0])
+	}
+}

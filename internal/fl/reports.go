@@ -1,0 +1,114 @@
+package fl
+
+import (
+	"github.com/fedcleanse/fedcleanse/internal/core"
+	"github.com/fedcleanse/fedcleanse/internal/dataset"
+	"github.com/fedcleanse/fedcleanse/internal/metrics"
+	"github.com/fedcleanse/fedcleanse/internal/nn"
+)
+
+// Honest defense participation: clients record true average activations on
+// their local shard and derive rank/vote reports from them (§IV-A). The
+// raw activations never leave the client.
+
+var (
+	_ core.ReportClient     = (*Client)(nil)
+	_ core.AccuracyReporter = (*Client)(nil)
+	_ core.ReportClient     = (*Attacker)(nil)
+	_ core.AccuracyReporter = (*Attacker)(nil)
+)
+
+// RankReport implements core.ReportClient.
+func (c *Client) RankReport(m *nn.Sequential, layerIdx int) []int {
+	acts := metrics.LocalActivations(m, layerIdx, c.data, 0)
+	return core.RanksFromActivations(acts)
+}
+
+// VoteReport implements core.ReportClient.
+func (c *Client) VoteReport(m *nn.Sequential, layerIdx int, p float64) []bool {
+	acts := metrics.LocalActivations(m, layerIdx, c.data, 0)
+	return core.VotesFromActivations(acts, p)
+}
+
+// ReportAccuracy implements core.AccuracyReporter: the model's accuracy on
+// the client's own shard.
+func (c *Client) ReportAccuracy(m *nn.Sequential) float64 {
+	return metrics.Accuracy(m, c.data, 0)
+}
+
+// Adaptive attacker reporting (§VI-B). With no flags set the attacker
+// reports honestly from its clean shard, hiding among benign clients.
+
+// AttackerDefenseBehavior toggles the discussion-section adaptive attacks
+// against the defense itself.
+type AttackerDefenseBehavior struct {
+	// ManipulateRanks is §VI-B Attack 1: the attacker ranks neurons by the
+	// maximum of their clean and triggered activations so backdoor neurons
+	// look essential and survive pruning.
+	ManipulateRanks bool
+	// LieAccuracy makes the attacker report a perfect accuracy whenever the
+	// server asks clients for pruning feedback, stalling the prune-stop
+	// criterion.
+	LieAccuracy bool
+}
+
+// SetDefenseBehavior installs the adaptive reporting behavior.
+func (a *Attacker) SetDefenseBehavior(b AttackerDefenseBehavior) { a.defense = b }
+
+// attackActivations returns activations that make trigger-sensitive
+// neurons look as active as benign-essential ones: the element-wise max of
+// clean-shard activations and fully-triggered-shard activations.
+func (a *Attacker) attackActivations(m *nn.Sequential, layerIdx int) []float64 {
+	clean := metrics.LocalActivations(m, layerIdx, a.clean, 0)
+	triggered := &dataset.Dataset{Shape: a.clean.Shape, Classes: a.clean.Classes}
+	for _, s := range a.clean.Samples {
+		p := s.Clone()
+		a.Poison.Trigger.Apply(p.X, a.clean.Shape)
+		triggered.Samples = append(triggered.Samples, p)
+	}
+	trig := metrics.LocalActivations(m, layerIdx, triggered, 0)
+	out := make([]float64, len(clean))
+	for i := range out {
+		out[i] = clean[i]
+		if trig[i] > out[i] {
+			out[i] = trig[i]
+		}
+	}
+	return out
+}
+
+// RankReport implements core.ReportClient for the attacker.
+func (a *Attacker) RankReport(m *nn.Sequential, layerIdx int) []int {
+	if a.defense.ManipulateRanks {
+		return core.RanksFromActivations(a.attackActivations(m, layerIdx))
+	}
+	return core.RanksFromActivations(metrics.LocalActivations(m, layerIdx, a.clean, 0))
+}
+
+// VoteReport implements core.ReportClient for the attacker.
+func (a *Attacker) VoteReport(m *nn.Sequential, layerIdx int, p float64) []bool {
+	if a.defense.ManipulateRanks {
+		return core.VotesFromActivations(a.attackActivations(m, layerIdx), p)
+	}
+	return core.VotesFromActivations(metrics.LocalActivations(m, layerIdx, a.clean, 0), p)
+}
+
+// ReportAccuracy implements core.AccuracyReporter for the attacker.
+func (a *Attacker) ReportAccuracy(m *nn.Sequential) float64 {
+	if a.defense.LieAccuracy {
+		return 1
+	}
+	return metrics.Accuracy(m, a.clean, 0)
+}
+
+// ReportClients adapts a participant slice to the defense's interface.
+// Participants that do not implement core.ReportClient are skipped.
+func ReportClients(parts []Participant) []core.ReportClient {
+	out := make([]core.ReportClient, 0, len(parts))
+	for _, p := range parts {
+		if rc, ok := p.(core.ReportClient); ok {
+			out = append(out, rc)
+		}
+	}
+	return out
+}

@@ -1,0 +1,231 @@
+package fl
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/fedcleanse/fedcleanse/internal/nn"
+)
+
+// Aggregator combines the update deltas of one round into a single global
+// delta. MeanAggregator implements the paper's simplified FedAvg; the
+// Byzantine-robust rules in internal/robust implement the same interface.
+type Aggregator interface {
+	// Aggregate returns the global update computed from per-client deltas.
+	// Implementations must not retain or mutate the input slices.
+	Aggregate(deltas [][]float64) []float64
+}
+
+// WeightedAggregator is implemented by aggregation rules that need the
+// clients' identities (e.g. to weight by local sample counts). When the
+// server's Agg implements it, AggregateWeighted is used instead of
+// Aggregate.
+type WeightedAggregator interface {
+	// AggregateWeighted combines deltas; ids[i] identifies the client that
+	// produced deltas[i].
+	AggregateWeighted(deltas [][]float64, ids []int) []float64
+}
+
+// SampleWeightedMean is the paper's unsimplified FedAvg rule (§III-A):
+// w_{t+1} = w_t + η · Σ nᵢ·Δwⁱ / Σ nᵢ, weighting each client's update by
+// its local sample count. The paper's experiments equalize sample counts
+// precisely because this rule lets an attacker with more data dominate;
+// SampleWeightedMean exists to demonstrate that (see the fl tests).
+type SampleWeightedMean struct {
+	// Counts maps client ID to its sample count. Unknown clients weigh 1.
+	Counts map[int]int
+	// Eta is the global learning rate η (0 means 1).
+	Eta float64
+}
+
+var _ WeightedAggregator = SampleWeightedMean{}
+
+// Aggregate implements Aggregator by equal weighting (no identities).
+func (s SampleWeightedMean) Aggregate(deltas [][]float64) []float64 {
+	return MeanAggregator{}.Aggregate(deltas)
+}
+
+// AggregateWeighted implements WeightedAggregator.
+func (s SampleWeightedMean) AggregateWeighted(deltas [][]float64, ids []int) []float64 {
+	if len(deltas) == 0 {
+		panic("fl: aggregate of zero deltas")
+	}
+	if len(ids) != len(deltas) {
+		panic(fmt.Sprintf("fl: %d ids for %d deltas", len(ids), len(deltas)))
+	}
+	eta := s.Eta
+	if eta == 0 {
+		eta = 1
+	}
+	out := make([]float64, len(deltas[0]))
+	total := 0.0
+	for i, d := range deltas {
+		w := 1.0
+		if n, ok := s.Counts[ids[i]]; ok && n > 0 {
+			w = float64(n)
+		}
+		total += w
+		for j, v := range d {
+			out[j] += w * v
+		}
+	}
+	scale := eta / total
+	for j := range out {
+		out[j] *= scale
+	}
+	return out
+}
+
+// MeanAggregator is plain coordinate-wise averaging, the paper's
+// w_{t+1} = w_t + (1/N) Σ Δw^i rule.
+type MeanAggregator struct{}
+
+var _ Aggregator = MeanAggregator{}
+
+// Aggregate implements Aggregator.
+func (MeanAggregator) Aggregate(deltas [][]float64) []float64 {
+	if len(deltas) == 0 {
+		panic("fl: aggregate of zero deltas")
+	}
+	out := make([]float64, len(deltas[0]))
+	for _, d := range deltas {
+		if len(d) != len(out) {
+			panic(fmt.Sprintf("fl: delta length mismatch %d vs %d", len(d), len(out)))
+		}
+		for i, v := range d {
+			out[i] += v
+		}
+	}
+	inv := 1.0 / float64(len(deltas))
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}
+
+// DropPolicy injects client failures into federated rounds: a dropped
+// client is selected but never returns an update (crash, network
+// partition, straggler past the round deadline). Real federations must
+// tolerate this; the simulator reproduces it for robustness tests.
+type DropPolicy interface {
+	// Dropped reports whether the client fails to deliver in this round.
+	Dropped(clientID, round int) bool
+}
+
+// RandomDrop drops every client independently with probability P per
+// round, using its own deterministic randomness stream.
+type RandomDrop struct {
+	P   float64
+	Rng *rand.Rand
+}
+
+var _ DropPolicy = (*RandomDrop)(nil)
+
+// Dropped implements DropPolicy.
+func (d *RandomDrop) Dropped(int, int) bool {
+	return d.Rng.Float64() < d.P
+}
+
+// Server drives federated training rounds over a set of participants.
+type Server struct {
+	// Model is the global model, updated in place each round.
+	Model *nn.Sequential
+	// Participants is the full client population.
+	Participants []Participant
+	// Agg combines round deltas; nil means MeanAggregator.
+	Agg Aggregator
+	// Drop, when non-nil, injects client failures (see DropPolicy).
+	Drop DropPolicy
+
+	cfg Config
+	rng *rand.Rand
+}
+
+// NewServer builds a server over the given population. template provides
+// the global model architecture and initial weights (cloned).
+func NewServer(template *nn.Sequential, participants []Participant, cfg Config, seed int64) *Server {
+	return &Server{
+		Model:        template.Clone(),
+		Participants: append([]Participant(nil), participants...),
+		Agg:          MeanAggregator{},
+		cfg:          cfg.withDefaults(),
+		rng:          rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Config returns the server's training configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// Round executes one federated round: select clients, collect their
+// updates from the current global parameters, aggregate, and apply. It
+// returns the IDs of the selected clients.
+func (s *Server) Round(t int) []int {
+	selected := s.selectClients()
+	global := s.Model.ParamsVector()
+	var deltas [][]float64
+	var ids []int
+	for _, p := range selected {
+		if s.Drop != nil && s.Drop.Dropped(p.ID(), t) {
+			continue
+		}
+		deltas = append(deltas, p.LocalUpdate(global, t))
+		ids = append(ids, p.ID())
+	}
+	if len(deltas) == 0 {
+		// Every selected client failed: the round delivers no update, as in
+		// a real deployment where the server times out and retries.
+		return ids
+	}
+	if wa, ok := s.Agg.(WeightedAggregator); ok {
+		s.Model.AddDeltaVector(1, wa.AggregateWeighted(deltas, ids))
+	} else {
+		s.Model.AddDeltaVector(1, s.Agg.Aggregate(deltas))
+	}
+	return ids
+}
+
+// Train runs cfg.Rounds rounds. After each round, onRound (if non-nil) is
+// invoked with the completed round index; experiments use it to trace
+// accuracy curves (Fig. 3, Fig. 7).
+func (s *Server) Train(onRound func(round int)) {
+	for t := 0; t < s.cfg.Rounds; t++ {
+		s.Round(t)
+		if onRound != nil {
+			onRound(t)
+		}
+	}
+}
+
+// selectClients draws SelectPerRound participants without replacement, or
+// returns the full population when SelectPerRound is 0 (the paper's
+// simplified all-participate setting). At least one attacker is present in
+// every training iteration per the paper's threat model; the random draw
+// itself is unbiased — the guarantee comes from the experiment setups
+// having attackers in the population.
+func (s *Server) selectClients() []Participant {
+	k := s.cfg.SelectPerRound
+	if k <= 0 || k >= len(s.Participants) {
+		return s.Participants
+	}
+	idx := s.rng.Perm(len(s.Participants))[:k]
+	out := make([]Participant, k)
+	for i, j := range idx {
+		out[i] = s.Participants[j]
+	}
+	return out
+}
+
+// FineTune implements the defense's federated fine-tuning contract
+// (internal/core.Tuner): it runs the given number of plain FedAvg rounds
+// over the full population starting from m, updating m in place. Prune
+// masks installed on m survive because AddDeltaVector re-applies them.
+func (s *Server) FineTune(m *nn.Sequential, rounds int) {
+	for t := 0; t < rounds; t++ {
+		global := m.ParamsVector()
+		deltas := make([][]float64, len(s.Participants))
+		for i, p := range s.Participants {
+			deltas[i] = p.LocalUpdate(global, t)
+		}
+		m.AddDeltaVector(1, MeanAggregator{}.Aggregate(deltas))
+	}
+}

@@ -1,0 +1,123 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/fedcleanse/fedcleanse/internal/dataset"
+	"github.com/fedcleanse/fedcleanse/internal/nn"
+)
+
+// constantModel always predicts the same class by biasing the final layer.
+func constantModel(class, classes int) *nn.Sequential {
+	rng := rand.New(rand.NewSource(1))
+	d := nn.NewDense("fc", 16*16, classes, rng)
+	d.W.Value.Zero()
+	d.B.Value.Zero()
+	d.B.Value.Data[class] = 10
+	return nn.NewSequential(nn.NewFlatten("flat"), d)
+}
+
+func tinyDS(perClass int, seed int64) (*dataset.Dataset, *dataset.Dataset) {
+	return dataset.GenSynthMNIST(dataset.GenConfig{TrainPerClass: perClass, TestPerClass: perClass, Seed: seed})
+}
+
+func TestAccuracyConstantPredictor(t *testing.T) {
+	_, test := tinyDS(5, 2)
+	m := constantModel(3, 10)
+	got := Accuracy(m, test, 0)
+	if math.Abs(got-0.1) > 1e-9 {
+		t.Fatalf("constant predictor accuracy %g, want 0.1", got)
+	}
+}
+
+func TestAccuracyEmptyDataset(t *testing.T) {
+	m := constantModel(0, 10)
+	empty := &dataset.Dataset{Shape: dataset.Shape{C: 1, H: 16, W: 16}, Classes: 10}
+	if got := Accuracy(m, empty, 0); got != 0 {
+		t.Fatalf("accuracy on empty dataset = %g, want 0", got)
+	}
+}
+
+func TestAccuracyBatchBoundaries(t *testing.T) {
+	_, test := tinyDS(5, 3)
+	m := constantModel(7, 10)
+	// Different batch sizes must give the same result.
+	a := Accuracy(m, test, 7)
+	b := Accuracy(m, test, 50)
+	c := Accuracy(m, test, 1)
+	if a != b || b != c {
+		t.Fatalf("accuracy depends on batch size: %g %g %g", a, b, c)
+	}
+}
+
+func TestAttackSuccessRateConstantTarget(t *testing.T) {
+	_, test := tinyDS(5, 4)
+	cfg := dataset.PoisonConfig{
+		Trigger:     dataset.PixelPattern(1, test.Shape),
+		VictimLabel: 9,
+		TargetLabel: 4,
+	}
+	// A model that always predicts the attack target has AA = 1.
+	if got := AttackSuccessRate(constantModel(4, 10), test, cfg, 0); got != 1 {
+		t.Fatalf("AA = %g, want 1", got)
+	}
+	// A model that never predicts it has AA = 0.
+	if got := AttackSuccessRate(constantModel(5, 10), test, cfg, 0); got != 0 {
+		t.Fatalf("AA = %g, want 0", got)
+	}
+}
+
+func TestMeanLossUniformPredictor(t *testing.T) {
+	_, test := tinyDS(4, 5)
+	// Zero weights and biases give uniform logits: loss = ln(10).
+	m := constantModel(0, 10)
+	m.Layer(1).(*nn.Dense).B.Value.Zero()
+	got := MeanLoss(m, test, 0)
+	if math.Abs(got-math.Log(10)) > 1e-9 {
+		t.Fatalf("uniform loss = %g, want ln(10)=%g", got, math.Log(10))
+	}
+}
+
+func TestLocalActivationsMatchesManual(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	_, test := tinyDS(3, 7)
+	m := nn.NewSmallCNN(nn.Input{C: 1, H: 16, W: 16}, 10, rng)
+	li := m.LastConvIndex()
+	got := LocalActivations(m, li, test, 8)
+	// Manual: single full-batch pass.
+	x, _ := test.Batch(0, test.Len())
+	acts := m.ForwardActivations(x)
+	units := m.Layer(li).(nn.Prunable).Units()
+	want := nn.UnitMeanActivations(acts[li], units)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("unit %d: %g vs %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLocalActivationsRejectsNonPrunable(t *testing.T) {
+	_, test := tinyDS(2, 8)
+	m := constantModel(0, 10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-prunable layer accepted")
+		}
+	}()
+	LocalActivations(m, 0, test, 0) // layer 0 is Flatten
+}
+
+// Sanity: a unit whose filter is zeroed reports zero activation.
+func TestLocalActivationsZeroForDeadUnit(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	_, test := tinyDS(2, 10)
+	m := nn.NewSmallCNN(nn.Input{C: 1, H: 16, W: 16}, 10, rng)
+	li := m.LastConvIndex()
+	m.PruneModelUnit(li, 3)
+	acts := LocalActivations(m, li, test, 0)
+	if acts[3] != 0 {
+		t.Fatalf("dead unit activation %g, want 0", acts[3])
+	}
+}

@@ -1,0 +1,57 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/fedcleanse/fedcleanse/internal/tensor"
+)
+
+// Model-level micro-benchmarks: per-batch forward and forward+backward
+// cost of each architecture in the zoo, the unit cost every federated
+// round multiplies.
+
+func benchForward(b *testing.B, build ModelBuilder, in Input) {
+	rng := rand.New(rand.NewSource(1))
+	m := build(in, 10, rng)
+	x := tensor.New(20, in.C, in.H, in.W)
+	x.Randn(rng, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Forward(x, false)
+	}
+}
+
+func benchTrainStep(b *testing.B, build ModelBuilder, in Input) {
+	rng := rand.New(rand.NewSource(2))
+	m := build(in, 10, rng)
+	opt := NewSGD(0.05, 0.9, 1e-4)
+	x := tensor.New(20, in.C, in.H, in.W)
+	x.Randn(rng, 1)
+	labels := make([]int, 20)
+	for i := range labels {
+		labels[i] = i % 10
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ZeroGrads()
+		logits := m.Forward(x, true)
+		_, d := SoftmaxXent(logits, labels)
+		m.Backward(d)
+		opt.Step(m)
+	}
+}
+
+var (
+	in1 = Input{C: 1, H: 16, W: 16}
+	in3 = Input{C: 3, H: 16, W: 16}
+)
+
+func BenchmarkSmallCNNForward(b *testing.B)   { benchForward(b, NewSmallCNN, in1) }
+func BenchmarkSmallCNNTrainStep(b *testing.B) { benchTrainStep(b, NewSmallCNN, in1) }
+func BenchmarkLargeCNNTrainStep(b *testing.B) { benchTrainStep(b, NewLargeCNN, in1) }
+func BenchmarkFashionCNNTrainStep(b *testing.B) {
+	benchTrainStep(b, NewFashionCNN, in1)
+}
+func BenchmarkMiniVGGForward(b *testing.B)   { benchForward(b, NewMiniVGG, in3) }
+func BenchmarkMiniVGGTrainStep(b *testing.B) { benchTrainStep(b, NewMiniVGG, in3) }

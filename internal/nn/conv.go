@@ -1,0 +1,220 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/fedcleanse/fedcleanse/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution layer over NCHW batches, implemented with
+// im2col + matrix multiplication. Each output channel is one "neuron" in
+// the paper's pruning terminology.
+type Conv2D struct {
+	name    string
+	dims    tensor.ConvDims
+	filters int
+
+	// W has shape (filters, C·K·K); B has shape (filters).
+	W, B *Param
+
+	// pruned[i] marks output channel i as removed. The channel's weights and
+	// bias are held at zero by EnforceMask.
+	pruned []bool
+
+	// cols caches the im2col matrices of the last training forward pass,
+	// one per batch sample; inShape caches the input batch shape.
+	cols    []*tensor.Tensor
+	inShape []int
+}
+
+var _ Prunable = (*Conv2D)(nil)
+
+// NewConv2D builds a convolution layer with the given geometry and
+// He-normal initialization.
+func NewConv2D(name string, dims tensor.ConvDims, filters int, rng *rand.Rand) *Conv2D {
+	if err := dims.Validate(); err != nil {
+		panic(fmt.Sprintf("nn: %s: %v", name, err))
+	}
+	if filters <= 0 {
+		panic(fmt.Sprintf("nn: %s: non-positive filter count %d", name, filters))
+	}
+	fanIn := dims.C * dims.K * dims.K
+	l := &Conv2D{
+		name:    name,
+		dims:    dims,
+		filters: filters,
+		W:       newParam(name+".W", filters, fanIn),
+		B:       newParam(name+".B", filters),
+		pruned:  make([]bool, filters),
+	}
+	l.B.NoDecay = true
+	heInit(l.W.Value, fanIn, rng)
+	return l
+}
+
+// Name implements Layer.
+func (l *Conv2D) Name() string { return l.name }
+
+// Dims returns the convolution geometry.
+func (l *Conv2D) Dims() tensor.ConvDims { return l.dims }
+
+// Filters returns the number of output channels.
+func (l *Conv2D) Filters() int { return l.filters }
+
+// OutShape returns the per-sample output shape (F, OutH, OutW).
+func (l *Conv2D) OutShape() []int {
+	return []int{l.filters, l.dims.OutH(), l.dims.OutW()}
+}
+
+// SetL2 sets an extra L2 penalty on the layer's weights (not bias), used by
+// the last-conv-layer regularization experiment (paper Fig. 10).
+func (l *Conv2D) SetL2(lambda float64) { l.W.L2 = lambda }
+
+// Forward implements Layer for x of shape (N, C, H, W).
+func (l *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n := x.Dim(0)
+	d := l.dims
+	if x.Rank() != 4 || x.Dim(1) != d.C || x.Dim(2) != d.H || x.Dim(3) != d.W {
+		panic(fmt.Sprintf("nn: %s: input shape %v, want [N %d %d %d]", l.name, x.Shape(), d.C, d.H, d.W))
+	}
+	outH, outW := d.OutH(), d.OutW()
+	spatial := outH * outW
+	fanIn := d.C * d.K * d.K
+	out := tensor.New(n, l.filters, outH, outW)
+	if train {
+		l.cols = make([]*tensor.Tensor, n)
+		l.inShape = x.Shape()
+	} else {
+		l.cols = nil
+	}
+	sampleIn := d.C * d.H * d.W
+	col := tensor.New(fanIn, spatial)
+	res := tensor.New(l.filters, spatial)
+	for s := 0; s < n; s++ {
+		img := x.Data[s*sampleIn : (s+1)*sampleIn]
+		tensor.Im2Col(img, d, col.Data)
+		tensor.MatMulInto(res, l.W.Value, col)
+		dst := out.Data[s*l.filters*spatial : (s+1)*l.filters*spatial]
+		for f := 0; f < l.filters; f++ {
+			b := l.B.Value.Data[f]
+			row := res.Data[f*spatial : (f+1)*spatial]
+			drow := dst[f*spatial : (f+1)*spatial]
+			for j, v := range row {
+				drow[j] = v + b
+			}
+		}
+		if train {
+			l.cols[s] = col.Clone()
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (l *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	if l.cols == nil {
+		panic(fmt.Sprintf("nn: %s: Backward without training Forward", l.name))
+	}
+	n := len(l.cols)
+	d := l.dims
+	spatial := d.OutH() * d.OutW()
+	sampleIn := d.C * d.H * d.W
+	dx := tensor.New(l.inShape...)
+	for s := 0; s < n; s++ {
+		doutMat := tensor.FromSlice(
+			dout.Data[s*l.filters*spatial:(s+1)*l.filters*spatial],
+			l.filters, spatial,
+		)
+		// dW += dout · colᵀ
+		dW := tensor.MatMulTransB(doutMat, l.cols[s])
+		l.W.Grad.Add(dW)
+		// db += row sums of dout
+		for f := 0; f < l.filters; f++ {
+			row := doutMat.Data[f*spatial : (f+1)*spatial]
+			s0 := 0.0
+			for _, v := range row {
+				s0 += v
+			}
+			l.B.Grad.Data[f] += s0
+		}
+		// dx = col2im(Wᵀ · dout)
+		dcol := tensor.MatMulTransA(l.W.Value, doutMat)
+		tensor.Col2Im(dcol.Data, d, dx.Data[s*sampleIn:(s+1)*sampleIn])
+	}
+	// Gradients of pruned channels are discarded so masked units stay dead.
+	l.maskGrads()
+	return dx
+}
+
+// Params implements Layer.
+func (l *Conv2D) Params() []*Param { return []*Param{l.W, l.B} }
+
+// CloneLayer implements Layer.
+func (l *Conv2D) CloneLayer() Layer {
+	c := &Conv2D{
+		name:    l.name,
+		dims:    l.dims,
+		filters: l.filters,
+		W:       l.W.clone(),
+		B:       l.B.clone(),
+		pruned:  append([]bool(nil), l.pruned...),
+	}
+	return c
+}
+
+// Units implements Prunable: one unit per output channel.
+func (l *Conv2D) Units() int { return l.filters }
+
+// PruneUnit implements Prunable.
+func (l *Conv2D) PruneUnit(i int) {
+	if i < 0 || i >= l.filters {
+		panic(fmt.Sprintf("nn: %s: PruneUnit(%d) out of range [0,%d)", l.name, i, l.filters))
+	}
+	l.pruned[i] = true
+	l.EnforceMask()
+}
+
+// UnitPruned implements Prunable.
+func (l *Conv2D) UnitPruned(i int) bool { return l.pruned[i] }
+
+// PrunedCount implements Prunable.
+func (l *Conv2D) PrunedCount() int {
+	n := 0
+	for _, p := range l.pruned {
+		if p {
+			n++
+		}
+	}
+	return n
+}
+
+// EnforceMask implements Prunable.
+func (l *Conv2D) EnforceMask() {
+	fanIn := l.W.Value.Dim(1)
+	for f, p := range l.pruned {
+		if !p {
+			continue
+		}
+		row := l.W.Value.Data[f*fanIn : (f+1)*fanIn]
+		for j := range row {
+			row[j] = 0
+		}
+		l.B.Value.Data[f] = 0
+	}
+}
+
+// maskGrads zeroes gradients flowing into pruned channels.
+func (l *Conv2D) maskGrads() {
+	fanIn := l.W.Value.Dim(1)
+	for f, p := range l.pruned {
+		if !p {
+			continue
+		}
+		row := l.W.Grad.Data[f*fanIn : (f+1)*fanIn]
+		for j := range row {
+			row[j] = 0
+		}
+		l.B.Grad.Data[f] = 0
+	}
+}

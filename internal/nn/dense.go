@@ -1,0 +1,162 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/fedcleanse/fedcleanse/internal/tensor"
+)
+
+// Dense is a fully connected layer over (N, In) batches. Each output unit is
+// one "neuron" in the paper's pruning terminology.
+type Dense struct {
+	name    string
+	in, out int
+
+	// W has shape (In, Out); B has shape (Out).
+	W, B *Param
+
+	pruned []bool
+
+	// x caches the input of the last training forward pass.
+	x *tensor.Tensor
+}
+
+var _ Prunable = (*Dense)(nil)
+
+// NewDense builds a fully connected layer with He-normal initialization.
+func NewDense(name string, in, out int, rng *rand.Rand) *Dense {
+	if in <= 0 || out <= 0 {
+		panic(fmt.Sprintf("nn: %s: non-positive dims %d×%d", name, in, out))
+	}
+	l := &Dense{
+		name:   name,
+		in:     in,
+		out:    out,
+		W:      newParam(name+".W", in, out),
+		B:      newParam(name+".B", out),
+		pruned: make([]bool, out),
+	}
+	l.B.NoDecay = true
+	heInit(l.W.Value, in, rng)
+	return l
+}
+
+// Name implements Layer.
+func (l *Dense) Name() string { return l.name }
+
+// In returns the input width.
+func (l *Dense) In() int { return l.in }
+
+// Out returns the output width.
+func (l *Dense) Out() int { return l.out }
+
+// SetL2 sets an extra L2 penalty on the layer's weights (not bias).
+func (l *Dense) SetL2(lambda float64) { l.W.L2 = lambda }
+
+// Forward implements Layer for x of shape (N, In).
+func (l *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 2 || x.Dim(1) != l.in {
+		panic(fmt.Sprintf("nn: %s: input shape %v, want [N %d]", l.name, x.Shape(), l.in))
+	}
+	if train {
+		l.x = x
+	} else {
+		l.x = nil
+	}
+	out := tensor.MatMul(x, l.W.Value)
+	n := x.Dim(0)
+	for s := 0; s < n; s++ {
+		row := out.Data[s*l.out : (s+1)*l.out]
+		for j := range row {
+			row[j] += l.B.Value.Data[j]
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (l *Dense) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	if l.x == nil {
+		panic(fmt.Sprintf("nn: %s: Backward without training Forward", l.name))
+	}
+	// dW += xᵀ · dout
+	l.W.Grad.Add(tensor.MatMulTransA(l.x, dout))
+	// db += column sums of dout
+	n := dout.Dim(0)
+	for s := 0; s < n; s++ {
+		row := dout.Data[s*l.out : (s+1)*l.out]
+		for j, v := range row {
+			l.B.Grad.Data[j] += v
+		}
+	}
+	l.maskGrads()
+	// dx = dout · Wᵀ
+	return tensor.MatMulTransB(dout, l.W.Value)
+}
+
+// Params implements Layer.
+func (l *Dense) Params() []*Param { return []*Param{l.W, l.B} }
+
+// CloneLayer implements Layer.
+func (l *Dense) CloneLayer() Layer {
+	return &Dense{
+		name:   l.name,
+		in:     l.in,
+		out:    l.out,
+		W:      l.W.clone(),
+		B:      l.B.clone(),
+		pruned: append([]bool(nil), l.pruned...),
+	}
+}
+
+// Units implements Prunable: one unit per output column.
+func (l *Dense) Units() int { return l.out }
+
+// PruneUnit implements Prunable.
+func (l *Dense) PruneUnit(i int) {
+	if i < 0 || i >= l.out {
+		panic(fmt.Sprintf("nn: %s: PruneUnit(%d) out of range [0,%d)", l.name, i, l.out))
+	}
+	l.pruned[i] = true
+	l.EnforceMask()
+}
+
+// UnitPruned implements Prunable.
+func (l *Dense) UnitPruned(i int) bool { return l.pruned[i] }
+
+// PrunedCount implements Prunable.
+func (l *Dense) PrunedCount() int {
+	n := 0
+	for _, p := range l.pruned {
+		if p {
+			n++
+		}
+	}
+	return n
+}
+
+// EnforceMask implements Prunable.
+func (l *Dense) EnforceMask() {
+	for j, p := range l.pruned {
+		if !p {
+			continue
+		}
+		for i := 0; i < l.in; i++ {
+			l.W.Value.Data[i*l.out+j] = 0
+		}
+		l.B.Value.Data[j] = 0
+	}
+}
+
+func (l *Dense) maskGrads() {
+	for j, p := range l.pruned {
+		if !p {
+			continue
+		}
+		for i := 0; i < l.in; i++ {
+			l.W.Grad.Data[i*l.out+j] = 0
+		}
+		l.B.Grad.Data[j] = 0
+	}
+}

@@ -1,0 +1,151 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/fedcleanse/fedcleanse/internal/tensor"
+)
+
+// lossOf runs a full forward pass and returns the scalar loss.
+func lossOf(m *Sequential, x *tensor.Tensor, labels []int) float64 {
+	logits := m.Forward(x.Clone(), false)
+	loss, _ := SoftmaxXent(logits, labels)
+	return loss
+}
+
+// analyticGrads runs forward+backward and returns a snapshot of all
+// parameter gradients plus the input gradient.
+func analyticGrads(m *Sequential, x *tensor.Tensor, labels []int) (paramGrads [][]float64, dx *tensor.Tensor) {
+	m.ZeroGrads()
+	logits := m.Forward(x.Clone(), true)
+	_, dlogits := SoftmaxXent(logits, labels)
+	dx = m.Backward(dlogits)
+	for _, p := range m.Params() {
+		paramGrads = append(paramGrads, append([]float64(nil), p.Grad.Data...))
+	}
+	return paramGrads, dx
+}
+
+// checkGrads compares every analytic parameter gradient and the input
+// gradient of model m against central finite differences.
+func checkGrads(t *testing.T, m *Sequential, x *tensor.Tensor, labels []int) {
+	t.Helper()
+	const eps = 1e-5
+	const tol = 1e-6
+	paramGrads, dx := analyticGrads(m, x, labels)
+
+	for pi, p := range m.Params() {
+		for i := 0; i < p.Value.Len(); i++ {
+			orig := p.Value.Data[i]
+			p.Value.Data[i] = orig + eps
+			up := lossOf(m, x, labels)
+			p.Value.Data[i] = orig - eps
+			down := lossOf(m, x, labels)
+			p.Value.Data[i] = orig
+			numeric := (up - down) / (2 * eps)
+			analytic := paramGrads[pi][i]
+			if math.Abs(numeric-analytic) > tol*(1+math.Abs(numeric)) {
+				t.Fatalf("param %s[%d]: analytic %.8g vs numeric %.8g", p.Name, i, analytic, numeric)
+			}
+		}
+	}
+	for i := 0; i < x.Len(); i++ {
+		orig := x.Data[i]
+		x.Data[i] = orig + eps
+		up := lossOf(m, x, labels)
+		x.Data[i] = orig - eps
+		down := lossOf(m, x, labels)
+		x.Data[i] = orig
+		numeric := (up - down) / (2 * eps)
+		if math.Abs(numeric-dx.Data[i]) > tol*(1+math.Abs(numeric)) {
+			t.Fatalf("input[%d]: analytic %.8g vs numeric %.8g", i, dx.Data[i], numeric)
+		}
+	}
+}
+
+func TestGradCheckDenseOnly(t *testing.T) {
+	rng := rand.New(rand.NewSource(100))
+	m := NewSequential(
+		NewDense("fc1", 6, 5, rng),
+		NewReLU("relu"),
+		NewDense("fc2", 5, 3, rng),
+	)
+	x := tensor.New(4, 6)
+	x.Randn(rng, 1)
+	checkGrads(t, m, x, []int{0, 1, 2, 1})
+}
+
+func TestGradCheckConvPoolDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	d := tensor.ConvDims{C: 2, H: 6, W: 6, K: 3, Stride: 1, Pad: 1}
+	conv := NewConv2D("conv", d, 3, rng)
+	m := NewSequential(
+		conv,
+		NewReLU("relu1"),
+		NewMaxPool2D("pool", 2, 2),
+		NewFlatten("flatten"),
+		NewDense("fc", 3*3*3, 4, rng),
+	)
+	x := tensor.New(3, 2, 6, 6)
+	x.Randn(rng, 1)
+	checkGrads(t, m, x, []int{0, 3, 2})
+}
+
+func TestGradCheckStridedPaddedConv(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	d := tensor.ConvDims{C: 1, H: 7, W: 5, K: 3, Stride: 2, Pad: 1}
+	conv := NewConv2D("conv", d, 2, rng)
+	flat := 2 * d.OutH() * d.OutW()
+	m := NewSequential(
+		conv,
+		NewReLU("relu"),
+		NewFlatten("flatten"),
+		NewDense("fc", flat, 3, rng),
+	)
+	x := tensor.New(2, 1, 7, 5)
+	x.Randn(rng, 1)
+	checkGrads(t, m, x, []int{1, 2})
+}
+
+func TestPrunedUnitGradsMasked(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	d := tensor.ConvDims{C: 1, H: 4, W: 4, K: 3, Stride: 1, Pad: 1}
+	conv := NewConv2D("conv", d, 4, rng)
+	m := NewSequential(
+		conv,
+		NewReLU("relu"),
+		NewFlatten("flatten"),
+		NewDense("fc", 4*4*4, 3, rng),
+	)
+	conv.PruneUnit(1)
+	x := tensor.New(2, 1, 4, 4)
+	x.Randn(rng, 1)
+	m.ZeroGrads()
+	logits := m.Forward(x, true)
+	_, dlogits := SoftmaxXent(logits, []int{0, 2})
+	m.Backward(dlogits)
+	// Analytic gradients of the pruned channel must be forced to zero so an
+	// optimizer step cannot resurrect it.
+	fanIn := conv.W.Value.Dim(1)
+	for j := 0; j < fanIn; j++ {
+		if g := conv.W.Grad.Data[1*fanIn+j]; g != 0 {
+			t.Fatalf("pruned channel weight grad [1][%d] = %g, want 0", j, g)
+		}
+	}
+	if g := conv.B.Grad.Data[1]; g != 0 {
+		t.Fatalf("pruned channel bias grad = %g, want 0", g)
+	}
+	// Unpruned channels must still receive gradient signal.
+	anyNonZero := false
+	for j := 0; j < fanIn; j++ {
+		if conv.W.Grad.Data[0*fanIn+j] != 0 {
+			anyNonZero = true
+			break
+		}
+	}
+	if !anyNonZero {
+		t.Fatal("unpruned channel received no gradient")
+	}
+}

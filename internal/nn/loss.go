@@ -1,0 +1,96 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/fedcleanse/fedcleanse/internal/tensor"
+)
+
+// SoftmaxXent computes the mean softmax cross-entropy loss of logits
+// (shape (N, classes)) against integer labels, together with the gradient
+// of the loss with respect to the logits. The softmax is computed with the
+// max-subtraction trick for numerical stability.
+func SoftmaxXent(logits *tensor.Tensor, labels []int) (loss float64, dlogits *tensor.Tensor) {
+	if logits.Rank() != 2 {
+		panic(fmt.Sprintf("nn: SoftmaxXent logits rank %d, want 2", logits.Rank()))
+	}
+	n, c := logits.Dim(0), logits.Dim(1)
+	if len(labels) != n {
+		panic(fmt.Sprintf("nn: SoftmaxXent %d labels for batch of %d", len(labels), n))
+	}
+	dlogits = tensor.New(n, c)
+	inv := 1.0 / float64(n)
+	for s := 0; s < n; s++ {
+		y := labels[s]
+		if y < 0 || y >= c {
+			panic(fmt.Sprintf("nn: SoftmaxXent label %d out of range [0,%d)", y, c))
+		}
+		row := logits.Data[s*c : (s+1)*c]
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		sum := 0.0
+		drow := dlogits.Data[s*c : (s+1)*c]
+		for j, v := range row {
+			e := math.Exp(v - maxv)
+			drow[j] = e
+			sum += e
+		}
+		loss += -(row[y] - maxv - math.Log(sum)) * inv
+		for j := range drow {
+			drow[j] = drow[j] / sum * inv
+		}
+		drow[y] -= inv
+	}
+	return loss, dlogits
+}
+
+// Softmax returns the row-wise softmax of logits as a new tensor.
+func Softmax(logits *tensor.Tensor) *tensor.Tensor {
+	if logits.Rank() != 2 {
+		panic(fmt.Sprintf("nn: Softmax logits rank %d, want 2", logits.Rank()))
+	}
+	n, c := logits.Dim(0), logits.Dim(1)
+	out := tensor.New(n, c)
+	for s := 0; s < n; s++ {
+		row := logits.Data[s*c : (s+1)*c]
+		orow := out.Data[s*c : (s+1)*c]
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		sum := 0.0
+		for j, v := range row {
+			e := math.Exp(v - maxv)
+			orow[j] = e
+			sum += e
+		}
+		for j := range orow {
+			orow[j] /= sum
+		}
+	}
+	return out
+}
+
+// Argmax returns the predicted class of every row of logits.
+func Argmax(logits *tensor.Tensor) []int {
+	n, c := logits.Dim(0), logits.Dim(1)
+	out := make([]int, n)
+	for s := 0; s < n; s++ {
+		row := logits.Data[s*c : (s+1)*c]
+		best, bestJ := row[0], 0
+		for j, v := range row[1:] {
+			if v > best {
+				best, bestJ = v, j+1
+			}
+		}
+		out[s] = bestJ
+	}
+	return out
+}

@@ -1,0 +1,236 @@
+package nn
+
+import (
+	"fmt"
+
+	"github.com/fedcleanse/fedcleanse/internal/tensor"
+)
+
+// Sequential is an ordered stack of layers forming a feed-forward network.
+type Sequential struct {
+	layers []Layer
+}
+
+// NewSequential builds a network from the given layers.
+func NewSequential(layers ...Layer) *Sequential {
+	return &Sequential{layers: append([]Layer(nil), layers...)}
+}
+
+// Layers returns the layer slice (shared; callers must not mutate).
+func (m *Sequential) Layers() []Layer { return m.layers }
+
+// Layer returns layer i.
+func (m *Sequential) Layer(i int) Layer { return m.layers[i] }
+
+// NumLayers returns the number of layers.
+func (m *Sequential) NumLayers() int { return len(m.layers) }
+
+// Forward runs the network on a batch. train selects whether layers cache
+// state for Backward.
+func (m *Sequential) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, l := range m.layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// ForwardActivations runs inference and returns the output of every layer.
+// acts[i] is the output of layer i; the final element is the network output.
+// The federated pruning step uses this to record per-neuron activations.
+func (m *Sequential) ForwardActivations(x *tensor.Tensor) (acts []*tensor.Tensor) {
+	acts = make([]*tensor.Tensor, len(m.layers))
+	for i, l := range m.layers {
+		x = l.Forward(x, false)
+		acts[i] = x
+	}
+	return acts
+}
+
+// Backward propagates dout (gradient w.r.t. the network output) through all
+// layers in reverse, accumulating parameter gradients, and returns the
+// gradient with respect to the network input.
+func (m *Sequential) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	for i := len(m.layers) - 1; i >= 0; i-- {
+		dout = m.layers[i].Backward(dout)
+	}
+	return dout
+}
+
+// Params returns all learnable parameters in layer order.
+func (m *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, l := range m.layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// ZeroGrads clears every parameter gradient.
+func (m *Sequential) ZeroGrads() {
+	for _, p := range m.Params() {
+		p.Grad.Zero()
+	}
+}
+
+// NumParams returns the total number of scalar parameters.
+func (m *Sequential) NumParams() int {
+	n := 0
+	for _, p := range m.Params() {
+		n += p.Value.Len()
+	}
+	return n
+}
+
+// Clone returns a deep copy of the network, including prune masks.
+func (m *Sequential) Clone() *Sequential {
+	ls := make([]Layer, len(m.layers))
+	for i, l := range m.layers {
+		ls[i] = l.CloneLayer()
+	}
+	return &Sequential{layers: ls}
+}
+
+// ParamsVector flattens all parameter values into a single new slice, in
+// layer order. The layout is stable for a fixed architecture, which is what
+// federated averaging relies on.
+func (m *Sequential) ParamsVector() []float64 {
+	out := make([]float64, 0, m.NumParams())
+	for _, p := range m.Params() {
+		out = append(out, p.Value.Data...)
+	}
+	return out
+}
+
+// SetParamsVector installs a flat parameter vector produced by
+// ParamsVector on a network of the identical architecture, then re-applies
+// prune masks so masked units cannot be resurrected by an aggregated update.
+func (m *Sequential) SetParamsVector(v []float64) {
+	if len(v) != m.NumParams() {
+		panic(fmt.Sprintf("nn: SetParamsVector length %d, want %d", len(v), m.NumParams()))
+	}
+	off := 0
+	for _, p := range m.Params() {
+		n := p.Value.Len()
+		copy(p.Value.Data, v[off:off+n])
+		off += n
+	}
+	m.EnforceMasks()
+}
+
+// AddDeltaVector adds alpha·delta to the parameters, then re-applies prune
+// masks. Used by the FedAvg update rule.
+func (m *Sequential) AddDeltaVector(alpha float64, delta []float64) {
+	if len(delta) != m.NumParams() {
+		panic(fmt.Sprintf("nn: AddDeltaVector length %d, want %d", len(delta), m.NumParams()))
+	}
+	off := 0
+	for _, p := range m.Params() {
+		n := p.Value.Len()
+		data := p.Value.Data
+		for i := 0; i < n; i++ {
+			data[i] += alpha * delta[off+i]
+		}
+		off += n
+	}
+	m.EnforceMasks()
+}
+
+// FreezeStats freezes every batch-normalization layer of m so that
+// training-mode passes use the running statistics as constants (no batch
+// statistics, no stat updates). Gradient-based input optimization against
+// a fixed model (trigger reverse-engineering) requires this.
+func FreezeStats(m *Sequential) {
+	for _, l := range m.layers {
+		if bn, ok := l.(*BatchNorm2D); ok {
+			bn.Freeze()
+		}
+	}
+}
+
+// RestoreFrom replaces this model's layers with deep copies of src's
+// layers (parameters, prune masks and statistics). Both models must have
+// the same architecture. It lets callers holding a *Sequential roll the
+// model back to a snapshot taken with Clone.
+func (m *Sequential) RestoreFrom(src *Sequential) {
+	if len(m.layers) != len(src.layers) {
+		panic(fmt.Sprintf("nn: RestoreFrom layer count %d, want %d", len(src.layers), len(m.layers)))
+	}
+	for i, l := range src.layers {
+		m.layers[i] = l.CloneLayer()
+	}
+}
+
+// StatMask returns a flat boolean mask over ParamsVector positions marking
+// Stat parameters (batch-norm running statistics). Attackers that scale
+// their update (model replacement) use it to leave statistics unscaled.
+func (m *Sequential) StatMask() []bool {
+	mask := make([]bool, 0, m.NumParams())
+	for _, p := range m.Params() {
+		for i := 0; i < p.Value.Len(); i++ {
+			mask = append(mask, p.Stat)
+		}
+	}
+	return mask
+}
+
+// EnforceMasks re-applies the prune mask of every Prunable layer.
+func (m *Sequential) EnforceMasks() {
+	for _, l := range m.layers {
+		if p, ok := l.(Prunable); ok {
+			p.EnforceMask()
+		}
+	}
+}
+
+// PrunableLayers returns the indices of layers implementing Prunable, in
+// network order.
+func (m *Sequential) PrunableLayers() []int {
+	var idx []int
+	for i, l := range m.layers {
+		if _, ok := l.(Prunable); ok {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// PruneModelUnit prunes output unit u of the Prunable layer at index li
+// and, when the immediately following layer is a BatchNorm2D, prunes the
+// same channel there too (otherwise normalization would re-inflate the
+// dead channel's zeros into a non-zero bias). It panics if layer li is not
+// Prunable.
+func (m *Sequential) PruneModelUnit(li, u int) {
+	p, ok := m.layers[li].(Prunable)
+	if !ok {
+		panic(fmt.Sprintf("nn: layer %d (%s) is not prunable", li, m.layers[li].Name()))
+	}
+	p.PruneUnit(u)
+	if li+1 < len(m.layers) {
+		if bn, ok := m.layers[li+1].(*BatchNorm2D); ok {
+			bn.PruneUnit(u)
+		}
+	}
+}
+
+// LastConvIndex returns the index of the last Conv2D layer, or -1 if the
+// network has none. The paper's pruning and weight-adjustment steps target
+// this layer.
+func (m *Sequential) LastConvIndex() int {
+	for i := len(m.layers) - 1; i >= 0; i-- {
+		if _, ok := m.layers[i].(*Conv2D); ok {
+			return i
+		}
+	}
+	return -1
+}
+
+// LayerIndexByName returns the index of the first layer with the given
+// name, or -1.
+func (m *Sequential) LayerIndexByName(name string) int {
+	for i, l := range m.layers {
+		if l.Name() == name {
+			return i
+		}
+	}
+	return -1
+}

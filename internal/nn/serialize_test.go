@@ -1,0 +1,105 @@
+package nn
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"github.com/fedcleanse/fedcleanse/internal/tensor"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(90))
+	in := Input{C: 1, H: 16, W: 16}
+	m := NewSmallCNN(in, 10, rng)
+	m.PruneModelUnit(m.LastConvIndex(), 2)
+	var buf bytes.Buffer
+	if err := Save(&buf, "small", in, 10, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := m.ParamsVector(), got.ParamsVector()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("param %d differs after round trip", i)
+		}
+	}
+	conv := got.Layer(m.LastConvIndex()).(*Conv2D)
+	if !conv.UnitPruned(2) || conv.PrunedCount() != 1 {
+		t.Fatal("prune mask lost in round trip")
+	}
+	// Loaded model must evaluate identically.
+	x := tensor.New(2, 1, 16, 16)
+	x.Randn(rng, 1)
+	if !m.Forward(x, false).Equal(got.Forward(x, false), 0) {
+		t.Fatal("loaded model evaluates differently")
+	}
+}
+
+func TestSaveLoadMiniVGGWithStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	in := Input{C: 3, H: 16, W: 16}
+	m := NewMiniVGG(in, 10, rng)
+	// Push the running statistics away from their defaults.
+	x := tensor.New(4, 3, 16, 16)
+	x.Randn(rng, 2)
+	m.Forward(x, true)
+	var buf bytes.Buffer
+	if err := Save(&buf, "minivgg", in, 10, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Forward(x, false).Equal(got.Forward(x, false), 0) {
+		t.Fatal("running statistics lost in round trip")
+	}
+}
+
+func TestSaveRejectsUnknownBuilder(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	m := NewSmallCNN(Input{C: 1, H: 16, W: 16}, 10, rng)
+	var buf bytes.Buffer
+	if err := Save(&buf, "resnet", Input{C: 1, H: 16, W: 16}, 10, m); err == nil {
+		t.Fatal("unknown builder accepted")
+	}
+}
+
+func TestLoadRejectsCorruptSnapshots(t *testing.T) {
+	// Garbage bytes.
+	if _, err := Load(bytes.NewReader([]byte("not a snapshot"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Wrong parameter count.
+	rng := rand.New(rand.NewSource(93))
+	in := Input{C: 1, H: 16, W: 16}
+	m := NewSmallCNN(in, 10, rng)
+	var buf bytes.Buffer
+	if err := Save(&buf, "small", in, 10, m); err != nil {
+		t.Fatal(err)
+	}
+	// Corruption: declare classes=3 in a fresh snapshot with the old
+	// parameter vector so the parameter count mismatches.
+	bad := Snapshot{Builder: "small", Input: in, Classes: 3, Params: m.ParamsVector()}
+	var buf2 bytes.Buffer
+	if err := encodeSnapshot(&buf2, bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&buf2); err == nil {
+		t.Fatal("mismatched parameter count accepted")
+	}
+	// Mask for a non-prunable layer.
+	bad = Snapshot{Builder: "small", Input: in, Classes: 10,
+		Params: m.ParamsVector(), Masks: map[int][]bool{1: {true}}}
+	var buf3 bytes.Buffer
+	if err := encodeSnapshot(&buf3, bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&buf3); err == nil {
+		t.Fatal("mask on non-prunable layer accepted")
+	}
+}

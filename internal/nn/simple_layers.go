@@ -1,0 +1,197 @@
+package nn
+
+import (
+	"fmt"
+
+	"github.com/fedcleanse/fedcleanse/internal/tensor"
+)
+
+// ReLU applies max(0, x) element-wise.
+type ReLU struct {
+	name string
+	mask []bool // true where input > 0 in the last training forward
+}
+
+var _ Layer = (*ReLU)(nil)
+
+// NewReLU returns a named ReLU layer.
+func NewReLU(name string) *ReLU { return &ReLU{name: name} }
+
+// Name implements Layer.
+func (l *ReLU) Name() string { return l.name }
+
+// Forward implements Layer.
+func (l *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := x.Clone()
+	if train {
+		if cap(l.mask) < len(out.Data) {
+			l.mask = make([]bool, len(out.Data))
+		}
+		l.mask = l.mask[:len(out.Data)]
+	}
+	for i, v := range out.Data {
+		pos := v > 0
+		if !pos {
+			out.Data[i] = 0
+		}
+		if train {
+			l.mask[i] = pos
+		}
+	}
+	if !train {
+		l.mask = nil
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (l *ReLU) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	if l.mask == nil {
+		panic(fmt.Sprintf("nn: %s: Backward without training Forward", l.name))
+	}
+	dx := dout.Clone()
+	for i := range dx.Data {
+		if !l.mask[i] {
+			dx.Data[i] = 0
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (l *ReLU) Params() []*Param { return nil }
+
+// CloneLayer implements Layer.
+func (l *ReLU) CloneLayer() Layer { return &ReLU{name: l.name} }
+
+// Flatten reshapes (N, ...) batches to (N, D).
+type Flatten struct {
+	name    string
+	inShape []int
+}
+
+var _ Layer = (*Flatten)(nil)
+
+// NewFlatten returns a named Flatten layer.
+func NewFlatten(name string) *Flatten { return &Flatten{name: name} }
+
+// Name implements Layer.
+func (l *Flatten) Name() string { return l.name }
+
+// Forward implements Layer.
+func (l *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if train {
+		l.inShape = x.Shape()
+	}
+	n := x.Dim(0)
+	return x.Reshape(n, x.Len()/n)
+}
+
+// Backward implements Layer.
+func (l *Flatten) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	if l.inShape == nil {
+		panic(fmt.Sprintf("nn: %s: Backward without training Forward", l.name))
+	}
+	return dout.Reshape(l.inShape...)
+}
+
+// Params implements Layer.
+func (l *Flatten) Params() []*Param { return nil }
+
+// CloneLayer implements Layer.
+func (l *Flatten) CloneLayer() Layer { return &Flatten{name: l.name} }
+
+// MaxPool2D performs non-overlapping (or strided) 2-D max pooling over NCHW
+// batches.
+type MaxPool2D struct {
+	name   string
+	size   int
+	stride int
+
+	inShape []int
+	argmax  []int // flat input index chosen for each output element
+}
+
+var _ Layer = (*MaxPool2D)(nil)
+
+// NewMaxPool2D builds a max-pooling layer with a square window.
+func NewMaxPool2D(name string, size, stride int) *MaxPool2D {
+	if size <= 0 || stride <= 0 {
+		panic(fmt.Sprintf("nn: %s: bad pool size/stride %d/%d", name, size, stride))
+	}
+	return &MaxPool2D{name: name, size: size, stride: stride}
+}
+
+// Name implements Layer.
+func (l *MaxPool2D) Name() string { return l.name }
+
+// Forward implements Layer for x of shape (N, C, H, W).
+func (l *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 4 {
+		panic(fmt.Sprintf("nn: %s: input rank %d, want 4", l.name, x.Rank()))
+	}
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	outH := (h-l.size)/l.stride + 1
+	outW := (w-l.size)/l.stride + 1
+	if outH <= 0 || outW <= 0 {
+		panic(fmt.Sprintf("nn: %s: window %d too large for %d×%d input", l.name, l.size, h, w))
+	}
+	out := tensor.New(n, c, outH, outW)
+	if train {
+		l.inShape = x.Shape()
+		if cap(l.argmax) < out.Len() {
+			l.argmax = make([]int, out.Len())
+		}
+		l.argmax = l.argmax[:out.Len()]
+	} else {
+		l.argmax = nil
+	}
+	oi := 0
+	for s := 0; s < n; s++ {
+		for ch := 0; ch < c; ch++ {
+			base := (s*c + ch) * h * w
+			for oy := 0; oy < outH; oy++ {
+				for ox := 0; ox < outW; ox++ {
+					iy0, ix0 := oy*l.stride, ox*l.stride
+					bestIdx := base + iy0*w + ix0
+					best := x.Data[bestIdx]
+					for ky := 0; ky < l.size; ky++ {
+						rowBase := base + (iy0+ky)*w
+						for kx := 0; kx < l.size; kx++ {
+							idx := rowBase + ix0 + kx
+							if x.Data[idx] > best {
+								best, bestIdx = x.Data[idx], idx
+							}
+						}
+					}
+					out.Data[oi] = best
+					if train {
+						l.argmax[oi] = bestIdx
+					}
+					oi++
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (l *MaxPool2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	if l.argmax == nil {
+		panic(fmt.Sprintf("nn: %s: Backward without training Forward", l.name))
+	}
+	dx := tensor.New(l.inShape...)
+	for oi, v := range dout.Data {
+		dx.Data[l.argmax[oi]] += v
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (l *MaxPool2D) Params() []*Param { return nil }
+
+// CloneLayer implements Layer.
+func (l *MaxPool2D) CloneLayer() Layer {
+	return &MaxPool2D{name: l.name, size: l.size, stride: l.stride}
+}

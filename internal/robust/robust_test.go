@@ -1,0 +1,189 @@
+package robust
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// cluster returns n vectors near center plus outliers far away.
+func cluster(rng *rand.Rand, n, dim int, center, spread float64) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		v := make([]float64, dim)
+		for j := range v {
+			v[j] = center + rng.NormFloat64()*spread
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func TestKrumPicksClusterMember(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	deltas := cluster(rng, 8, 10, 0, 0.1)
+	// Two far outliers.
+	deltas = append(deltas, cluster(rng, 2, 10, 50, 0.1)...)
+	k := Krum{F: 2}
+	sel := k.Select(deltas, 1)[0]
+	if sel >= 8 {
+		t.Fatalf("Krum selected outlier %d", sel)
+	}
+	agg := k.Aggregate(deltas)
+	for _, v := range agg {
+		if math.Abs(v) > 1 {
+			t.Fatalf("Krum aggregate far from cluster: %g", v)
+		}
+	}
+}
+
+func TestMultiKrumAveragesSelection(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	deltas := cluster(rng, 6, 5, 1, 0.05)
+	deltas = append(deltas, cluster(rng, 2, 5, -40, 0.05)...)
+	agg := MultiKrum{F: 2, M: 4}.Aggregate(deltas)
+	for _, v := range agg {
+		if math.Abs(v-1) > 0.5 {
+			t.Fatalf("MultiKrum aggregate %g, want near 1", v)
+		}
+	}
+}
+
+func TestTrimmedMeanDiscardsExtremes(t *testing.T) {
+	deltas := [][]float64{
+		{1}, {2}, {3}, {1000}, {-1000},
+	}
+	agg := TrimmedMean{Trim: 1}.Aggregate(deltas)
+	if math.Abs(agg[0]-2) > 1e-9 {
+		t.Fatalf("trimmed mean = %g, want 2", agg[0])
+	}
+}
+
+func TestMedianOddEven(t *testing.T) {
+	odd := [][]float64{{1}, {9}, {5}}
+	if got := (Median{}).Aggregate(odd)[0]; got != 5 {
+		t.Fatalf("odd median = %g, want 5", got)
+	}
+	even := [][]float64{{1}, {3}, {7}, {9}}
+	if got := (Median{}).Aggregate(even)[0]; got != 5 {
+		t.Fatalf("even median = %g, want 5", got)
+	}
+}
+
+// Property: the median aggregate is bounded by honest values when honest
+// clients form a majority — a single attacker cannot move any coordinate
+// outside the honest range.
+func TestMedianRobustProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + 2*r.Intn(3) // odd population: 3, 5, 7
+		dim := 1 + r.Intn(5)
+		deltas := make([][]float64, n)
+		lo, hi := make([]float64, dim), make([]float64, dim)
+		for j := range lo {
+			lo[j] = math.Inf(1)
+			hi[j] = math.Inf(-1)
+		}
+		for i := 0; i < n-1; i++ { // honest
+			v := make([]float64, dim)
+			for j := range v {
+				v[j] = r.NormFloat64()
+				if v[j] < lo[j] {
+					lo[j] = v[j]
+				}
+				if v[j] > hi[j] {
+					hi[j] = v[j]
+				}
+			}
+			deltas[i] = v
+		}
+		// One attacker with huge values.
+		atk := make([]float64, dim)
+		for j := range atk {
+			atk[j] = 1e6 * r.NormFloat64()
+		}
+		deltas[n-1] = atk
+		agg := (Median{}).Aggregate(deltas)
+		for j, v := range agg {
+			if v < lo[j]-1e-9 || v > hi[j]+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: trimmed mean with Trim ≥ #attackers is bounded by honest
+// values per coordinate.
+func TestTrimmedMeanRobustProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 5 + r.Intn(4)
+		dim := 1 + r.Intn(4)
+		deltas := make([][]float64, n)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := 0; i < n-1; i++ {
+			v := make([]float64, dim)
+			for j := range v {
+				v[j] = r.NormFloat64()
+				if v[j] < lo {
+					lo = v[j]
+				}
+				if v[j] > hi {
+					hi = v[j]
+				}
+			}
+			deltas[i] = v
+		}
+		atk := make([]float64, dim)
+		for j := range atk {
+			atk[j] = 1e9
+		}
+		deltas[n-1] = atk
+		agg := TrimmedMean{Trim: 1}.Aggregate(deltas)
+		for _, v := range agg {
+			if v < lo-1e-9 || v > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBulyanNearHonestMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	deltas := cluster(rng, 8, 6, 2, 0.1)
+	deltas = append(deltas, cluster(rng, 1, 6, -100, 0.1)...)
+	agg := Bulyan{F: 1}.Aggregate(deltas)
+	for _, v := range agg {
+		if math.Abs(v-2) > 0.5 {
+			t.Fatalf("Bulyan aggregate %g, want near 2", v)
+		}
+	}
+}
+
+func TestAggregatorsPanicOnEmpty(t *testing.T) {
+	for _, f := range []func(){
+		func() { Krum{}.Aggregate(nil) },
+		func() { TrimmedMean{}.Aggregate(nil) },
+		func() { Median{}.Aggregate(nil) },
+		func() { Bulyan{}.Aggregate(nil) },
+		func() { TrimmedMean{Trim: 2}.Aggregate([][]float64{{1}, {2}, {3}}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("empty/invalid input accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}

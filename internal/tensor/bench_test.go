@@ -1,0 +1,58 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Micro-benchmarks for the numeric kernels the whole training stack sits
+// on. ns/op here multiplies through every federated experiment.
+
+func benchMat(b *testing.B, m, k, n int) {
+	rng := rand.New(rand.NewSource(1))
+	a := New(m, k)
+	a.Randn(rng, 1)
+	bb := New(k, n)
+	bb.Randn(rng, 1)
+	dst := New(m, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulInto(dst, a, bb)
+	}
+	b.SetBytes(int64(8 * (m*k + k*n + m*n)))
+}
+
+func BenchmarkMatMul16x144x64(b *testing.B)   { benchMat(b, 16, 144, 64) } // conv2 of SmallCNN
+func BenchmarkMatMul64x256x64(b *testing.B)   { benchMat(b, 64, 256, 64) } // dense layers
+func BenchmarkMatMul128x128x128(b *testing.B) { benchMat(b, 128, 128, 128) }
+
+func BenchmarkIm2Col16x16(b *testing.B) {
+	d := ConvDims{C: 8, H: 16, W: 16, K: 3, Stride: 1, Pad: 1}
+	img := make([]float64, d.C*d.H*d.W)
+	rng := rand.New(rand.NewSource(2))
+	for i := range img {
+		img[i] = rng.NormFloat64()
+	}
+	dst := make([]float64, d.C*d.K*d.K*d.OutH()*d.OutW())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Im2Col(img, d, dst)
+	}
+}
+
+func BenchmarkCol2Im16x16(b *testing.B) {
+	d := ConvDims{C: 8, H: 16, W: 16, K: 3, Stride: 1, Pad: 1}
+	col := make([]float64, d.C*d.K*d.K*d.OutH()*d.OutW())
+	rng := rand.New(rand.NewSource(3))
+	for i := range col {
+		col[i] = rng.NormFloat64()
+	}
+	dst := make([]float64, d.C*d.H*d.W)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range dst {
+			dst[j] = 0
+		}
+		Col2Im(col, d, dst)
+	}
+}

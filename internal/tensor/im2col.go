@@ -1,0 +1,118 @@
+package tensor
+
+import "fmt"
+
+// ConvDims describes a 2-D convolution geometry over a C×H×W input.
+type ConvDims struct {
+	C, H, W int // input channels, height, width
+	K       int // square kernel size
+	Stride  int
+	Pad     int
+}
+
+// OutH returns the output height of the convolution.
+func (d ConvDims) OutH() int { return (d.H+2*d.Pad-d.K)/d.Stride + 1 }
+
+// OutW returns the output width of the convolution.
+func (d ConvDims) OutW() int { return (d.W+2*d.Pad-d.K)/d.Stride + 1 }
+
+// Validate reports an error if the geometry is degenerate.
+func (d ConvDims) Validate() error {
+	switch {
+	case d.C <= 0 || d.H <= 0 || d.W <= 0:
+		return fmt.Errorf("tensor: conv dims %+v: non-positive input", d)
+	case d.K <= 0 || d.Stride <= 0 || d.Pad < 0:
+		return fmt.Errorf("tensor: conv dims %+v: bad kernel/stride/pad", d)
+	case d.OutH() <= 0 || d.OutW() <= 0:
+		return fmt.Errorf("tensor: conv dims %+v: empty output", d)
+	}
+	return nil
+}
+
+// Im2Col unrolls a single C×H×W image (flat slice img) into dst, a
+// (C·K·K)×(OutH·OutW) column matrix in row-major order. Padding positions
+// contribute zeros. dst must have length C·K·K·OutH·OutW.
+//
+// The unrolled layout pairs with a weight matrix of shape (F, C·K·K): the
+// convolution then becomes a single MatMul producing (F, OutH·OutW).
+func Im2Col(img []float64, d ConvDims, dst []float64) {
+	outH, outW := d.OutH(), d.OutW()
+	cols := outH * outW
+	if len(img) != d.C*d.H*d.W {
+		panic(fmt.Sprintf("tensor: Im2Col image length %d, want %d", len(img), d.C*d.H*d.W))
+	}
+	if len(dst) != d.C*d.K*d.K*cols {
+		panic(fmt.Sprintf("tensor: Im2Col dst length %d, want %d", len(dst), d.C*d.K*d.K*cols))
+	}
+	row := 0
+	for c := 0; c < d.C; c++ {
+		chanBase := c * d.H * d.W
+		for ky := 0; ky < d.K; ky++ {
+			for kx := 0; kx < d.K; kx++ {
+				drow := dst[row*cols : (row+1)*cols]
+				i := 0
+				for oy := 0; oy < outH; oy++ {
+					iy := oy*d.Stride + ky - d.Pad
+					if iy < 0 || iy >= d.H {
+						for ox := 0; ox < outW; ox++ {
+							drow[i] = 0
+							i++
+						}
+						continue
+					}
+					rowBase := chanBase + iy*d.W
+					for ox := 0; ox < outW; ox++ {
+						ix := ox*d.Stride + kx - d.Pad
+						if ix < 0 || ix >= d.W {
+							drow[i] = 0
+						} else {
+							drow[i] = img[rowBase+ix]
+						}
+						i++
+					}
+				}
+				row++
+			}
+		}
+	}
+}
+
+// Col2Im scatters a (C·K·K)×(OutH·OutW) column-gradient matrix back into a
+// C×H×W image gradient, accumulating overlapping contributions. dst must be
+// zeroed by the caller if fresh accumulation is desired.
+func Col2Im(col []float64, d ConvDims, dst []float64) {
+	outH, outW := d.OutH(), d.OutW()
+	cols := outH * outW
+	if len(dst) != d.C*d.H*d.W {
+		panic(fmt.Sprintf("tensor: Col2Im dst length %d, want %d", len(dst), d.C*d.H*d.W))
+	}
+	if len(col) != d.C*d.K*d.K*cols {
+		panic(fmt.Sprintf("tensor: Col2Im col length %d, want %d", len(col), d.C*d.K*d.K*cols))
+	}
+	row := 0
+	for c := 0; c < d.C; c++ {
+		chanBase := c * d.H * d.W
+		for ky := 0; ky < d.K; ky++ {
+			for kx := 0; kx < d.K; kx++ {
+				crow := col[row*cols : (row+1)*cols]
+				i := 0
+				for oy := 0; oy < outH; oy++ {
+					iy := oy*d.Stride + ky - d.Pad
+					if iy < 0 || iy >= d.H {
+						i += outW
+						continue
+					}
+					rowBase := chanBase + iy*d.W
+					for ox := 0; ox < outW; ox++ {
+						ix := ox*d.Stride + kx - d.Pad
+						if ix >= 0 && ix < d.W {
+							dst[rowBase+ix] += crow[i]
+						}
+						i++
+					}
+				}
+				row++
+			}
+		}
+	}
+}

@@ -1,0 +1,296 @@
+// Package transport runs the federated protocol over real network
+// connections: each client is an HTTP server speaking a small gob-encoded
+// message protocol, and the aggregation server drives rounds through
+// RemoteClient stubs. The in-process simulator (internal/fl) and this
+// package share all interfaces, so a federation can mix local and remote
+// participants; the transport tests verify bit-identical results between
+// the two.
+//
+// The protocol has four endpoints, mirroring what the paper's server asks
+// of clients:
+//
+//	POST /v1/update    — one round of local training; returns the delta
+//	POST /v1/ranks     — RAP rank report for a layer
+//	POST /v1/votes     — MVP vote report for a layer at a rate
+//	POST /v1/accuracy  — client-reported accuracy (pruning feedback)
+//
+// Bodies are gob-encoded request/response structs. Model parameters travel
+// as flat vectors; both sides hold the architecture (as in cross-silo FL
+// deployments, where the model definition ships with the software).
+package transport
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/fedcleanse/fedcleanse/internal/core"
+	"github.com/fedcleanse/fedcleanse/internal/dataset"
+	"github.com/fedcleanse/fedcleanse/internal/fl"
+	"github.com/fedcleanse/fedcleanse/internal/nn"
+)
+
+// Protocol messages.
+
+// UpdateRequest asks the client for one round of local training from the
+// given global parameters.
+type UpdateRequest struct {
+	Global []float64
+	Round  int
+}
+
+// UpdateResponse carries the client's update delta.
+type UpdateResponse struct {
+	Delta []float64
+}
+
+// RankRequest asks for the client's RAP rank report on a layer of the
+// model described by the global parameters.
+type RankRequest struct {
+	Global []float64
+	Layer  int
+}
+
+// RankResponse carries the rank report.
+type RankResponse struct {
+	Ranks []int
+}
+
+// VoteRequest asks for the client's MVP vote report at a pruning rate.
+type VoteRequest struct {
+	Global []float64
+	Layer  int
+	Rate   float64
+}
+
+// VoteResponse carries the vote report.
+type VoteResponse struct {
+	Votes []bool
+}
+
+// AccuracyRequest asks the client to evaluate the given parameters on its
+// local data.
+type AccuracyRequest struct {
+	Global []float64
+}
+
+// AccuracyResponse carries the reported accuracy.
+type AccuracyResponse struct {
+	Accuracy float64
+}
+
+// participant is the full client-side surface the transport exposes.
+type participant interface {
+	fl.Participant
+	core.ReportClient
+	core.AccuracyReporter
+}
+
+// ClientServer exposes one federated participant over HTTP.
+type ClientServer struct {
+	part participant
+	// template provides the model architecture for report requests.
+	template *nn.Sequential
+
+	mu       sync.Mutex // serializes access to the participant
+	listener net.Listener
+	server   *http.Server
+}
+
+// NewClientServer wraps a participant (an fl.Client or fl.Attacker; both
+// implement the defense reporting interfaces). template provides the model
+// architecture and is cloned per request model reconstruction.
+func NewClientServer(part participant, template *nn.Sequential) *ClientServer {
+	return &ClientServer{part: part, template: template.Clone()}
+}
+
+// Serve starts listening on addr ("127.0.0.1:0" for an ephemeral port) and
+// serves until Shutdown. It returns the bound address.
+func (cs *ClientServer) Serve(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("transport: listen: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/update", cs.handleUpdate)
+	mux.HandleFunc("/v1/ranks", cs.handleRanks)
+	mux.HandleFunc("/v1/votes", cs.handleVotes)
+	mux.HandleFunc("/v1/accuracy", cs.handleAccuracy)
+	cs.listener = ln
+	cs.server = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	go func() {
+		// Serve exits with ErrServerClosed on Shutdown; other errors are
+		// surfaced through failed client calls.
+		_ = cs.server.Serve(ln)
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Shutdown stops the server.
+func (cs *ClientServer) Shutdown(ctx context.Context) error {
+	if cs.server == nil {
+		return nil
+	}
+	return cs.server.Shutdown(ctx)
+}
+
+// modelFor reconstructs a model with the given parameters.
+func (cs *ClientServer) modelFor(global []float64) *nn.Sequential {
+	m := cs.template.Clone()
+	m.SetParamsVector(global)
+	return m
+}
+
+func (cs *ClientServer) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	var req UpdateRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	cs.mu.Lock()
+	delta := cs.part.LocalUpdate(req.Global, req.Round)
+	cs.mu.Unlock()
+	encodeBody(w, UpdateResponse{Delta: delta})
+}
+
+func (cs *ClientServer) handleRanks(w http.ResponseWriter, r *http.Request) {
+	var req RankRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	cs.mu.Lock()
+	ranks := cs.part.RankReport(cs.modelFor(req.Global), req.Layer)
+	cs.mu.Unlock()
+	encodeBody(w, RankResponse{Ranks: ranks})
+}
+
+func (cs *ClientServer) handleVotes(w http.ResponseWriter, r *http.Request) {
+	var req VoteRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	cs.mu.Lock()
+	votes := cs.part.VoteReport(cs.modelFor(req.Global), req.Layer, req.Rate)
+	cs.mu.Unlock()
+	encodeBody(w, VoteResponse{Votes: votes})
+}
+
+func (cs *ClientServer) handleAccuracy(w http.ResponseWriter, r *http.Request) {
+	var req AccuracyRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	cs.mu.Lock()
+	acc := cs.part.ReportAccuracy(cs.modelFor(req.Global))
+	cs.mu.Unlock()
+	encodeBody(w, AccuracyResponse{Accuracy: acc})
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return false
+	}
+	if err := gob.NewDecoder(r.Body).Decode(dst); err != nil {
+		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func encodeBody(w http.ResponseWriter, v any) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-gob")
+	_, _ = w.Write(buf.Bytes())
+}
+
+// RemoteClient is the server-side stub for a client reachable over HTTP.
+// It implements fl.Participant, core.ReportClient and
+// core.AccuracyReporter, so it drops into both federated training and the
+// defense pipeline.
+type RemoteClient struct {
+	id      int
+	baseURL string
+	httpc   *http.Client
+}
+
+var (
+	_ fl.Participant        = (*RemoteClient)(nil)
+	_ core.ReportClient     = (*RemoteClient)(nil)
+	_ core.AccuracyReporter = (*RemoteClient)(nil)
+)
+
+// NewRemoteClient builds a stub for the client server at addr
+// (host:port).
+func NewRemoteClient(id int, addr string) *RemoteClient {
+	return &RemoteClient{
+		id:      id,
+		baseURL: "http://" + addr,
+		httpc:   &http.Client{Timeout: 5 * time.Minute},
+	}
+}
+
+// ID implements fl.Participant.
+func (rc *RemoteClient) ID() int { return rc.id }
+
+// Dataset implements fl.Participant. Remote clients never expose their
+// data — that is the point of federated learning — so it returns nil; the
+// defense uses the report endpoints instead.
+func (rc *RemoteClient) Dataset() *dataset.Dataset { return nil }
+
+// LocalUpdate implements fl.Participant over the wire. Transport errors
+// panic: the synchronous round protocol has no partial-failure story at
+// this layer (fl.Server's failure-injection tests exercise participant
+// dropout separately).
+func (rc *RemoteClient) LocalUpdate(global []float64, round int) []float64 {
+	var resp UpdateResponse
+	rc.call("/v1/update", UpdateRequest{Global: global, Round: round}, &resp)
+	return resp.Delta
+}
+
+// RankReport implements core.ReportClient over the wire.
+func (rc *RemoteClient) RankReport(m *nn.Sequential, layerIdx int) []int {
+	var resp RankResponse
+	rc.call("/v1/ranks", RankRequest{Global: m.ParamsVector(), Layer: layerIdx}, &resp)
+	return resp.Ranks
+}
+
+// VoteReport implements core.ReportClient over the wire.
+func (rc *RemoteClient) VoteReport(m *nn.Sequential, layerIdx int, p float64) []bool {
+	var resp VoteResponse
+	rc.call("/v1/votes", VoteRequest{Global: m.ParamsVector(), Layer: layerIdx, Rate: p}, &resp)
+	return resp.Votes
+}
+
+// ReportAccuracy implements core.AccuracyReporter over the wire.
+func (rc *RemoteClient) ReportAccuracy(m *nn.Sequential) float64 {
+	var resp AccuracyResponse
+	rc.call("/v1/accuracy", AccuracyRequest{Global: m.ParamsVector()}, &resp)
+	return resp.Accuracy
+}
+
+func (rc *RemoteClient) call(path string, req, resp any) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(req); err != nil {
+		panic(fmt.Sprintf("transport: encode %s: %v", path, err))
+	}
+	httpResp, err := rc.httpc.Post(rc.baseURL+path, "application/x-gob", &buf)
+	if err != nil {
+		panic(fmt.Sprintf("transport: %s: %v", path, err))
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		panic(fmt.Sprintf("transport: %s: HTTP %d", path, httpResp.StatusCode))
+	}
+	if err := gob.NewDecoder(httpResp.Body).Decode(resp); err != nil {
+		panic(fmt.Sprintf("transport: decode %s: %v", path, err))
+	}
+}

@@ -1,0 +1,176 @@
+package transport
+
+import (
+	"context"
+	"math/rand"
+	"net/http"
+	"testing"
+
+	"github.com/fedcleanse/fedcleanse/internal/core"
+	"github.com/fedcleanse/fedcleanse/internal/dataset"
+	"github.com/fedcleanse/fedcleanse/internal/fl"
+	"github.com/fedcleanse/fedcleanse/internal/metrics"
+	"github.com/fedcleanse/fedcleanse/internal/nn"
+)
+
+// buildPopulation creates the same clients twice: once as in-process
+// participants, once wrapped behind HTTP servers with remote stubs. The
+// returned shutdown func stops all servers.
+func buildPopulation(t *testing.T) (local []fl.Participant, remote []fl.Participant,
+	template *nn.Sequential, test *dataset.Dataset, shutdown func()) {
+	t.Helper()
+	train, testDS := dataset.GenSynthMNIST(dataset.GenConfig{TrainPerClass: 30, TestPerClass: 10, Seed: 50})
+	rng := rand.New(rand.NewSource(51))
+	template = nn.NewSmallCNN(nn.Input{C: 1, H: 16, W: 16}, 10, rng)
+	cfg := fl.Config{Rounds: 2, LocalEpochs: 1, BatchSize: 20, LR: 0.05}
+
+	mkClients := func() []fl.Participant {
+		// Shards must be rebuilt identically for each population because
+		// clients shuffle them in place during training.
+		shards := dataset.PartitionKLabelForced(train, 3, 3, 40,
+			rand.New(rand.NewSource(52)), 9, 1)
+		poison := dataset.PoisonConfig{
+			Trigger:     dataset.PixelPattern(3, train.Shape),
+			VictimLabel: 9, TargetLabel: 1,
+		}
+		atk := fl.NewAttacker(0, shards[0], template, cfg, poison, 2, 53)
+		return []fl.Participant{
+			atk,
+			fl.NewClient(1, shards[1], template, cfg, 54),
+			fl.NewClient(2, shards[2], template, cfg, 55),
+		}
+	}
+
+	local = mkClients()
+	var servers []*ClientServer
+	for _, p := range mkClients() {
+		cs := NewClientServer(p.(interface {
+			fl.Participant
+			core.ReportClient
+			core.AccuracyReporter
+		}), template)
+		addr, err := cs.Serve("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers = append(servers, cs)
+		remote = append(remote, NewRemoteClient(p.ID(), addr))
+	}
+	shutdown = func() {
+		for _, s := range servers {
+			_ = s.Shutdown(context.Background())
+		}
+	}
+	return local, remote, template, testDS, shutdown
+}
+
+// TestRemoteMatchesLocalTraining is the transport equivalence test: two
+// federated rounds over real loopback HTTP must produce bit-identical
+// global parameters to the in-process simulation.
+func TestRemoteMatchesLocalTraining(t *testing.T) {
+	local, remote, template, _, shutdown := buildPopulation(t)
+	defer shutdown()
+	cfg := fl.Config{Rounds: 2, LocalEpochs: 1, BatchSize: 20, LR: 0.05}
+
+	srvLocal := fl.NewServer(template, local, cfg, 60)
+	srvRemote := fl.NewServer(template, remote, cfg, 60)
+	srvLocal.Train(nil)
+	srvRemote.Train(nil)
+
+	a, b := srvLocal.Model.ParamsVector(), srvRemote.Model.ParamsVector()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("remote and local training diverge at param %d: %g vs %g", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRemoteReports(t *testing.T) {
+	local, remote, template, _, shutdown := buildPopulation(t)
+	defer shutdown()
+	li := template.LastConvIndex()
+
+	lc := local[1].(core.ReportClient)
+	rc := remote[1].(core.ReportClient)
+	lr, rr := lc.RankReport(template, li), rc.RankReport(template, li)
+	for i := range lr {
+		if lr[i] != rr[i] {
+			t.Fatalf("rank report differs at %d", i)
+		}
+	}
+	lv, rv := lc.VoteReport(template, li, 0.5), rc.VoteReport(template, li, 0.5)
+	for i := range lv {
+		if lv[i] != rv[i] {
+			t.Fatalf("vote report differs at %d", i)
+		}
+	}
+	la := local[1].(core.AccuracyReporter).ReportAccuracy(template)
+	ra := remote[1].(core.AccuracyReporter).ReportAccuracy(template)
+	if la != ra {
+		t.Fatalf("accuracy report differs: %g vs %g", la, ra)
+	}
+}
+
+// TestRemoteDefensePipeline runs the full defense over the wire.
+func TestRemoteDefensePipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("network defense pipeline is slow")
+	}
+	_, remote, template, test, shutdown := buildPopulation(t)
+	defer shutdown()
+	cfg := fl.Config{Rounds: 2, LocalEpochs: 1, BatchSize: 20, LR: 0.05}
+	srv := fl.NewServer(template, remote, cfg, 61)
+	srv.Train(nil)
+
+	pcfg := core.DefaultPipelineConfig()
+	pcfg.FineTuneRounds = 2
+	pcfg.FineTunePatience = 5
+	m := srv.Model.Clone()
+	evalFn := func(mm *nn.Sequential) float64 { return metrics.Accuracy(mm, test, 0) }
+	rep := core.RunPipeline(m, fl.ReportClients(remote), srv, evalFn, pcfg)
+	if rep.AccFinal <= 0 {
+		t.Fatal("pipeline over the wire produced no evaluation")
+	}
+}
+
+func TestRemoteClientPanicsOnDeadServer(t *testing.T) {
+	rc := NewRemoteClient(0, "127.0.0.1:1") // nothing listens there
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dead server did not panic")
+		}
+	}()
+	rc.LocalUpdate(make([]float64, 4), 0)
+}
+
+func TestClientServerRejectsGet(t *testing.T) {
+	local, _, template, _, shutdown := buildPopulation(t)
+	defer shutdown()
+	cs := NewClientServer(local[1].(interface {
+		fl.Participant
+		core.ReportClient
+		core.AccuracyReporter
+	}), template)
+	addr, err := cs.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cs.Shutdown(context.Background())
+	resp, err := httpGet("http://" + addr + "/v1/update")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp != 405 {
+		t.Fatalf("GET returned %d, want 405", resp)
+	}
+}
+
+// httpGet returns the status code of a GET request.
+func httpGet(url string) (int, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode, nil
+}

@@ -1,0 +1,156 @@
+// Package viz renders dataset samples, backdoor triggers and weight
+// distributions as PNG images, for documentation and for eyeballing what
+// the synthetic generators and attacks actually produce.
+package viz
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+
+	"github.com/fedcleanse/fedcleanse/internal/dataset"
+)
+
+// SampleImage converts one sample (values in [0,1]) to an image. Single-
+// channel samples render as grayscale; three-channel samples as RGB.
+func SampleImage(x []float64, s dataset.Shape) image.Image {
+	if len(x) != s.Elems() {
+		panic(fmt.Sprintf("viz: sample length %d, want %d", len(x), s.Elems()))
+	}
+	img := image.NewRGBA(image.Rect(0, 0, s.W, s.H))
+	hw := s.H * s.W
+	for y := 0; y < s.H; y++ {
+		for xx := 0; xx < s.W; xx++ {
+			var r, g, b float64
+			switch s.C {
+			case 3:
+				r = x[0*hw+y*s.W+xx]
+				g = x[1*hw+y*s.W+xx]
+				b = x[2*hw+y*s.W+xx]
+			default:
+				v := x[y*s.W+xx]
+				r, g, b = v, v, v
+			}
+			img.Set(xx, y, color.RGBA{R: to8(r), G: to8(g), B: to8(b), A: 255})
+		}
+	}
+	return img
+}
+
+// Grid tiles samples into a cols-wide grid with a 1-pixel separator.
+// Fewer samples than a full last row leave black tiles.
+func Grid(samples []dataset.Sample, s dataset.Shape, cols int) image.Image {
+	if cols <= 0 {
+		panic(fmt.Sprintf("viz: non-positive column count %d", cols))
+	}
+	rows := (len(samples) + cols - 1) / cols
+	if rows == 0 {
+		rows = 1
+	}
+	const sep = 1
+	w := cols*(s.W+sep) - sep
+	h := rows*(s.H+sep) - sep
+	out := image.NewRGBA(image.Rect(0, 0, w, h))
+	for i, sm := range samples {
+		tile := SampleImage(sm.X, s)
+		ox := (i % cols) * (s.W + sep)
+		oy := (i / cols) * (s.H + sep)
+		for y := 0; y < s.H; y++ {
+			for x := 0; x < s.W; x++ {
+				out.Set(ox+x, oy+y, tile.At(x, y))
+			}
+		}
+	}
+	return out
+}
+
+// TriggerComparison renders clean/triggered pairs side by side: for each
+// input sample, the clean version and the same sample with the trigger
+// stamped.
+func TriggerComparison(samples []dataset.Sample, s dataset.Shape, trig dataset.Trigger) image.Image {
+	var tiles []dataset.Sample
+	for _, sm := range samples {
+		tiles = append(tiles, sm)
+		p := sm.Clone()
+		trig.Apply(p.X, s)
+		tiles = append(tiles, p)
+	}
+	return Grid(tiles, s, 2)
+}
+
+// WritePNG encodes img to w.
+func WritePNG(w io.Writer, img image.Image) error {
+	if err := png.Encode(w, img); err != nil {
+		return fmt.Errorf("viz: WritePNG: %w", err)
+	}
+	return nil
+}
+
+// Histogram renders a simple bar-chart PNG of values bucketed into bins,
+// used to eyeball weight distributions before and after the AW step.
+func Histogram(values []float64, bins, width, height int) image.Image {
+	if bins <= 0 || width <= 0 || height <= 0 {
+		panic("viz: non-positive histogram geometry")
+	}
+	img := image.NewRGBA(image.Rect(0, 0, width, height))
+	for y := 0; y < height; y++ {
+		for x := 0; x < width; x++ {
+			img.Set(x, y, color.RGBA{R: 255, G: 255, B: 255, A: 255})
+		}
+	}
+	if len(values) == 0 {
+		return img
+	}
+	lo, hi := values[0], values[0]
+	for _, v := range values {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	counts := make([]int, bins)
+	for _, v := range values {
+		b := int(float64(bins) * (v - lo) / (hi - lo))
+		if b >= bins {
+			b = bins - 1
+		}
+		counts[b]++
+	}
+	maxCount := 1
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	barW := width / bins
+	if barW < 1 {
+		barW = 1
+	}
+	bar := color.RGBA{R: 40, G: 90, B: 200, A: 255}
+	for b, c := range counts {
+		barH := c * (height - 1) / maxCount
+		for x := b * barW; x < (b+1)*barW && x < width; x++ {
+			for y := height - 1; y >= height-1-barH && y >= 0; y-- {
+				img.Set(x, y, bar)
+			}
+		}
+	}
+	return img
+}
+
+func to8(v float64) uint8 {
+	if v <= 0 {
+		return 0
+	}
+	if v >= 1 {
+		return 255
+	}
+	return uint8(v*255 + 0.5)
+}

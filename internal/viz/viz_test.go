@@ -1,0 +1,102 @@
+package viz
+
+import (
+	"bytes"
+	"image/png"
+	"testing"
+
+	"github.com/fedcleanse/fedcleanse/internal/dataset"
+)
+
+func TestSampleImageGray(t *testing.T) {
+	s := dataset.Shape{C: 1, H: 2, W: 2}
+	img := SampleImage([]float64{0, 0.5, 1, 2}, s)
+	r, g, b, a := img.At(0, 0).RGBA()
+	if r != 0 || g != 0 || b != 0 || a != 0xffff {
+		t.Fatalf("black pixel rendered as %d,%d,%d,%d", r, g, b, a)
+	}
+	r, _, _, _ = img.At(1, 1).RGBA()
+	if r != 0xffff {
+		t.Fatalf("over-range pixel not clamped to white: %d", r)
+	}
+	r, _, _, _ = img.At(1, 0).RGBA()
+	if r == 0 || r == 0xffff {
+		t.Fatalf("mid-gray pixel rendered as extreme: %d", r)
+	}
+}
+
+func TestSampleImageRGB(t *testing.T) {
+	s := dataset.Shape{C: 3, H: 1, W: 1}
+	img := SampleImage([]float64{1, 0, 0}, s)
+	r, g, b, _ := img.At(0, 0).RGBA()
+	if r != 0xffff || g != 0 || b != 0 {
+		t.Fatalf("red pixel rendered as %d,%d,%d", r, g, b)
+	}
+}
+
+func TestSampleImagePanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad sample length accepted")
+		}
+	}()
+	SampleImage([]float64{1}, dataset.Shape{C: 1, H: 2, W: 2})
+}
+
+func TestGridDimensions(t *testing.T) {
+	s := dataset.Shape{C: 1, H: 4, W: 4}
+	samples := make([]dataset.Sample, 5)
+	for i := range samples {
+		samples[i] = dataset.Sample{X: make([]float64, s.Elems())}
+	}
+	img := Grid(samples, s, 2)
+	// 2 cols, 3 rows, 1px separators: w = 2*5-1 = 9, h = 3*5-1 = 14.
+	bounds := img.Bounds()
+	if bounds.Dx() != 9 || bounds.Dy() != 14 {
+		t.Fatalf("grid %dx%d, want 9x14", bounds.Dx(), bounds.Dy())
+	}
+}
+
+func TestTriggerComparisonPairs(t *testing.T) {
+	tr, _ := dataset.GenSynthMNIST(dataset.GenConfig{TrainPerClass: 1, TestPerClass: 1, Seed: 1})
+	trig := dataset.PixelPattern(3, tr.Shape)
+	img := TriggerComparison(tr.Samples[:3], tr.Shape, trig)
+	// 3 pairs → 2 cols × 3 rows of 16px tiles + separators.
+	bounds := img.Bounds()
+	if bounds.Dx() != 2*17-1 || bounds.Dy() != 3*17-1 {
+		t.Fatalf("comparison %dx%d", bounds.Dx(), bounds.Dy())
+	}
+}
+
+func TestWritePNGDecodes(t *testing.T) {
+	s := dataset.Shape{C: 1, H: 3, W: 3}
+	img := SampleImage(make([]float64, 9), s)
+	var buf bytes.Buffer
+	if err := WritePNG(&buf, img); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Bounds().Dx() != 3 {
+		t.Fatal("decoded PNG has wrong size")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	img := Histogram([]float64{-1, -1, 0, 1, 1, 1}, 3, 30, 20)
+	if img.Bounds().Dx() != 30 || img.Bounds().Dy() != 20 {
+		t.Fatal("histogram geometry wrong")
+	}
+	// The right-most bin (value 1, count 3) must reach the top row; the
+	// middle bin must not.
+	_, _, b, _ := img.At(25, 0).RGBA()
+	if b < 0x8000 {
+		t.Fatal("tallest bar does not reach the top")
+	}
+	// Empty input renders blank without panicking.
+	Histogram(nil, 3, 10, 10)
+	// Constant input must not divide by zero.
+	Histogram([]float64{2, 2, 2}, 3, 10, 10)
+}
