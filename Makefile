@@ -1,0 +1,37 @@
+# Local entry points matching the CI pipeline (.github/workflows/ci.yml)
+# job for job: a green `make check` predicts a green pipeline.
+
+GO ?= go
+
+.PHONY: build test race bench fmt vet check
+
+## build: compile every package
+build:
+	$(GO) build ./...
+
+## test: the full test suite (tier-1 gate)
+test:
+	$(GO) test ./...
+
+## race: race detector in short mode, with the worker pool forced wide so
+## every parallel path fans out even on single-core machines
+race:
+	FEDCLEANSE_WORKERS=4 $(GO) test -race -short ./...
+
+## bench: one iteration of every tensor/nn benchmark (the CI smoke set)
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/tensor ./internal/nn
+
+## fmt: fail if any file needs gofmt
+fmt:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+## vet: static analysis
+vet:
+	$(GO) vet ./...
+
+## check: everything CI runs
+check: fmt vet build test race

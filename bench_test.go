@@ -10,10 +10,14 @@
 package fedcleanse
 
 import (
+	"math/rand"
 	"testing"
 
+	"github.com/fedcleanse/fedcleanse/internal/dataset"
 	"github.com/fedcleanse/fedcleanse/internal/eval"
 	"github.com/fedcleanse/fedcleanse/internal/fl"
+	"github.com/fedcleanse/fedcleanse/internal/nn"
+	"github.com/fedcleanse/fedcleanse/internal/parallel"
 )
 
 // benchSink prevents dead-code elimination of experiment results.
@@ -105,6 +109,32 @@ func BenchmarkFig10(b *testing.B) {
 		benchSink = eval.Fig10([]float64{0.01})
 	}
 }
+
+// benchFLRound measures one federated round over a 16-client cohort with
+// the worker count pinned (0 = automatic): the serial-vs-parallel
+// comparison for concurrent per-client local training.
+func benchFLRound(b *testing.B, workers int) {
+	prev := parallel.SetWorkers(workers)
+	defer parallel.SetWorkers(prev)
+	const clients = 16
+	train, _ := dataset.GenSynthMNIST(dataset.GenConfig{TrainPerClass: 120, TestPerClass: 10, Seed: 31})
+	rng := rand.New(rand.NewSource(32))
+	template := nn.NewSmallCNN(nn.Input{C: 1, H: 16, W: 16}, 10, rng)
+	shards := dataset.PartitionKLabel(train, clients, 3, 60, rng)
+	cfg := fl.Config{Rounds: 1, LocalEpochs: 1, BatchSize: 20, LR: 0.05}
+	parts := make([]fl.Participant, clients)
+	for i := range parts {
+		parts[i] = fl.NewClient(i, shards[i], template, cfg, 40+int64(i))
+	}
+	server := fl.NewServer(template, parts, cfg, 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink = server.Round(i)
+	}
+}
+
+func BenchmarkFLRound16ClientsSerial(b *testing.B)   { benchFLRound(b, 1) }
+func BenchmarkFLRound16ClientsParallel(b *testing.B) { benchFLRound(b, 0) }
 
 // BenchmarkAdaptiveAttacks is the ablation for the paper's §VI-B
 // discussion: the defense against a rank-manipulating attacker (Attack 1)

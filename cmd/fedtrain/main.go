@@ -14,6 +14,7 @@ import (
 
 	"github.com/fedcleanse/fedcleanse/internal/eval"
 	"github.com/fedcleanse/fedcleanse/internal/nn"
+	"github.com/fedcleanse/fedcleanse/internal/parallel"
 )
 
 func main() {
@@ -25,7 +26,11 @@ func main() {
 	rounds := flag.Int("rounds", 0, "training rounds (0 = scenario default)")
 	seed := flag.Int64("seed", 0, "experiment seed (0 = scenario default)")
 	save := flag.String("save", "", "write the trained global model snapshot to this path")
+	workers := flag.Int("workers", 0, "worker goroutines for the parallel simulation paths (0 = FEDCLEANSE_WORKERS or GOMAXPROCS; 1 reproduces the serial path)")
 	flag.Parse()
+	if *workers > 0 {
+		parallel.SetWorkers(*workers)
+	}
 
 	var s eval.Scenario
 	switch *ds {

@@ -35,7 +35,20 @@ import (
 	"github.com/fedcleanse/fedcleanse/internal/metrics"
 	"github.com/fedcleanse/fedcleanse/internal/neuralcleanse"
 	"github.com/fedcleanse/fedcleanse/internal/nn"
+	"github.com/fedcleanse/fedcleanse/internal/parallel"
 	"github.com/fedcleanse/fedcleanse/internal/robust"
+)
+
+// Parallel execution knobs. Simulation and kernel hot paths fan out over a
+// bounded worker pool; results are bit-identical for any worker count
+// (DESIGN.md §7). The count defaults to GOMAXPROCS and can be pinned via
+// SetWorkers or the FEDCLEANSE_WORKERS environment variable.
+var (
+	// Workers reports the effective worker count.
+	Workers = parallel.Workers
+	// SetWorkers pins the worker count process-wide (<= 0 restores the
+	// automatic default) and returns the previous override.
+	SetWorkers = parallel.SetWorkers
 )
 
 // Model and training stack.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/fedcleanse/fedcleanse/internal/nn"
+	"github.com/fedcleanse/fedcleanse/internal/parallel"
 )
 
 // PruneMethod selects the federated pruning flavor.
@@ -210,13 +211,21 @@ func DefaultAWLayers(m *nn.Sequential, pruneLayer int) []int {
 
 // GlobalPruneOrder collects rank or vote reports from every client and
 // aggregates them into the server's global pruning sequence for the layer.
+//
+// Report collection fans out across clients: each one records activations
+// over its whole local shard, which is the defense's per-client hot path
+// (it scales linearly with cohort size). Every concurrent client gets its
+// own clone of m — inference mutates per-layer caches, so sharing the
+// model would race — and a clone carries identical parameters, so reports
+// are bit-identical to the serial path. Aggregation itself stays serial in
+// client-index order.
 func GlobalPruneOrder(m *nn.Sequential, clients []ReportClient, layerIdx int, cfg PipelineConfig) []int {
 	switch cfg.Method {
 	case RAP:
 		reports := make([][]int, len(clients))
-		for i, c := range clients {
-			reports[i] = c.RankReport(m, layerIdx)
-		}
+		parallel.For(len(clients), func(i int) {
+			reports[i] = clients[i].RankReport(m.Clone(), layerIdx)
+		})
 		return PruneOrderFromRanks(AggregateRanks(reports))
 	case MVP:
 		p := cfg.VoteRate
@@ -224,9 +233,9 @@ func GlobalPruneOrder(m *nn.Sequential, clients []ReportClient, layerIdx int, cf
 			p = 0.5
 		}
 		reports := make([][]bool, len(clients))
-		for i, c := range clients {
-			reports[i] = c.VoteReport(m, layerIdx, p)
-		}
+		parallel.For(len(clients), func(i int) {
+			reports[i] = clients[i].VoteReport(m.Clone(), layerIdx, p)
+		})
 		return PruneOrderFromVotes(AggregateVotes(reports))
 	default:
 		panic(fmt.Sprintf("core: unknown prune method %v", cfg.Method))
@@ -236,16 +245,26 @@ func GlobalPruneOrder(m *nn.Sequential, clients []ReportClient, layerIdx int, cf
 // MeanReportedAccuracy averages client-reported accuracies, the fallback
 // evaluator for servers without a validation set. Clients that do not
 // implement AccuracyReporter are skipped; it panics if none do.
+// The per-client evaluations run concurrently (each on its own model
+// clone, see GlobalPruneOrder); the mean is summed serially in client
+// order so the float result matches the serial path exactly.
 func MeanReportedAccuracy(m *nn.Sequential, clients []ReportClient) float64 {
-	sum, n := 0.0, 0
+	reporters := make([]AccuracyReporter, 0, len(clients))
 	for _, c := range clients {
 		if r, ok := c.(AccuracyReporter); ok {
-			sum += r.ReportAccuracy(m)
-			n++
+			reporters = append(reporters, r)
 		}
 	}
-	if n == 0 {
+	if len(reporters) == 0 {
 		panic("core: no client implements AccuracyReporter")
 	}
-	return sum / float64(n)
+	accs := make([]float64, len(reporters))
+	parallel.For(len(reporters), func(i int) {
+		accs[i] = reporters[i].ReportAccuracy(m.Clone())
+	})
+	sum := 0.0
+	for _, a := range accs {
+		sum += a
+	}
+	return sum / float64(len(reporters))
 }

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"github.com/fedcleanse/fedcleanse/internal/nn"
+	"github.com/fedcleanse/fedcleanse/internal/parallel"
 )
 
 // Aggregator combines the update deltas of one round into a single global
@@ -159,23 +160,35 @@ func (s *Server) Config() Config { return s.cfg }
 // Round executes one federated round: select clients, collect their
 // updates from the current global parameters, aggregate, and apply. It
 // returns the IDs of the selected clients.
+//
+// Local training runs concurrently across the selected clients (bounded by
+// parallel.Workers). Every participant owns its model clone and RNG, and
+// the global vector is shared read-only, so the per-client deltas — and
+// therefore the aggregated round — are bit-identical for any worker count.
 func (s *Server) Round(t int) []int {
 	selected := s.selectClients()
 	global := s.Model.ParamsVector()
-	var deltas [][]float64
+	// Drop decisions consume the policy's randomness stream in participant
+	// order before any concurrency, keeping failure injection deterministic
+	// under every worker count.
+	var active []Participant
 	var ids []int
 	for _, p := range selected {
 		if s.Drop != nil && s.Drop.Dropped(p.ID(), t) {
 			continue
 		}
-		deltas = append(deltas, p.LocalUpdate(global, t))
+		active = append(active, p)
 		ids = append(ids, p.ID())
 	}
-	if len(deltas) == 0 {
+	if len(active) == 0 {
 		// Every selected client failed: the round delivers no update, as in
 		// a real deployment where the server times out and retries.
 		return ids
 	}
+	deltas := make([][]float64, len(active))
+	parallel.For(len(active), func(i int) {
+		deltas[i] = active[i].LocalUpdate(global, t)
+	})
 	if wa, ok := s.Agg.(WeightedAggregator); ok {
 		s.Model.AddDeltaVector(1, wa.AggregateWeighted(deltas, ids))
 	} else {
@@ -223,9 +236,9 @@ func (s *Server) FineTune(m *nn.Sequential, rounds int) {
 	for t := 0; t < rounds; t++ {
 		global := m.ParamsVector()
 		deltas := make([][]float64, len(s.Participants))
-		for i, p := range s.Participants {
-			deltas[i] = p.LocalUpdate(global, t)
-		}
+		parallel.For(len(s.Participants), func(i int) {
+			deltas[i] = s.Participants[i].LocalUpdate(global, t)
+		})
 		m.AddDeltaVector(1, MeanAggregator{}.Aggregate(deltas))
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"github.com/fedcleanse/fedcleanse/internal/parallel"
 	"github.com/fedcleanse/fedcleanse/internal/tensor"
 )
 
@@ -46,6 +47,25 @@ var (
 	in1 = Input{C: 1, H: 16, W: 16}
 	in3 = Input{C: 3, H: 16, W: 16}
 )
+
+// benchForwardBatch measures a large-batch inference pass with the worker
+// count pinned (0 = automatic), the serial-vs-parallel comparison for the
+// sample-parallel conv forward.
+func benchForwardBatch(b *testing.B, workers int) {
+	prev := parallel.SetWorkers(workers)
+	defer parallel.SetWorkers(prev)
+	rng := rand.New(rand.NewSource(3))
+	m := NewSmallCNN(in1, 10, rng)
+	x := tensor.New(64, in1.C, in1.H, in1.W)
+	x.Randn(rng, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Forward(x, false)
+	}
+}
+
+func BenchmarkSmallCNNForwardBatch64Serial(b *testing.B)   { benchForwardBatch(b, 1) }
+func BenchmarkSmallCNNForwardBatch64Parallel(b *testing.B) { benchForwardBatch(b, 0) }
 
 func BenchmarkSmallCNNForward(b *testing.B)   { benchForward(b, NewSmallCNN, in1) }
 func BenchmarkSmallCNNTrainStep(b *testing.B) { benchTrainStep(b, NewSmallCNN, in1) }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"github.com/fedcleanse/fedcleanse/internal/parallel"
 	"github.com/fedcleanse/fedcleanse/internal/tensor"
 )
 
@@ -89,26 +90,53 @@ func (l *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		l.cols = nil
 	}
 	sampleIn := d.C * d.H * d.W
+	// Every sample is an independent im2col + matmul writing a disjoint
+	// slice of out (and its own l.cols entry), so the batch splits across
+	// workers with bit-identical results; each block reuses one scratch
+	// pair. Small batches stay serial — the per-goroutine cost would exceed
+	// the convolution itself.
+	work := n * l.filters * spatial * fanIn
+	if parallel.Workers() > 1 && n > 1 && work >= convParallelCutoff {
+		parallel.ForBlocks(n, func(lo, hi int) {
+			col := tensor.New(fanIn, spatial)
+			res := tensor.New(l.filters, spatial)
+			for s := lo; s < hi; s++ {
+				l.forwardSample(x, out, col, res, s, sampleIn, spatial, train)
+			}
+		})
+		return out
+	}
 	col := tensor.New(fanIn, spatial)
 	res := tensor.New(l.filters, spatial)
 	for s := 0; s < n; s++ {
-		img := x.Data[s*sampleIn : (s+1)*sampleIn]
-		tensor.Im2Col(img, d, col.Data)
-		tensor.MatMulInto(res, l.W.Value, col)
-		dst := out.Data[s*l.filters*spatial : (s+1)*l.filters*spatial]
-		for f := 0; f < l.filters; f++ {
-			b := l.B.Value.Data[f]
-			row := res.Data[f*spatial : (f+1)*spatial]
-			drow := dst[f*spatial : (f+1)*spatial]
-			for j, v := range row {
-				drow[j] = v + b
-			}
-		}
-		if train {
-			l.cols[s] = col.Clone()
-		}
+		l.forwardSample(x, out, col, res, s, sampleIn, spatial, train)
 	}
 	return out
+}
+
+// convParallelCutoff is the minimum multiply-add count of a batched conv
+// forward (N·F·OutH·OutW·C·K·K) at which the batch splits across workers.
+const convParallelCutoff = 1 << 17
+
+// forwardSample convolves sample s of batch x into out, using col/res as
+// scratch. It touches only sample-s slices of out and l.cols, so distinct
+// samples may run concurrently.
+func (l *Conv2D) forwardSample(x, out, col, res *tensor.Tensor, s, sampleIn, spatial int, train bool) {
+	img := x.Data[s*sampleIn : (s+1)*sampleIn]
+	tensor.Im2Col(img, l.dims, col.Data)
+	tensor.MatMulInto(res, l.W.Value, col)
+	dst := out.Data[s*l.filters*spatial : (s+1)*l.filters*spatial]
+	for f := 0; f < l.filters; f++ {
+		b := l.B.Value.Data[f]
+		row := res.Data[f*spatial : (f+1)*spatial]
+		drow := dst[f*spatial : (f+1)*spatial]
+		for j, v := range row {
+			drow[j] = v + b
+		}
+	}
+	if train {
+		l.cols[s] = col.Clone()
+	}
 }
 
 // Backward implements Layer.

@@ -1,0 +1,229 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// withWorkers runs f with the worker override pinned to n, restoring the
+// previous override afterwards.
+func withWorkers(t *testing.T, n int, f func()) {
+	t.Helper()
+	prev := SetWorkers(n)
+	defer SetWorkers(prev)
+	f()
+}
+
+func TestWorkersOverride(t *testing.T) {
+	prev := SetWorkers(3)
+	defer SetWorkers(prev)
+	if got := Workers(); got != 3 {
+		t.Fatalf("Workers() = %d after SetWorkers(3)", got)
+	}
+	if got := SetWorkers(0); got != 3 {
+		t.Fatalf("SetWorkers returned previous override %d, want 3", got)
+	}
+	if got := Workers(); got < 1 {
+		t.Fatalf("automatic Workers() = %d, want >= 1", got)
+	}
+}
+
+func TestPartitionCoversExactlyOnce(t *testing.T) {
+	for _, tc := range []struct{ n, parts int }{
+		{0, 4}, {1, 1}, {1, 8}, {7, 3}, {8, 3}, {9, 3}, {100, 7}, {5, 5},
+	} {
+		blocks := Partition(tc.n, tc.parts)
+		seen := make([]int, tc.n)
+		prevHi := 0
+		for _, b := range blocks {
+			if b[0] != prevHi {
+				t.Fatalf("Partition(%d,%d): block starts at %d, want %d", tc.n, tc.parts, b[0], prevHi)
+			}
+			if b[1] <= b[0] {
+				t.Fatalf("Partition(%d,%d): empty block %v", tc.n, tc.parts, b)
+			}
+			for i := b[0]; i < b[1]; i++ {
+				seen[i]++
+			}
+			prevHi = b[1]
+		}
+		if tc.n > 0 && prevHi != tc.n {
+			t.Fatalf("Partition(%d,%d): covers [0,%d)", tc.n, tc.parts, prevHi)
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("Partition(%d,%d): index %d covered %d times", tc.n, tc.parts, i, c)
+			}
+		}
+	}
+}
+
+func TestPartitionBalanced(t *testing.T) {
+	blocks := Partition(10, 4)
+	if len(blocks) != 4 {
+		t.Fatalf("got %d blocks, want 4", len(blocks))
+	}
+	sizes := []int{}
+	for _, b := range blocks {
+		sizes = append(sizes, b[1]-b[0])
+	}
+	for _, s := range sizes {
+		if s != 2 && s != 3 {
+			t.Fatalf("unbalanced block sizes %v", sizes)
+		}
+	}
+}
+
+func TestPartitionPanicsOnBadParts(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Partition(4, 0) did not panic")
+		}
+	}()
+	Partition(4, 0)
+}
+
+func TestForVisitsEveryIndexOnce(t *testing.T) {
+	for _, w := range []int{1, 2, 3, 8, 64} {
+		withWorkers(t, w, func() {
+			const n = 1000
+			counts := make([]int32, n)
+			For(n, func(i int) { atomic.AddInt32(&counts[i], 1) })
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("workers=%d: index %d visited %d times", w, i, c)
+				}
+			}
+		})
+	}
+}
+
+// TestForExactlyOnceUnderPanic is the property test of the issue: a panic
+// in one task must neither lose other indices nor double-visit any, and
+// the panic must surface in the caller.
+func TestForExactlyOnceUnderPanic(t *testing.T) {
+	for _, w := range []int{1, 2, 8} {
+		for _, bad := range []int{0, 17, 99} {
+			withWorkers(t, w, func() {
+				const n = 100
+				counts := make([]int32, n)
+				var recovered any
+				func() {
+					defer func() { recovered = recover() }()
+					For(n, func(i int) {
+						atomic.AddInt32(&counts[i], 1)
+						if i == bad {
+							panic("task failure")
+						}
+					})
+				}()
+				if recovered != "task failure" {
+					t.Fatalf("workers=%d bad=%d: recovered %v, want task panic", w, bad, recovered)
+				}
+				for i, c := range counts {
+					if c != 1 {
+						t.Fatalf("workers=%d bad=%d: index %d visited %d times", w, bad, i, c)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestForBlocksCoversRange(t *testing.T) {
+	for _, w := range []int{1, 2, 5, 16} {
+		withWorkers(t, w, func() {
+			const n = 103
+			counts := make([]int32, n)
+			ForBlocks(n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&counts[i], 1)
+				}
+			})
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("workers=%d: index %d covered %d times", w, i, c)
+				}
+			}
+		})
+	}
+}
+
+func TestForBlocksPropagatesPanic(t *testing.T) {
+	withWorkers(t, 4, func() {
+		defer func() {
+			if recover() != "block failure" {
+				t.Fatal("block panic not propagated")
+			}
+		}()
+		ForBlocks(16, func(lo, hi int) {
+			if lo == 0 {
+				panic("block failure")
+			}
+		})
+	})
+}
+
+func TestForZeroAndNegative(t *testing.T) {
+	called := false
+	For(0, func(int) { called = true })
+	For(-3, func(int) { called = true })
+	ForBlocks(0, func(int, int) { called = true })
+	if called {
+		t.Fatal("empty ranges invoked the body")
+	}
+}
+
+func TestPoolForVisitsEveryIndexOnce(t *testing.T) {
+	for _, w := range []int{1, 2, 8} {
+		p := NewPool(w)
+		const n = 500
+		counts := make([]int32, n)
+		p.For(n, func(i int) { atomic.AddInt32(&counts[i], 1) })
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("pool workers=%d: index %d visited %d times", w, i, c)
+			}
+		}
+		p.Close()
+	}
+}
+
+func TestPoolSurvivesTaskPanic(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("pool swallowed the panic")
+			}
+		}()
+		p.For(10, func(i int) {
+			if i == 3 {
+				panic("boom")
+			}
+		})
+	}()
+	// The pool's workers must still be alive and usable after the panic.
+	var n int32
+	p.Run(func() { atomic.AddInt32(&n, 1) }, func() { atomic.AddInt32(&n, 1) })
+	if n != 2 {
+		t.Fatalf("pool ran %d tasks after panic, want 2", n)
+	}
+}
+
+func TestPoolCloseIdempotent(t *testing.T) {
+	p := NewPool(2)
+	p.Close()
+	p.Close()
+}
+
+func TestPoolWorkersDefault(t *testing.T) {
+	withWorkers(t, 5, func() {
+		p := NewPool(0)
+		defer p.Close()
+		if p.Workers() != 5 {
+			t.Fatalf("NewPool(0).Workers() = %d, want 5", p.Workers())
+		}
+	})
+}

@@ -1,0 +1,110 @@
+package parallel
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Pool is a reusable bounded worker pool: a fixed set of goroutines that
+// execute submitted tasks. Long-lived drivers (the federated server, the
+// experiment harness) can hold one Pool for their whole lifetime instead
+// of spawning goroutines per round.
+//
+// The zero Pool is not usable; construct with NewPool. Methods other than
+// Close are safe for concurrent use. Tasks must not themselves submit to
+// the same pool (the pool has no task queue beyond its rendezvous channel,
+// so nested submission can deadlock once all workers are busy).
+type Pool struct {
+	workers int
+	jobs    chan func()
+
+	closeOnce sync.Once
+	done      sync.WaitGroup
+}
+
+// NewPool starts a pool with the given number of worker goroutines.
+// workers <= 0 resolves to Workers() at construction time.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = Workers()
+	}
+	p := &Pool{workers: workers, jobs: make(chan func())}
+	p.done.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.done.Done()
+			for job := range p.jobs {
+				job()
+			}
+		}()
+	}
+	return p
+}
+
+// Workers returns the pool's fixed worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Close stops the workers after in-flight tasks finish. Submitting after
+// Close panics. Close is idempotent.
+func (p *Pool) Close() {
+	p.closeOnce.Do(func() {
+		close(p.jobs)
+		p.done.Wait()
+	})
+}
+
+// Run executes every task on the pool and returns when all have finished.
+// Panics are collected and the first is re-raised in the caller.
+func (p *Pool) Run(tasks ...func()) {
+	if len(tasks) == 0 {
+		return
+	}
+	var wg sync.WaitGroup
+	var pr panicRecorder
+	for _, task := range tasks {
+		task := task
+		wg.Add(1)
+		p.jobs <- func() {
+			defer wg.Done()
+			defer func() {
+				if v := recover(); v != nil {
+					pr.record(v)
+				}
+			}()
+			task()
+		}
+	}
+	wg.Wait()
+	pr.repanic()
+}
+
+// For runs f(i) for every i in [0,n) on the pool's workers, with the same
+// deterministic partitioning and exactly-once-under-panic semantics as the
+// package-level For.
+func (p *Pool) For(n int, f func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := p.workers
+	if w > n {
+		w = n
+	}
+	var pr panicRecorder
+	blocks := Partition(n, w)
+	tasks := make([]func(), len(blocks))
+	for bi, blk := range blocks {
+		lo, hi := blk[0], blk[1]
+		tasks[bi] = func() {
+			for i := lo; i < hi; i++ {
+				callRecover(&pr, f, i)
+			}
+		}
+	}
+	p.Run(tasks...)
+	pr.repanic()
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (p *Pool) String() string {
+	return fmt.Sprintf("parallel.Pool(workers=%d)", p.workers)
+}

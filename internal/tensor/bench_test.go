@@ -3,6 +3,8 @@ package tensor
 import (
 	"math/rand"
 	"testing"
+
+	"github.com/fedcleanse/fedcleanse/internal/parallel"
 )
 
 // Micro-benchmarks for the numeric kernels the whole training stack sits
@@ -25,6 +27,20 @@ func benchMat(b *testing.B, m, k, n int) {
 func BenchmarkMatMul16x144x64(b *testing.B)   { benchMat(b, 16, 144, 64) } // conv2 of SmallCNN
 func BenchmarkMatMul64x256x64(b *testing.B)   { benchMat(b, 64, 256, 64) } // dense layers
 func BenchmarkMatMul128x128x128(b *testing.B) { benchMat(b, 128, 128, 128) }
+
+// benchMatWorkers pins the worker count for the serial-vs-parallel matmul
+// comparison. workers == 0 uses the automatic count (GOMAXPROCS).
+func benchMatWorkers(b *testing.B, m, k, n, workers int) {
+	prev := parallel.SetWorkers(workers)
+	defer parallel.SetWorkers(prev)
+	benchMat(b, m, k, n)
+}
+
+// The 256³ pair is the headline serial-vs-parallel comparison: ~16.7M
+// multiply-adds, far above parallelFlopCutoff, so the Parallel variant
+// row-blocks across all available cores while Serial pins one worker.
+func BenchmarkMatMul256x256x256Serial(b *testing.B)   { benchMatWorkers(b, 256, 256, 256, 1) }
+func BenchmarkMatMul256x256x256Parallel(b *testing.B) { benchMatWorkers(b, 256, 256, 256, 0) }
 
 func BenchmarkIm2Col16x16(b *testing.B) {
 	d := ConvDims{C: 8, H: 16, W: 16, K: 3, Stride: 1, Pad: 1}

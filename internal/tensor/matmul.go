@@ -1,6 +1,24 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+
+	"github.com/fedcleanse/fedcleanse/internal/parallel"
+)
+
+// parallelFlopCutoff is the minimum multiply-add count (m·k·n) at which the
+// matmul kernels split their output rows across workers. Below it the cost
+// of spawning and joining goroutines exceeds the arithmetic itself (the
+// SmallCNN per-batch matmuls sit under this line on purpose). Each output
+// row is computed by exactly one worker with the same inner-loop order as
+// the serial kernel, so results are bit-identical for any worker count.
+const parallelFlopCutoff = 1 << 17
+
+// parallelRows reports whether an m-row kernel with work total multiply-adds
+// should run row-blocked across workers.
+func parallelRows(m, work int) bool {
+	return m > 1 && work >= parallelFlopCutoff && parallel.Workers() > 1
+}
 
 // MatMul returns a·b for 2-D tensors a (m×k) and b (k×n). The result is a
 // freshly allocated m×n tensor. The inner loops are ordered i-k-j so the
@@ -35,9 +53,22 @@ func checkMatMul(a, b *Tensor) (m, k, n int) {
 }
 
 // matmulInto accumulates a (m×k) times b (k×n) into dst (m×n). dst must be
-// zeroed by the caller (New returns zeroed storage).
+// zeroed by the caller (New returns zeroed storage). Large products are
+// split over contiguous row blocks; each block runs the identical serial
+// kernel, so the parallel result matches the serial one bit for bit.
 func matmulInto(dst, a, b []float64, m, k, n int) {
-	for i := 0; i < m; i++ {
+	if parallelRows(m, m*k*n) {
+		parallel.ForBlocks(m, func(lo, hi int) {
+			matmulRows(dst, a, b, lo, hi, k, n)
+		})
+		return
+	}
+	matmulRows(dst, a, b, 0, m, k, n)
+}
+
+// matmulRows computes output rows [lo,hi) of the m×n product.
+func matmulRows(dst, a, b []float64, lo, hi, k, n int) {
+	for i := lo; i < hi; i++ {
 		arow := a[i*k : (i+1)*k]
 		drow := dst[i*n : (i+1)*n]
 		for p, av := range arow {
@@ -64,11 +95,23 @@ func MatMulTransB(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMulTransB inner dimension mismatch %v × %vᵀ", a.shape, b.shape))
 	}
 	out := New(m, n)
-	for i := 0; i < m; i++ {
-		arow := a.Data[i*k : (i+1)*k]
-		orow := out.Data[i*n : (i+1)*n]
+	if parallelRows(m, m*k*n) {
+		parallel.ForBlocks(m, func(lo, hi int) {
+			matmulTransBRows(out.Data, a.Data, b.Data, lo, hi, k, n)
+		})
+		return out
+	}
+	matmulTransBRows(out.Data, a.Data, b.Data, 0, m, k, n)
+	return out
+}
+
+// matmulTransBRows computes output rows [lo,hi) of a·bᵀ.
+func matmulTransBRows(dst, a, b []float64, lo, hi, k, n int) {
+	for i := lo; i < hi; i++ {
+		arow := a[i*k : (i+1)*k]
+		orow := dst[i*n : (i+1)*n]
 		for j := 0; j < n; j++ {
-			brow := b.Data[j*k : (j+1)*k]
+			brow := b[j*k : (j+1)*k]
 			s := 0.0
 			for p, av := range arow {
 				s += av * brow[p]
@@ -76,7 +119,6 @@ func MatMulTransB(a, b *Tensor) *Tensor {
 			orow[j] = s
 		}
 	}
-	return out
 }
 
 // MatMulTransA returns aᵀ·b for a (k×m) and b (k×n). Used to compute weight
@@ -91,20 +133,35 @@ func MatMulTransA(a, b *Tensor) *Tensor {
 	}
 	n := b.Dim(1)
 	out := New(m, n)
+	if parallelRows(m, m*k*n) {
+		parallel.ForBlocks(m, func(lo, hi int) {
+			matmulTransARows(out.Data, a.Data, b.Data, lo, hi, k, m, n)
+		})
+		return out
+	}
+	matmulTransARows(out.Data, a.Data, b.Data, 0, m, k, m, n)
+	return out
+}
+
+// matmulTransARows accumulates output rows [lo,hi) of aᵀ·b. For every
+// output cell the contributions are added in ascending p order — the same
+// order as the serial kernel — so block boundaries cannot perturb the
+// floating-point result.
+func matmulTransARows(dst, a, b []float64, lo, hi, k, m, n int) {
 	for p := 0; p < k; p++ {
-		arow := a.Data[p*m : (p+1)*m]
-		brow := b.Data[p*n : (p+1)*n]
-		for i, av := range arow {
+		arow := a[p*m : (p+1)*m]
+		brow := b[p*n : (p+1)*n]
+		for i := lo; i < hi; i++ {
+			av := arow[i]
 			if av == 0 {
 				continue
 			}
-			orow := out.Data[i*n : (i+1)*n]
+			orow := dst[i*n : (i+1)*n]
 			for j, bv := range brow {
 				orow[j] += av * bv
 			}
 		}
 	}
-	return out
 }
 
 // Transpose returns the transpose of a 2-D tensor as a new tensor.

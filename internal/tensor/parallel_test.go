@@ -1,0 +1,104 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/fedcleanse/fedcleanse/internal/parallel"
+)
+
+// withWorkers runs f with the global worker override pinned to w.
+func withWorkers(t *testing.T, w int, f func()) {
+	t.Helper()
+	prev := parallel.SetWorkers(w)
+	defer parallel.SetWorkers(prev)
+	f()
+}
+
+// TestMatMulParallelBitIdentical asserts the tentpole determinism
+// guarantee: all three matmul kernels produce bit-identical output for
+// worker counts 1, 2 and 8 on matrices large enough to take the
+// row-blocked path (256³ = 16.7M multiply-adds, far above the cutoff).
+func TestMatMulParallelBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const sz = 256
+	a := randMat(rng, sz, sz)
+	b := randMat(rng, sz, sz)
+	// Sprinkle zeros to exercise the skip-zero branches.
+	for i := 0; i < sz*sz/10; i++ {
+		a.Data[rng.Intn(len(a.Data))] = 0
+	}
+
+	kernels := []struct {
+		name string
+		f    func() []float64
+	}{
+		{"MatMul", func() []float64 { return MatMul(a, b).Data }},
+		{"MatMulTransA", func() []float64 { return MatMulTransA(a, b).Data }},
+		{"MatMulTransB", func() []float64 { return MatMulTransB(a, b).Data }},
+	}
+	for _, kn := range kernels {
+		var ref []float64
+		withWorkers(t, 1, func() { ref = kn.f() })
+		for _, w := range []int{2, 8} {
+			withWorkers(t, w, func() {
+				got := kn.f()
+				if len(got) != len(ref) {
+					t.Fatalf("%s workers=%d: length %d, want %d", kn.name, w, len(got), len(ref))
+				}
+				for i := range got {
+					if got[i] != ref[i] {
+						t.Fatalf("%s workers=%d: element %d = %v, want %v (not bit-identical)",
+							kn.name, w, i, got[i], ref[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestMatMulIntoParallelMatchesSerial covers the Into variant used by the
+// conv forward pass, including buffer reuse across calls.
+func TestMatMulIntoParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randMat(rng, 128, 96)
+	b := randMat(rng, 96, 128)
+	ref := New(128, 128)
+	withWorkers(t, 1, func() {
+		MatMulInto(ref, a, b)
+		MatMulInto(ref, a, b) // reuse must re-zero
+	})
+	got := New(128, 128)
+	withWorkers(t, 8, func() {
+		MatMulInto(got, a, b)
+		MatMulInto(got, a, b)
+	})
+	for i := range got.Data {
+		if got.Data[i] != ref.Data[i] {
+			t.Fatalf("element %d = %v, want %v", i, got.Data[i], ref.Data[i])
+		}
+	}
+}
+
+// TestSmallMatMulStaysBelowCutoff documents that tiny products do not pay
+// goroutine overhead: correctness is identical either way, so this just
+// pins the cutoff predicate.
+func TestSmallMatMulStaysBelowCutoff(t *testing.T) {
+	withWorkers(t, 8, func() {
+		if parallelRows(4, 4*4*4) {
+			t.Fatal("4x4x4 product classified as parallel")
+		}
+		if !parallelRows(256, 256*256*256) {
+			t.Fatal("256^3 product classified as serial")
+		}
+		// Single-row products can never split.
+		if parallelRows(1, 1<<30) {
+			t.Fatal("single-row product classified as parallel")
+		}
+	})
+	withWorkers(t, 1, func() {
+		if parallelRows(256, 256*256*256) {
+			t.Fatal("parallel path selected with one worker")
+		}
+	})
+}
