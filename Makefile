@@ -3,7 +3,12 @@
 
 GO ?= go
 
-.PHONY: build test race bench fmt vet check
+.PHONY: build test race bench bench-json alloc-test fmt vet check
+
+# The benchmarks joined against the PR-2 baseline capture: the matmul
+# kernel, the conv forward/backward passes, one full SGD train step and one
+# federated round.
+BENCH_SET = BenchmarkMatMul16x144x64$$|BenchmarkConv2DForward$$|BenchmarkConv2DBackward$$|^BenchmarkTrainStep$$|BenchmarkFLRound16ClientsSerial$$
 
 ## build: compile every package
 build:
@@ -21,6 +26,21 @@ race:
 ## bench: one iteration of every tensor/nn benchmark (the CI smoke set)
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/tensor ./internal/nn
+
+## bench-json: measure the hot-path benchmark set and write BENCH_2.json,
+## joining the committed pre-optimization baseline (bench_baseline_pr2.txt)
+## so time and allocation ratios are machine-readable
+bench-json:
+	$(GO) test -run '^$$' -bench '$(BENCH_SET)' -benchmem -benchtime 20x \
+		./internal/tensor ./internal/nn . \
+		| $(GO) run ./cmd/benchjson -baseline bench_baseline_pr2.txt -o BENCH_2.json
+	@echo wrote BENCH_2.json
+
+## alloc-test: the allocation-regression gate — warm kernels, layer passes
+## and whole train steps must not allocate (see internal/*/alloc_test.go;
+## these files are excluded under -race, so the race job cannot cover them)
+alloc-test:
+	$(GO) test -run 'AllocFree' -v ./internal/tensor ./internal/nn ./internal/fl
 
 ## fmt: fail if any file needs gofmt
 fmt:

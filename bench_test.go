@@ -27,84 +27,98 @@ var benchSink any
 var onePair = []eval.Pair{{VL: 9, AL: 2}}
 
 func BenchmarkTableI(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		benchSink = eval.TableI(onePair)
 	}
 }
 
 func BenchmarkTableII(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		benchSink = eval.TableII(onePair)
 	}
 }
 
 func BenchmarkTableIII(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		benchSink = eval.TableIII(onePair)
 	}
 }
 
 func BenchmarkTableIV(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		benchSink = eval.TableIV(eval.Pair{VL: 9, AL: 2})
 	}
 }
 
 func BenchmarkTableV(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		benchSink = eval.TableV(onePair)
 	}
 }
 
 func BenchmarkTableVI(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		benchSink = eval.TableVI(onePair)
 	}
 }
 
 func BenchmarkTableVII(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		benchSink = eval.TableVII([]int{1, 9})
 	}
 }
 
 func BenchmarkFig3(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		benchSink = eval.Fig3([]int{3})
 	}
 }
 
 func BenchmarkFig5(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		benchSink = eval.Fig5([]int{2})
 	}
 }
 
 func BenchmarkFig6(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		benchSink = eval.Fig6([]int{2}, []float64{5, 4, 3, 2})
 	}
 }
 
 func BenchmarkFig7(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		benchSink = eval.Fig7([]int{10})
 	}
 }
 
 func BenchmarkFig8(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		benchSink = eval.Fig8([]int{1, 6})
 	}
 }
 
 func BenchmarkFig9(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		benchSink = eval.Fig9()
 	}
 }
 
 func BenchmarkFig10(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		benchSink = eval.Fig10([]float64{0.01})
 	}
@@ -127,6 +141,7 @@ func benchFLRound(b *testing.B, workers int) {
 		parts[i] = fl.NewClient(i, shards[i], template, cfg, 40+int64(i))
 	}
 	server := fl.NewServer(template, parts, cfg, 50)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		benchSink = server.Round(i)
@@ -140,6 +155,7 @@ func BenchmarkFLRound16ClientsParallel(b *testing.B) { benchFLRound(b, 0) }
 // discussion: the defense against a rank-manipulating attacker (Attack 1)
 // and an AW-aware self-clipping attacker.
 func BenchmarkAdaptiveAttacks(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s := eval.MNISTScenario(9, 2)
 		t := eval.Build(s)

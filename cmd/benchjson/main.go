@@ -1,0 +1,175 @@
+// Command benchjson converts `go test -bench -benchmem` text output into a
+// machine-readable JSON document, optionally joining a baseline capture so
+// regressions (time or allocations) are a jq expression away instead of a
+// manual diff of two terminal logs.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchjson -o BENCH.json
+//	benchjson -in current.txt -baseline bench_baseline_pr2.txt -o BENCH.json
+//
+// Every benchmark line becomes one record with ns/op, B/op and allocs/op.
+// With -baseline, records carry the baseline numbers plus the ratios
+// current/baseline (speedup < 1 means faster, alloc_ratio < 1 means fewer
+// allocations). CI uploads the document next to the bench smoke log.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+)
+
+// Result is one parsed benchmark measurement.
+type Result struct {
+	Name        string   `json:"name"`
+	Procs       int      `json:"procs,omitempty"`
+	Runs        int      `json:"runs"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  float64  `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Record is one output entry: the current measurement, optionally joined
+// with its baseline.
+type Record struct {
+	Result
+	Baseline   *Result  `json:"baseline,omitempty"`
+	Speedup    *float64 `json:"time_ratio,omitempty"`
+	AllocRatio *float64 `json:"alloc_ratio,omitempty"`
+}
+
+// Document is the top-level JSON structure.
+type Document struct {
+	Note       string   `json:"note"`
+	Benchmarks []Record `json:"benchmarks"`
+}
+
+// benchLine matches one `go test -bench -benchmem` result line, e.g.
+//
+//	BenchmarkTrainStep-8   20   11695956 ns/op   8063226 B/op   1009 allocs/op
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
+
+func main() {
+	in := flag.String("in", "-", "bench output to parse (- = stdin)")
+	baseline := flag.String("baseline", "", "optional baseline bench output to join by benchmark name")
+	out := flag.String("o", "-", "output path (- = stdout)")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "unexpected arguments: %v\n", flag.Args())
+		os.Exit(2)
+	}
+
+	cur, err := parseFile(*in)
+	if err != nil {
+		fatal(err)
+	}
+	if len(cur) == 0 {
+		fatal(fmt.Errorf("benchjson: no benchmark lines in %s", *in))
+	}
+	doc := Document{Note: "ratios are current/baseline: < 1 means faster / fewer allocations"}
+	var base map[string]Result
+	if *baseline != "" {
+		bs, err := parseFile(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		base = make(map[string]Result, len(bs))
+		for _, b := range bs {
+			base[b.Name] = b
+		}
+	}
+	for _, c := range cur {
+		r := Record{Result: c}
+		if b, ok := base[c.Name]; ok {
+			bc := b
+			r.Baseline = &bc
+			if b.NsPerOp > 0 {
+				v := c.NsPerOp / b.NsPerOp
+				r.Speedup = &v
+			}
+			if b.AllocsPerOp != nil && c.AllocsPerOp != nil && *b.AllocsPerOp > 0 {
+				v := *c.AllocsPerOp / *b.AllocsPerOp
+				r.AllocRatio = &v
+			}
+		}
+		doc.Benchmarks = append(doc.Benchmarks, r)
+	}
+
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+// parseFile reads bench output from path ("-" = stdin) and returns every
+// benchmark measurement found, in input order.
+func parseFile(path string) ([]Result, error) {
+	var r io.Reader
+	if path == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	return Parse(r)
+}
+
+// Parse extracts benchmark results from go test -bench output.
+func Parse(r io.Reader) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		res := Result{Name: m[1]}
+		res.Procs = atoi(m[2])
+		res.Runs = atoi(m[3])
+		res.NsPerOp = atof(m[4])
+		if m[5] != "" {
+			res.BytesPerOp = atof(m[5])
+		}
+		if m[6] != "" {
+			a := atof(m[6])
+			res.AllocsPerOp = &a
+		}
+		out = append(out, res)
+	}
+	return out, sc.Err()
+}
+
+func atoi(s string) int {
+	n, _ := strconv.Atoi(s)
+	return n
+}
+
+func atof(s string) float64 {
+	v, _ := strconv.ParseFloat(s, 64)
+	return v
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

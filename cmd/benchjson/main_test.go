@@ -1,0 +1,53 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: github.com/fedcleanse/fedcleanse/internal/nn
+BenchmarkTrainStep-8   	      20	  11695956 ns/op	 8063226 B/op	    1009 allocs/op
+BenchmarkConv2DForward 	     100	    923456 ns/op
+BenchmarkMatMul16x144x64-8	 5000	      3456 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	github.com/fedcleanse/fedcleanse/internal/nn	2.1s
+`
+
+func TestParse(t *testing.T) {
+	rs, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(rs))
+	}
+	ts := rs[0]
+	if ts.Name != "BenchmarkTrainStep" || ts.Procs != 8 || ts.Runs != 20 {
+		t.Fatalf("train-step header parsed as %+v", ts)
+	}
+	if ts.NsPerOp != 11695956 || ts.BytesPerOp != 8063226 {
+		t.Fatalf("train-step metrics parsed as %+v", ts)
+	}
+	if ts.AllocsPerOp == nil || *ts.AllocsPerOp != 1009 {
+		t.Fatalf("train-step allocs parsed as %+v", ts.AllocsPerOp)
+	}
+	if cf := rs[1]; cf.Procs != 0 || cf.AllocsPerOp != nil {
+		t.Fatalf("no-benchmem line parsed as %+v", cf)
+	}
+	// A measured 0 allocs/op must be present (not omitted as missing).
+	if mm := rs[2]; mm.AllocsPerOp == nil || *mm.AllocsPerOp != 0 {
+		t.Fatalf("zero-alloc line parsed as %+v", mm.AllocsPerOp)
+	}
+}
+
+func TestParseIgnoresNoise(t *testing.T) {
+	rs, err := Parse(strings.NewReader("PASS\nok\ttoto 1s\n--- BENCH: x\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 0 {
+		t.Fatalf("parsed %d results from noise, want 0", len(rs))
+	}
+}

@@ -19,13 +19,16 @@ import (
 
 	"github.com/fedcleanse/fedcleanse/internal/eval"
 	"github.com/fedcleanse/fedcleanse/internal/parallel"
+	"github.com/fedcleanse/fedcleanse/internal/profiling"
 )
 
 func main() {
 	expFlag := flag.String("exp", "all", "experiment id: table1..table7, fig3, fig5..fig10, ablation-mask, ablation-rate, ablation-aw, adaptive, or all")
 	full := flag.Bool("full", false, "run the paper's full sweeps instead of the reduced defaults")
 	workers := flag.Int("workers", 0, "worker goroutines for the parallel simulation paths (0 = FEDCLEANSE_WORKERS or GOMAXPROCS; 1 reproduces the serial path)")
+	prof := profiling.AddFlags()
 	flag.Parse()
+	defer prof.Start()()
 	if *workers > 0 {
 		parallel.SetWorkers(*workers)
 	}

@@ -15,6 +15,7 @@ import (
 	"github.com/fedcleanse/fedcleanse/internal/eval"
 	"github.com/fedcleanse/fedcleanse/internal/nn"
 	"github.com/fedcleanse/fedcleanse/internal/parallel"
+	"github.com/fedcleanse/fedcleanse/internal/profiling"
 )
 
 func main() {
@@ -27,7 +28,9 @@ func main() {
 	seed := flag.Int64("seed", 0, "experiment seed (0 = scenario default)")
 	save := flag.String("save", "", "write the trained global model snapshot to this path")
 	workers := flag.Int("workers", 0, "worker goroutines for the parallel simulation paths (0 = FEDCLEANSE_WORKERS or GOMAXPROCS; 1 reproduces the serial path)")
+	prof := profiling.AddFlags()
 	flag.Parse()
+	defer prof.Start()()
 	if *workers > 0 {
 		parallel.SetWorkers(*workers)
 	}

@@ -76,13 +76,25 @@ func (d *Dataset) Shuffle(rng *rand.Rand) {
 // Batch assembles samples[lo:hi] into an NCHW input tensor and a label
 // slice for training or evaluation.
 func (d *Dataset) Batch(lo, hi int) (*tensor.Tensor, []int) {
+	return d.BatchInto(lo, hi, nil, nil)
+}
+
+// BatchInto is Batch reusing the caller's buffers: x is reused when it has
+// exactly the batch shape, labels when its capacity suffices. Either (or
+// both) may be nil to allocate fresh. It returns the buffers actually
+// filled; training loops thread them through successive calls so steady-
+// state batch assembly allocates nothing.
+func (d *Dataset) BatchInto(lo, hi int, x *tensor.Tensor, labels []int) (*tensor.Tensor, []int) {
 	if lo < 0 || hi > len(d.Samples) || lo > hi {
 		panic(fmt.Sprintf("dataset: Batch[%d:%d] out of range for %d samples", lo, hi, len(d.Samples)))
 	}
 	n := hi - lo
 	el := d.Shape.Elems()
-	x := tensor.New(n, d.Shape.C, d.Shape.H, d.Shape.W)
-	labels := make([]int, n)
+	x = tensor.EnsureShape(x, n, d.Shape.C, d.Shape.H, d.Shape.W)
+	if cap(labels) < n {
+		labels = make([]int, n)
+	}
+	labels = labels[:n]
 	for i := 0; i < n; i++ {
 		s := d.Samples[lo+i]
 		copy(x.Data[i*el:(i+1)*el], s.X)

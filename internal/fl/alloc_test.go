@@ -1,0 +1,33 @@
+//go:build !race
+
+package fl
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/fedcleanse/fedcleanse/internal/dataset"
+	"github.com/fedcleanse/fedcleanse/internal/parallel"
+)
+
+// TestTrainerWarmAllocFree gates the end-to-end local-update hot path: a
+// warm Trainer.Train call — batch assembly, forward, loss, backward and
+// optimizer steps over a whole local epoch — performs zero heap
+// allocations. Workers are pinned to 1 (the parallel conv path allocates
+// its goroutines) and the test is excluded under the race detector, whose
+// instrumentation allocates.
+func TestTrainerWarmAllocFree(t *testing.T) {
+	prev := parallel.SetWorkers(1)
+	defer parallel.SetWorkers(prev)
+
+	train, _, template, cfg := tinySetup(t, 61)
+	shard := dataset.PartitionKLabel(train, 1, 3, 50, rand.New(rand.NewSource(62)))[0]
+	m := template.Clone()
+	tr := NewTrainer(cfg)
+	rng := rand.New(rand.NewSource(63))
+
+	tr.Train(m, shard, rng) // warm: scratch, velocity, label buffer
+	if allocs := testing.AllocsPerRun(5, func() { tr.Train(m, shard, rng) }); allocs != 0 {
+		t.Errorf("warm Trainer.Train: %v allocs/op, want 0", allocs)
+	}
+}

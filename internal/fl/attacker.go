@@ -13,12 +13,13 @@ import (
 // update by the model-replacement coefficient γ so the backdoor survives
 // averaging.
 type Attacker struct {
-	id     int
-	clean  *dataset.Dataset
-	poison *dataset.Dataset
-	model  *nn.Sequential
-	cfg    Config
-	rng    *rand.Rand
+	id      int
+	clean   *dataset.Dataset
+	poison  *dataset.Dataset
+	model   *nn.Sequential
+	cfg     Config
+	rng     *rand.Rand
+	trainer *Trainer
 
 	// Gamma is the attack-update amplification coefficient (1 ≤ γ ≤ N).
 	Gamma float64
@@ -67,8 +68,9 @@ func NewAttacker(id int, data *dataset.Dataset, template *nn.Sequential, cfg Con
 		clean:    data,
 		poison:   dataset.PoisonTrainSet(data, poison),
 		model:    template.Clone(),
-		cfg:      cfg.withDefaults(),
+		cfg:      cfg,
 		rng:      rand.New(rand.NewSource(seed)),
+		trainer:  NewTrainer(cfg),
 		Gamma:    gamma,
 		Poison:   poison,
 		statMask: template.StatMask(),
@@ -101,7 +103,7 @@ func (a *Attacker) LocalUpdate(global []float64, round int) []float64 {
 			a.model.PruneModelUnit(a.AvoidLayer, u)
 		}
 	}
-	TrainLocal(a.model, a.poison, a.cfg, a.rng)
+	a.trainer.Train(a.model, a.poison, a.rng)
 	if a.SelfClipDelta > 0 {
 		selfClipLastConv(a.model, a.SelfClipDelta)
 	}

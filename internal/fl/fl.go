@@ -18,6 +18,7 @@ import (
 
 	"github.com/fedcleanse/fedcleanse/internal/dataset"
 	"github.com/fedcleanse/fedcleanse/internal/nn"
+	"github.com/fedcleanse/fedcleanse/internal/tensor"
 )
 
 // Config bundles the federated training hyperparameters.
@@ -66,11 +67,12 @@ type Participant interface {
 
 // Client is an honest participant running plain local SGD.
 type Client struct {
-	id    int
-	data  *dataset.Dataset
-	model *nn.Sequential
-	cfg   Config
-	rng   *rand.Rand
+	id      int
+	data    *dataset.Dataset
+	model   *nn.Sequential
+	cfg     Config
+	rng     *rand.Rand
+	trainer *Trainer
 }
 
 var _ Participant = (*Client)(nil)
@@ -78,12 +80,14 @@ var _ Participant = (*Client)(nil)
 // NewClient builds an honest client. template provides the architecture
 // and is cloned, not retained.
 func NewClient(id int, data *dataset.Dataset, template *nn.Sequential, cfg Config, seed int64) *Client {
+	cfg = cfg.withDefaults()
 	return &Client{
-		id:    id,
-		data:  data,
-		model: template.Clone(),
-		cfg:   cfg.withDefaults(),
-		rng:   rand.New(rand.NewSource(seed)),
+		id:      id,
+		data:    data,
+		model:   template.Clone(),
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(seed)),
+		trainer: NewTrainer(cfg),
 	}
 }
 
@@ -96,7 +100,7 @@ func (c *Client) Dataset() *dataset.Dataset { return c.data }
 // LocalUpdate implements Participant.
 func (c *Client) LocalUpdate(global []float64, _ int) []float64 {
 	c.model.SetParamsVector(global)
-	TrainLocal(c.model, c.data, c.cfg, c.rng)
+	c.trainer.Train(c.model, c.data, c.rng)
 	return deltaOf(c.model.ParamsVector(), global)
 }
 
@@ -104,27 +108,62 @@ func (c *Client) LocalUpdate(global []float64, _ int) []float64 {
 // need a same-architecture scratch model).
 func (c *Client) Model() *nn.Sequential { return c.model }
 
-// TrainLocal runs cfg.LocalEpochs of minibatch SGD over data on model m,
-// in place. It is the single training loop shared by honest clients,
-// attackers and the fine-tuning phase of the defense.
-func TrainLocal(m *nn.Sequential, data *dataset.Dataset, cfg Config, rng *rand.Rand) {
+// Trainer runs minibatch SGD while owning every reusable piece of per-step
+// state: the optimizer (velocity buffers), the batch assembly buffers and
+// the loss-gradient scratch. A client keeps one Trainer for its whole
+// federated lifetime, so after the first step of the first round the
+// training hot path performs no heap allocations. A Trainer is
+// single-goroutine state, like the model it trains; concurrent clients
+// each own their own (internal/parallel runs one client per worker).
+type Trainer struct {
+	cfg     Config
+	opt     *nn.SGD
+	scratch tensor.Arena
+	labels  []int
+}
+
+// NewTrainer builds a reusable training loop for the given hyperparameters.
+func NewTrainer(cfg Config) *Trainer {
 	cfg = cfg.withDefaults()
-	opt := nn.NewSGD(cfg.LR, cfg.Momentum, cfg.WeightDecay)
-	for e := 0; e < cfg.LocalEpochs; e++ {
+	return &Trainer{
+		cfg: cfg,
+		opt: nn.NewSGD(cfg.LR, cfg.Momentum, cfg.WeightDecay),
+	}
+}
+
+// Train runs cfg.LocalEpochs of minibatch SGD over data on model m, in
+// place. Momentum restarts from zero on every call, matching a freshly
+// constructed optimizer — each federated local update is an independent
+// SGD run — while the velocity buffers themselves are reused.
+func (t *Trainer) Train(m *nn.Sequential, data *dataset.Dataset, rng *rand.Rand) {
+	t.opt.ZeroVelocity()
+	var x *tensor.Tensor
+	for e := 0; e < t.cfg.LocalEpochs; e++ {
 		data.Shuffle(rng)
-		for lo := 0; lo < data.Len(); lo += cfg.BatchSize {
-			hi := lo + cfg.BatchSize
+		for lo := 0; lo < data.Len(); lo += t.cfg.BatchSize {
+			hi := lo + t.cfg.BatchSize
 			if hi > data.Len() {
 				hi = data.Len()
 			}
-			x, labels := data.Batch(lo, hi)
+			s := data.Shape
+			x = t.scratch.Get("x", hi-lo, s.C, s.H, s.W)
+			x, t.labels = data.BatchInto(lo, hi, x, t.labels)
 			m.ZeroGrads()
 			logits := m.Forward(x, true)
-			_, d := nn.SoftmaxXent(logits, labels)
-			m.Backward(d)
-			opt.Step(m)
+			dlogits := t.scratch.GetLike("dlogits", logits)
+			nn.SoftmaxXentInto(dlogits, logits, t.labels)
+			m.Backward(dlogits)
+			t.opt.Step(m)
 		}
 	}
+}
+
+// TrainLocal runs cfg.LocalEpochs of minibatch SGD over data on model m,
+// in place. It is the single training loop shared by honest clients,
+// attackers and the fine-tuning phase of the defense. Callers that train
+// repeatedly should hold a Trainer instead to reuse its buffers.
+func TrainLocal(m *nn.Sequential, data *dataset.Dataset, cfg Config, rng *rand.Rand) {
+	NewTrainer(cfg).Train(m, data, rng)
 }
 
 // deltaOf returns after − before element-wise.

@@ -42,6 +42,10 @@ type BatchNorm2D struct {
 	n          int // batch size of cached pass
 	hw         int // spatial size of cached pass
 	frozenPass bool
+
+	// scratch holds the reusable train-mode output, xhat cache and
+	// backward dx buffers. Not cloned or serialized.
+	scratch tensor.Arena
 }
 
 var _ Prunable = (*BatchNorm2D)(nil)
@@ -87,14 +91,20 @@ func (l *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	}
 	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
 	hw := h * w
-	out := tensor.New(n, l.channels, h, w)
+	// The training output and xhat cache are reused across steps;
+	// inference passes allocate fresh because callers may retain the
+	// result.
+	var out *tensor.Tensor
 	if train {
-		l.xhat = tensor.New(n, l.channels, h, w)
-		l.invStd = make([]float64, l.channels)
+		out = l.scratch.GetLike("out", x)
+		l.xhat = l.scratch.GetLike("xhat", x)
+		if len(l.invStd) != l.channels {
+			l.invStd = make([]float64, l.channels)
+		}
 		l.n, l.hw = n, hw
-	}
-	if train {
 		l.frozenPass = l.frozen
+	} else {
+		out = tensor.New(n, l.channels, h, w)
 	}
 	cnt := float64(n * hw)
 	for c := 0; c < l.channels; c++ {
@@ -153,7 +163,7 @@ func (l *BatchNorm2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	}
 	n, hw := l.n, l.hw
 	cnt := float64(n * hw)
-	dx := tensor.New(dout.Shape()...)
+	dx := l.scratch.GetLike("dx", dout)
 	if l.frozenPass {
 		// Statistics are constants: dx = dout · γ · invStd.
 		for c := 0; c < l.channels; c++ {

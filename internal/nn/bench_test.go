@@ -17,6 +17,7 @@ func benchForward(b *testing.B, build ModelBuilder, in Input) {
 	m := build(in, 10, rng)
 	x := tensor.New(20, in.C, in.H, in.W)
 	x.Randn(rng, 1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.Forward(x, false)
@@ -33,6 +34,7 @@ func benchTrainStep(b *testing.B, build ModelBuilder, in Input) {
 	for i := range labels {
 		labels[i] = i % 10
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.ZeroGrads()
@@ -40,6 +42,63 @@ func benchTrainStep(b *testing.B, build ModelBuilder, in Input) {
 		_, d := SoftmaxXent(logits, labels)
 		m.Backward(d)
 		opt.Step(m)
+	}
+}
+
+// BenchmarkTrainStep is the headline hot-path benchmark: one full SGD step
+// (forward + backward + update) on SmallCNN with a batch of 32, the unit of
+// work every federated round multiplies. allocs/op here is the number the
+// allocation-free training work is gated on.
+func BenchmarkTrainStep(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	m := NewSmallCNN(in1, 10, rng)
+	opt := NewSGD(0.05, 0.9, 1e-4)
+	x := tensor.New(32, in1.C, in1.H, in1.W)
+	x.Randn(rng, 1)
+	labels := make([]int, 32)
+	for i := range labels {
+		labels[i] = i % 10
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ZeroGrads()
+		logits := m.Forward(x, true)
+		_, d := SoftmaxXent(logits, labels)
+		m.Backward(d)
+		opt.Step(m)
+	}
+}
+
+// BenchmarkConv2DForward isolates a single convolution layer's training
+// forward pass (batch 32), the dominant kernel of the train step.
+func BenchmarkConv2DForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	dims := tensor.ConvDims{C: 8, H: 16, W: 16, K: 3, Stride: 1, Pad: 1}
+	l := NewConv2D("conv", dims, 16, rng)
+	x := tensor.New(32, dims.C, dims.H, dims.W)
+	x.Randn(rng, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Forward(x, true)
+	}
+}
+
+// BenchmarkConv2DBackward isolates the convolution backward pass (batch 32).
+func BenchmarkConv2DBackward(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	dims := tensor.ConvDims{C: 8, H: 16, W: 16, K: 3, Stride: 1, Pad: 1}
+	l := NewConv2D("conv", dims, 16, rng)
+	x := tensor.New(32, dims.C, dims.H, dims.W)
+	x.Randn(rng, 1)
+	out := l.Forward(x, true)
+	dout := tensor.New(out.Shape()...)
+	dout.Randn(rng, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Backward(dout)
 	}
 }
 
@@ -58,6 +117,7 @@ func benchForwardBatch(b *testing.B, workers int) {
 	m := NewSmallCNN(in1, 10, rng)
 	x := tensor.New(64, in1.C, in1.H, in1.W)
 	x.Randn(rng, 1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.Forward(x, false)

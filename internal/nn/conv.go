@@ -23,10 +23,28 @@ type Conv2D struct {
 	// bias are held at zero by EnforceMask.
 	pruned []bool
 
-	// cols caches the im2col matrices of the last training forward pass,
-	// one per batch sample; inShape caches the input batch shape.
-	cols    []*tensor.Tensor
+	// cols views the im2col matrices of the last training forward pass, one
+	// header per batch sample into the shared colsData backing; inShape
+	// caches the input batch shape. cols is nil after an inference pass.
+	cols     []*tensor.Tensor
+	colsData *tensor.Tensor
+	// colsHdr holds the persistent per-sample headers cols views into, and
+	// colsFor records which backing they currently point at, so a steady
+	// batch size re-points nothing and allocates nothing.
+	colsHdr []*tensor.Tensor
+	colsFor *tensor.Tensor
 	inShape []int
+
+	// scratch holds the single-goroutine reusable buffers of the layer
+	// (train-mode output, backward scratch, serial-path matmul results);
+	// blockRes/blockCol are the per-block equivalents for the sample-
+	// parallel forward, indexed by deterministic block id so concurrent
+	// blocks never share a buffer. None of this state is cloned or
+	// serialized — see DESIGN.md §8.
+	scratch  tensor.Arena
+	blockRes []*tensor.Tensor
+	blockCol []*tensor.Tensor
+	doutMat  *tensor.Tensor
 }
 
 var _ Prunable = (*Conv2D)(nil)
@@ -72,6 +90,40 @@ func (l *Conv2D) OutShape() []int {
 // the last-conv-layer regularization experiment (paper Fig. 10).
 func (l *Conv2D) SetL2(lambda float64) { l.W.L2 = lambda }
 
+// ensureCols points l.cols at n per-sample (fanIn×spatial) views of a
+// shared backing tensor sized for the batch. The backing comes from the
+// shape-keyed arena, so alternating full and tail batch sizes reuse two
+// persistent buffers instead of reallocating; headers are re-pointed only
+// when the backing actually changes.
+func (l *Conv2D) ensureCols(n, fanIn, spatial int) {
+	backing := l.scratch.Get("cols", n, fanIn, spatial)
+	for len(l.colsHdr) < n {
+		l.colsHdr = append(l.colsHdr, nil)
+	}
+	per := fanIn * spatial
+	for s := 0; s < n; s++ {
+		if l.colsHdr[s] == nil {
+			l.colsHdr[s] = tensor.FromSlice(backing.Data[s*per:(s+1)*per], fanIn, spatial)
+		} else if l.colsFor != backing {
+			l.colsHdr[s].Data = backing.Data[s*per : (s+1)*per]
+		}
+	}
+	l.colsFor = backing
+	l.colsData = backing
+	l.cols = l.colsHdr[:n]
+}
+
+// setInShape caches the input batch shape without allocating when the rank
+// is unchanged.
+func (l *Conv2D) setInShape(x *tensor.Tensor) {
+	if len(l.inShape) != x.Rank() {
+		l.inShape = make([]int, x.Rank())
+	}
+	for i := range l.inShape {
+		l.inShape[i] = x.Dim(i)
+	}
+}
+
 // Forward implements Layer for x of shape (N, C, H, W).
 func (l *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	n := x.Dim(0)
@@ -82,45 +134,84 @@ func (l *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	outH, outW := d.OutH(), d.OutW()
 	spatial := outH * outW
 	fanIn := d.C * d.K * d.K
-	out := tensor.New(n, l.filters, outH, outW)
+	// The training output buffer is reused across steps; inference passes
+	// allocate fresh because callers (activation recording, evaluation)
+	// may retain the result across forward calls.
+	var out *tensor.Tensor
 	if train {
-		l.cols = make([]*tensor.Tensor, n)
-		l.inShape = x.Shape()
+		out = l.scratch.Get("out", n, l.filters, outH, outW)
+		l.ensureCols(n, fanIn, spatial)
+		l.setInShape(x)
 	} else {
+		out = tensor.New(n, l.filters, outH, outW)
 		l.cols = nil
 	}
 	sampleIn := d.C * d.H * d.W
 	// Every sample is an independent im2col + matmul writing a disjoint
-	// slice of out (and its own l.cols entry), so the batch splits across
-	// workers with bit-identical results; each block reuses one scratch
-	// pair. Small batches stay serial — the per-goroutine cost would exceed
-	// the convolution itself.
+	// slice of out (and its own cols view), so the batch splits across
+	// workers with bit-identical results; each block owns a persistent
+	// scratch pair keyed by its deterministic block index. Small batches
+	// stay serial — the per-goroutine cost would exceed the convolution
+	// itself.
 	work := n * l.filters * spatial * fanIn
 	if parallel.Workers() > 1 && n > 1 && work >= convParallelCutoff {
-		parallel.ForBlocks(n, func(lo, hi int) {
-			col := tensor.New(fanIn, spatial)
-			res := tensor.New(l.filters, spatial)
+		nb := parallel.NumBlocks(n)
+		for len(l.blockRes) < nb {
+			l.blockRes = append(l.blockRes, nil)
+			l.blockCol = append(l.blockCol, nil)
+		}
+		parallel.ForBlocksIndexed(n, func(blk, lo, hi int) {
+			res, col := l.blockScratch(blk, fanIn, spatial)
 			for s := lo; s < hi; s++ {
-				l.forwardSample(x, out, col, res, s, sampleIn, spatial, train)
+				l.forwardSample(x, out, l.sampleCol(col, s, train), res, s, sampleIn, spatial, train)
 			}
 		})
 		return out
 	}
-	col := tensor.New(fanIn, spatial)
-	res := tensor.New(l.filters, spatial)
+	res := l.scratch.Get("res", l.filters, spatial)
+	var col *tensor.Tensor
+	if !train {
+		col = l.scratch.Get("col", fanIn, spatial)
+	}
 	for s := 0; s < n; s++ {
-		l.forwardSample(x, out, col, res, s, sampleIn, spatial, train)
+		l.forwardSample(x, out, l.sampleCol(col, s, train), res, s, sampleIn, spatial, train)
 	}
 	return out
+}
+
+// blockScratch returns the persistent matmul-result and im2col scratch of
+// block blk, growing lazily. Distinct blocks index distinct slice elements,
+// so concurrent blocks never share a buffer; a worker count raised between
+// forwards falls back to a private pair rather than racing.
+func (l *Conv2D) blockScratch(blk, fanIn, spatial int) (res, col *tensor.Tensor) {
+	if blk >= len(l.blockRes) {
+		return tensor.New(l.filters, spatial), tensor.New(fanIn, spatial)
+	}
+	if l.blockRes[blk] == nil {
+		l.blockRes[blk] = tensor.New(l.filters, spatial)
+		l.blockCol[blk] = tensor.New(fanIn, spatial)
+	}
+	return l.blockRes[blk], l.blockCol[blk]
+}
+
+// sampleCol selects the im2col destination for sample s: the persistent
+// per-sample view of the cols backing when training (Backward reads it),
+// the caller's scratch when not.
+func (l *Conv2D) sampleCol(scratch *tensor.Tensor, s int, train bool) *tensor.Tensor {
+	if train {
+		return l.cols[s]
+	}
+	return scratch
 }
 
 // convParallelCutoff is the minimum multiply-add count of a batched conv
 // forward (N·F·OutH·OutW·C·K·K) at which the batch splits across workers.
 const convParallelCutoff = 1 << 17
 
-// forwardSample convolves sample s of batch x into out, using col/res as
-// scratch. It touches only sample-s slices of out and l.cols, so distinct
-// samples may run concurrently.
+// forwardSample convolves sample s of batch x into out, unrolling the
+// sample into col (the persistent cols view when training) and using res as
+// matmul scratch. It touches only sample-s slices of out and l.cols, so
+// distinct samples may run concurrently.
 func (l *Conv2D) forwardSample(x, out, col, res *tensor.Tensor, s, sampleIn, spatial int, train bool) {
 	img := x.Data[s*sampleIn : (s+1)*sampleIn]
 	tensor.Im2Col(img, l.dims, col.Data)
@@ -134,12 +225,11 @@ func (l *Conv2D) forwardSample(x, out, col, res *tensor.Tensor, s, sampleIn, spa
 			drow[j] = v + b
 		}
 	}
-	if train {
-		l.cols[s] = col.Clone()
-	}
 }
 
-// Backward implements Layer.
+// Backward implements Layer. All per-sample temporaries (the dout view, the
+// dW and dcol scratch) and the returned dx live in reusable buffers, so a
+// warm step allocates nothing.
 func (l *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	if l.cols == nil {
 		panic(fmt.Sprintf("nn: %s: Backward without training Forward", l.name))
@@ -148,14 +238,19 @@ func (l *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	d := l.dims
 	spatial := d.OutH() * d.OutW()
 	sampleIn := d.C * d.H * d.W
-	dx := tensor.New(l.inShape...)
+	fanIn := d.C * d.K * d.K
+	dx := l.scratch.Get("dx", l.inShape...)
+	dx.Zero() // Col2Im accumulates
+	dW := l.scratch.Get("dW", l.filters, fanIn)
+	dcol := l.scratch.Get("dcol", fanIn, spatial)
+	if l.doutMat == nil {
+		l.doutMat = tensor.FromSlice(dout.Data[:l.filters*spatial], l.filters, spatial)
+	}
+	doutMat := l.doutMat
 	for s := 0; s < n; s++ {
-		doutMat := tensor.FromSlice(
-			dout.Data[s*l.filters*spatial:(s+1)*l.filters*spatial],
-			l.filters, spatial,
-		)
+		doutMat.Data = dout.Data[s*l.filters*spatial : (s+1)*l.filters*spatial]
 		// dW += dout · colᵀ
-		dW := tensor.MatMulTransB(doutMat, l.cols[s])
+		tensor.MatMulTransBInto(dW, doutMat, l.cols[s])
 		l.W.Grad.Add(dW)
 		// db += row sums of dout
 		for f := 0; f < l.filters; f++ {
@@ -167,7 +262,7 @@ func (l *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
 			l.B.Grad.Data[f] += s0
 		}
 		// dx = col2im(Wᵀ · dout)
-		dcol := tensor.MatMulTransA(l.W.Value, doutMat)
+		tensor.MatMulTransAInto(dcol, l.W.Value, doutMat)
 		tensor.Col2Im(dcol.Data, d, dx.Data[s*sampleIn:(s+1)*sampleIn])
 	}
 	// Gradients of pruned channels are discarded so masked units stay dead.
@@ -178,7 +273,8 @@ func (l *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
 // Params implements Layer.
 func (l *Conv2D) Params() []*Param { return []*Param{l.W, l.B} }
 
-// CloneLayer implements Layer.
+// CloneLayer implements Layer. Scratch buffers are deliberately not copied:
+// the clone warms up its own.
 func (l *Conv2D) CloneLayer() Layer {
 	c := &Conv2D{
 		name:    l.name,

@@ -20,6 +20,11 @@ type Dense struct {
 
 	// x caches the input of the last training forward pass.
 	x *tensor.Tensor
+
+	// scratch holds the reusable train-mode output, the dW gradient
+	// scratch and the returned dx, so a warm step allocates nothing. Not
+	// cloned or serialized.
+	scratch tensor.Arena
 }
 
 var _ Prunable = (*Dense)(nil)
@@ -59,13 +64,18 @@ func (l *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if x.Rank() != 2 || x.Dim(1) != l.in {
 		panic(fmt.Sprintf("nn: %s: input shape %v, want [N %d]", l.name, x.Shape(), l.in))
 	}
+	n := x.Dim(0)
+	// The training output buffer is reused across steps; inference passes
+	// allocate fresh because callers may retain the result.
+	var out *tensor.Tensor
 	if train {
 		l.x = x
+		out = l.scratch.Get("out", n, l.out)
 	} else {
 		l.x = nil
+		out = tensor.New(n, l.out)
 	}
-	out := tensor.MatMul(x, l.W.Value)
-	n := x.Dim(0)
+	tensor.MatMulInto(out, x, l.W.Value)
 	for s := 0; s < n; s++ {
 		row := out.Data[s*l.out : (s+1)*l.out]
 		for j := range row {
@@ -75,13 +85,16 @@ func (l *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	return out
 }
 
-// Backward implements Layer.
+// Backward implements Layer. The dW scratch and the returned dx live in
+// reusable buffers, so a warm step allocates nothing.
 func (l *Dense) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	if l.x == nil {
 		panic(fmt.Sprintf("nn: %s: Backward without training Forward", l.name))
 	}
 	// dW += xᵀ · dout
-	l.W.Grad.Add(tensor.MatMulTransA(l.x, dout))
+	dW := l.scratch.Get("dW", l.in, l.out)
+	tensor.MatMulTransAInto(dW, l.x, dout)
+	l.W.Grad.Add(dW)
 	// db += column sums of dout
 	n := dout.Dim(0)
 	for s := 0; s < n; s++ {
@@ -92,7 +105,9 @@ func (l *Dense) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	}
 	l.maskGrads()
 	// dx = dout · Wᵀ
-	return tensor.MatMulTransB(dout, l.W.Value)
+	dx := l.scratch.Get("dx", n, l.in)
+	tensor.MatMulTransBInto(dx, dout, l.W.Value)
+	return dx
 }
 
 // Params implements Layer.

@@ -12,6 +12,15 @@ import (
 // of the loss with respect to the logits. The softmax is computed with the
 // max-subtraction trick for numerical stability.
 func SoftmaxXent(logits *tensor.Tensor, labels []int) (loss float64, dlogits *tensor.Tensor) {
+	dlogits = tensor.New(logits.Dim(0), logits.Dim(1))
+	loss = SoftmaxXentInto(dlogits, logits, labels)
+	return loss, dlogits
+}
+
+// SoftmaxXentInto is SoftmaxXent writing the logits gradient into dst
+// (shape (N, classes), every element overwritten) and returning the loss.
+// Training loops pass a reusable dst so a warm step allocates nothing.
+func SoftmaxXentInto(dst, logits *tensor.Tensor, labels []int) (loss float64) {
 	if logits.Rank() != 2 {
 		panic(fmt.Sprintf("nn: SoftmaxXent logits rank %d, want 2", logits.Rank()))
 	}
@@ -19,7 +28,10 @@ func SoftmaxXent(logits *tensor.Tensor, labels []int) (loss float64, dlogits *te
 	if len(labels) != n {
 		panic(fmt.Sprintf("nn: SoftmaxXent %d labels for batch of %d", len(labels), n))
 	}
-	dlogits = tensor.New(n, c)
+	if dst.Rank() != 2 || dst.Dim(0) != n || dst.Dim(1) != c {
+		panic(fmt.Sprintf("nn: SoftmaxXentInto dst shape %v, want [%d %d]", dst.Shape(), n, c))
+	}
+	dlogits := dst
 	inv := 1.0 / float64(n)
 	for s := 0; s < n; s++ {
 		y := labels[s]
@@ -46,7 +58,7 @@ func SoftmaxXent(logits *tensor.Tensor, labels []int) (loss float64, dlogits *te
 		}
 		drow[y] -= inv
 	}
-	return loss, dlogits
+	return loss
 }
 
 // Softmax returns the row-wise softmax of logits as a new tensor.

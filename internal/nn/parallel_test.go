@@ -20,11 +20,18 @@ func TestConvForwardParallelBitIdentical(t *testing.T) {
 	x := tensor.New(batch, dims.C, dims.H, dims.W)
 	x.Randn(rng, 1)
 
+	// Train-mode forward reuses the layer's output and im2col buffers
+	// across calls, so the reference run must deep-copy them before the
+	// next run overwrites them in place.
 	run := func(w int) (*tensor.Tensor, []*tensor.Tensor) {
 		prev := parallel.SetWorkers(w)
 		defer parallel.SetWorkers(prev)
-		out := l.Forward(x, true)
-		return out, l.cols
+		out := l.Forward(x, true).Clone()
+		cols := make([]*tensor.Tensor, len(l.cols))
+		for s := range l.cols {
+			cols[s] = l.cols[s].Clone()
+		}
+		return out, cols
 	}
 
 	refOut, refCols := run(1)

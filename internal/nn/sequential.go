@@ -9,6 +9,11 @@ import (
 // Sequential is an ordered stack of layers forming a feed-forward network.
 type Sequential struct {
 	layers []Layer
+
+	// params caches the flattened parameter list. Layers never gain or
+	// lose parameters after construction, so the cache is invalidated only
+	// when the layer slice itself changes (RestoreFrom).
+	params []*Param
 }
 
 // NewSequential builds a network from the given layers.
@@ -56,13 +61,16 @@ func (m *Sequential) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	return dout
 }
 
-// Params returns all learnable parameters in layer order.
+// Params returns all learnable parameters in layer order. The returned
+// slice is cached and shared — callers iterate it every optimizer step and
+// must not mutate it.
 func (m *Sequential) Params() []*Param {
-	var ps []*Param
-	for _, l := range m.layers {
-		ps = append(ps, l.Params()...)
+	if m.params == nil {
+		for _, l := range m.layers {
+			m.params = append(m.params, l.Params()...)
+		}
 	}
-	return ps
+	return m.params
 }
 
 // ZeroGrads clears every parameter gradient.
@@ -158,6 +166,7 @@ func (m *Sequential) RestoreFrom(src *Sequential) {
 	for i, l := range src.layers {
 		m.layers[i] = l.CloneLayer()
 	}
+	m.params = nil // the cached parameter pointers just changed
 }
 
 // StatMask returns a flat boolean mask over ParamsVector positions marking

@@ -10,6 +10,11 @@ import (
 type ReLU struct {
 	name string
 	mask []bool // true where input > 0 in the last training forward
+
+	// scratch holds the reusable train-mode output and backward dx
+	// buffers. Inference passes allocate fresh because callers may retain
+	// the result. Not cloned.
+	scratch tensor.Arena
 }
 
 var _ Layer = (*ReLU)(nil)
@@ -22,36 +27,43 @@ func (l *ReLU) Name() string { return l.name }
 
 // Forward implements Layer.
 func (l *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	out := x.Clone()
-	if train {
-		if cap(l.mask) < len(out.Data) {
-			l.mask = make([]bool, len(out.Data))
-		}
-		l.mask = l.mask[:len(out.Data)]
-	}
-	for i, v := range out.Data {
-		pos := v > 0
-		if !pos {
-			out.Data[i] = 0
-		}
-		if train {
-			l.mask[i] = pos
-		}
-	}
 	if !train {
+		out := x.Clone()
+		for i, v := range out.Data {
+			if v <= 0 {
+				out.Data[i] = 0
+			}
+		}
 		l.mask = nil
+		return out
+	}
+	out := l.scratch.GetLike("out", x)
+	if cap(l.mask) < len(out.Data) {
+		l.mask = make([]bool, len(out.Data))
+	}
+	l.mask = l.mask[:len(out.Data)]
+	for i, v := range x.Data {
+		if v > 0 {
+			out.Data[i] = v
+			l.mask[i] = true
+		} else {
+			out.Data[i] = 0
+			l.mask[i] = false
+		}
 	}
 	return out
 }
 
-// Backward implements Layer.
+// Backward implements Layer. dx lives in a reusable buffer.
 func (l *ReLU) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	if l.mask == nil {
 		panic(fmt.Sprintf("nn: %s: Backward without training Forward", l.name))
 	}
-	dx := dout.Clone()
-	for i := range dx.Data {
-		if !l.mask[i] {
+	dx := l.scratch.GetLike("dx", dout)
+	for i, v := range dout.Data {
+		if l.mask[i] {
+			dx.Data[i] = v
+		} else {
 			dx.Data[i] = 0
 		}
 	}
@@ -68,6 +80,17 @@ func (l *ReLU) CloneLayer() Layer { return &ReLU{name: l.name} }
 type Flatten struct {
 	name    string
 	inShape []int
+
+	// hdrs holds persistent reshape headers per batch size, re-pointed at
+	// the caller's data each training step. Keying by batch size keeps a
+	// training loop that alternates full and tail batches allocation-free
+	// once both sizes have been seen.
+	hdrs map[int]*flattenHdrs
+}
+
+// flattenHdrs is one batch size's pair of reshape headers.
+type flattenHdrs struct {
+	out, dx *tensor.Tensor
 }
 
 var _ Layer = (*Flatten)(nil)
@@ -80,11 +103,38 @@ func (l *Flatten) Name() string { return l.name }
 
 // Forward implements Layer.
 func (l *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	if train {
-		l.inShape = x.Shape()
-	}
 	n := x.Dim(0)
-	return x.Reshape(n, x.Len()/n)
+	d := x.Len() / n
+	if !train {
+		return x.Reshape(n, d)
+	}
+	if len(l.inShape) != x.Rank() {
+		l.inShape = make([]int, x.Rank())
+	}
+	for i := range l.inShape {
+		l.inShape[i] = x.Dim(i)
+	}
+	h := l.headers(n)
+	if h.out == nil || h.out.Dim(1) != d {
+		h.out = x.Reshape(n, d)
+	} else {
+		h.out.Data = x.Data
+	}
+	return h.out
+}
+
+// headers returns the reshape-header pair for batch size n, creating it on
+// first sight of the size.
+func (l *Flatten) headers(n int) *flattenHdrs {
+	if h, ok := l.hdrs[n]; ok {
+		return h
+	}
+	if l.hdrs == nil {
+		l.hdrs = make(map[int]*flattenHdrs)
+	}
+	h := &flattenHdrs{}
+	l.hdrs[n] = h
+	return h
 }
 
 // Backward implements Layer.
@@ -92,7 +142,26 @@ func (l *Flatten) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	if l.inShape == nil {
 		panic(fmt.Sprintf("nn: %s: Backward without training Forward", l.name))
 	}
-	return dout.Reshape(l.inShape...)
+	h := l.headers(l.inShape[0])
+	if h.dx == nil || !sameShape(h.dx, l.inShape) {
+		h.dx = dout.Reshape(l.inShape...)
+	} else {
+		h.dx.Data = dout.Data
+	}
+	return h.dx
+}
+
+// sameShape reports whether t's shape equals shape.
+func sameShape(t *tensor.Tensor, shape []int) bool {
+	if t.Rank() != len(shape) {
+		return false
+	}
+	for i, d := range shape {
+		if t.Dim(i) != d {
+			return false
+		}
+	}
+	return true
 }
 
 // Params implements Layer.
@@ -110,6 +179,10 @@ type MaxPool2D struct {
 
 	inShape []int
 	argmax  []int // flat input index chosen for each output element
+
+	// scratch holds the reusable train-mode output and backward dx
+	// buffers. Not cloned.
+	scratch tensor.Arena
 }
 
 var _ Layer = (*MaxPool2D)(nil)
@@ -136,14 +209,19 @@ func (l *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if outH <= 0 || outW <= 0 {
 		panic(fmt.Sprintf("nn: %s: window %d too large for %d×%d input", l.name, l.size, h, w))
 	}
-	out := tensor.New(n, c, outH, outW)
+	var out *tensor.Tensor
 	if train {
-		l.inShape = x.Shape()
+		out = l.scratch.Get("out", n, c, outH, outW)
+		if len(l.inShape) != 4 {
+			l.inShape = make([]int, 4)
+		}
+		l.inShape[0], l.inShape[1], l.inShape[2], l.inShape[3] = n, c, h, w
 		if cap(l.argmax) < out.Len() {
 			l.argmax = make([]int, out.Len())
 		}
 		l.argmax = l.argmax[:out.Len()]
 	} else {
+		out = tensor.New(n, c, outH, outW)
 		l.argmax = nil
 	}
 	oi := 0
@@ -176,12 +254,13 @@ func (l *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	return out
 }
 
-// Backward implements Layer.
+// Backward implements Layer. dx lives in a reusable buffer.
 func (l *MaxPool2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	if l.argmax == nil {
 		panic(fmt.Sprintf("nn: %s: Backward without training Forward", l.name))
 	}
-	dx := tensor.New(l.inShape...)
+	dx := l.scratch.Get("dx", l.inShape...)
+	dx.Zero() // the scatter below accumulates
 	for oi, v := range dout.Data {
 		dx.Data[l.argmax[oi]] += v
 	}

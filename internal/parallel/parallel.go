@@ -131,21 +131,27 @@ func (r *panicRecorder) repanic() {
 // after every block completed; if any block panicked, the first panic is
 // re-raised in the caller's goroutine.
 func ForBlocks(n int, f func(lo, hi int)) {
+	ForBlocksIndexed(n, func(_, lo, hi int) { f(lo, hi) })
+}
+
+// ForBlocksIndexed is ForBlocks with the block's index passed to f. blk is
+// the block's position in Partition(n, NumBlocks(n)) — a pure function of n
+// and the worker count — so callers can key reusable per-block scratch
+// buffers on it without races: block blk is executed by exactly one
+// goroutine per call.
+func ForBlocksIndexed(n int, f func(blk, lo, hi int)) {
 	if n <= 0 {
 		return
 	}
-	w := Workers()
-	if w > n {
-		w = n
-	}
+	w := NumBlocks(n)
 	if w <= 1 {
-		f(0, n)
+		f(0, 0, n)
 		return
 	}
 	var wg sync.WaitGroup
 	var pr panicRecorder
-	for _, blk := range Partition(n, w) {
-		lo, hi := blk[0], blk[1]
+	for i, b := range Partition(n, w) {
+		blk, lo, hi := i, b[0], b[1]
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -154,11 +160,28 @@ func ForBlocks(n int, f func(lo, hi int)) {
 					pr.record(v)
 				}
 			}()
-			f(lo, hi)
+			f(blk, lo, hi)
 		}()
 	}
 	wg.Wait()
 	pr.repanic()
+}
+
+// NumBlocks returns the number of blocks ForBlocks/ForBlocksIndexed will
+// split [0,n) into under the current worker count: min(Workers(), n), at
+// least 1 for positive n. Callers sizing per-block scratch use it.
+func NumBlocks(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	w := Workers()
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // For runs f(i) for every i in [0,n) across the effective worker count.

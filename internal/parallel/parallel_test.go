@@ -164,6 +164,41 @@ func TestForBlocksPropagatesPanic(t *testing.T) {
 	})
 }
 
+func TestForBlocksIndexedMatchesPartition(t *testing.T) {
+	for _, w := range []int{1, 2, 5, 16} {
+		withWorkers(t, w, func() {
+			const n = 103
+			want := Partition(n, NumBlocks(n))
+			got := make([][2]int, len(want))
+			hits := make([]int32, len(want))
+			ForBlocksIndexed(n, func(blk, lo, hi int) {
+				atomic.AddInt32(&hits[blk], 1)
+				got[blk] = [2]int{lo, hi}
+			})
+			for blk := range want {
+				if hits[blk] != 1 {
+					t.Fatalf("workers=%d: block %d run %d times", w, blk, hits[blk])
+				}
+				if got[blk] != want[blk] {
+					t.Fatalf("workers=%d: block %d = %v, want %v", w, blk, got[blk], want[blk])
+				}
+			}
+		})
+	}
+}
+
+func TestNumBlocks(t *testing.T) {
+	withWorkers(t, 4, func() {
+		for _, tc := range []struct{ n, want int }{
+			{-1, 0}, {0, 0}, {1, 1}, {3, 3}, {4, 4}, {5, 4}, {100, 4},
+		} {
+			if got := NumBlocks(tc.n); got != tc.want {
+				t.Fatalf("NumBlocks(%d) = %d with 4 workers, want %d", tc.n, got, tc.want)
+			}
+		}
+	})
+}
+
 func TestForZeroAndNegative(t *testing.T) {
 	called := false
 	For(0, func(int) { called = true })

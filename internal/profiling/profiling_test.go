@@ -1,0 +1,50 @@
+package profiling
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStartNoopWhenUnset(t *testing.T) {
+	stop := Start("", "")
+	stop() // must not write anything or exit
+}
+
+func TestStartWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	stop := Start(cpu, mem)
+	// Burn a little CPU so the profile has something to hold (an empty
+	// profile file is still valid; this just exercises the running state).
+	s := 0.0
+	for i := 0; i < 1_000_000; i++ {
+		s += float64(i)
+	}
+	_ = s
+	stop()
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+}
+
+func TestStartFatalOnBadPath(t *testing.T) {
+	prev := fatalf
+	defer func() { fatalf = prev }()
+	called := false
+	fatalf = func(string, ...any) { called = true; panic("fatal") }
+	func() {
+		defer func() { recover() }()
+		Start(filepath.Join(t.TempDir(), "no-such-dir", "cpu.pprof"), "")
+	}()
+	if !called {
+		t.Fatal("unwritable CPU profile path did not fail")
+	}
+}

@@ -1,0 +1,120 @@
+package tensor
+
+import "fmt"
+
+// maxArenaRank bounds the tensor rank an Arena can key on. Every tensor in
+// the training stack is rank 1–4 (NCHW batches at most).
+const maxArenaRank = 4
+
+// arenaKey identifies one scratch buffer: a caller-chosen slot name plus
+// the exact shape. Keeping the key a comparable value type makes the map
+// lookup allocation-free, which is the whole point of the arena.
+type arenaKey struct {
+	slot string
+	rank int
+	dims [maxArenaRank]int
+}
+
+// Arena is a shape-keyed pool of reusable scratch tensors. Get returns the
+// same buffer for the same (slot, shape) pair on every call, allocating only
+// on first use, so a steady-state training loop that routes its temporaries
+// through an arena performs zero heap allocations per step after warm-up.
+//
+// Buffers for distinct shapes coexist (a partial tail batch does not evict
+// the full-batch buffer), and the slot string separates same-shaped buffers
+// that must not alias (e.g. a matmul destination and its gradient scratch).
+//
+// Ownership rules (see DESIGN.md §8):
+//   - An Arena is single-goroutine state, exactly like the layer that owns
+//     it. Concurrent workers must each own their own Arena (or per-block
+//     scratch), mirroring how the conv forward pass hands every worker
+//     block its own buffers.
+//   - Get does not zero recycled buffers; callers that need zeroed storage
+//     call Zero explicitly (freshly allocated buffers are zero-filled).
+//   - A buffer is valid until the next Get with the same slot and shape;
+//     callers must not retain it across steps.
+//
+// The zero value is ready to use.
+type Arena struct {
+	m map[arenaKey]*Tensor
+}
+
+// Get returns the arena's buffer for (slot, shape), allocating a zeroed
+// tensor on first use. Recycled buffers keep their previous contents.
+//
+// The shape slice is only read, never retained: the miss path rebuilds the
+// shape from the comparable key, so the caller's variadic argument does not
+// escape and a warm Get is allocation-free (the gate in alloc_test.go pins
+// this).
+func (a *Arena) Get(slot string, shape ...int) *Tensor {
+	if len(shape) > maxArenaRank {
+		panic(fmt.Sprintf("tensor: Arena.Get rank %d exceeds %d", len(shape), maxArenaRank))
+	}
+	k := arenaKey{slot: slot, rank: len(shape)}
+	copy(k.dims[:], shape)
+	if t, ok := a.m[k]; ok {
+		return t
+	}
+	return a.miss(k)
+}
+
+// GetLike returns the arena's buffer with exactly t's shape, allocating a
+// zeroed tensor on first use. Unlike Get(slot, t.Shape()...) it reads the
+// shape in place, keeping the warm path allocation-free.
+func (a *Arena) GetLike(slot string, t *Tensor) *Tensor {
+	if len(t.shape) > maxArenaRank {
+		panic(fmt.Sprintf("tensor: Arena.GetLike rank %d exceeds %d", len(t.shape), maxArenaRank))
+	}
+	k := arenaKey{slot: slot, rank: len(t.shape)}
+	copy(k.dims[:], t.shape)
+	if b, ok := a.m[k]; ok {
+		return b
+	}
+	return a.miss(k)
+}
+
+// miss allocates and registers the buffer for key k (the cold path of
+// Get/GetLike).
+func (a *Arena) miss(k arenaKey) *Tensor {
+	if a.m == nil {
+		a.m = make(map[arenaKey]*Tensor)
+	}
+	t := New(k.dims[:k.rank]...)
+	a.m[k] = t
+	return t
+}
+
+// Reset drops every cached buffer, returning the arena to its zero state.
+func (a *Arena) Reset() { a.m = nil }
+
+// EnsureShape returns t when it already has exactly the wanted shape, and a
+// fresh zeroed tensor otherwise (including t == nil). It is the single-slot
+// sibling of Arena.Get for call sites whose scratch shape only changes when
+// the batch geometry does. Like Arena.Get, the shape slice is only read, so
+// the reuse path is allocation-free even with an inline variadic argument.
+func EnsureShape(t *Tensor, shape ...int) *Tensor {
+	if t != nil && len(t.shape) == len(shape) {
+		same := true
+		for i, d := range shape {
+			if t.shape[i] != d {
+				same = false
+				break
+			}
+		}
+		if same {
+			return t
+		}
+	}
+	if len(shape) <= maxArenaRank {
+		k := arenaKey{rank: len(shape)}
+		copy(k.dims[:], shape)
+		return newFromKey(k)
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return New(s...)
+}
+
+// newFromKey is the cold allocation path of EnsureShape, separated so the
+// caller's shape argument does not escape.
+func newFromKey(k arenaKey) *Tensor { return New(k.dims[:k.rank]...) }

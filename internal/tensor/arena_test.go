@@ -1,0 +1,86 @@
+package tensor
+
+import "testing"
+
+func TestArenaReturnsSameBufferForSameKey(t *testing.T) {
+	var a Arena
+	x := a.Get("x", 4, 3)
+	if got := x.Shape(); len(got) != 2 || got[0] != 4 || got[1] != 3 {
+		t.Fatalf("Get shape = %v, want [4 3]", got)
+	}
+	x.Data[0] = 7
+	y := a.Get("x", 4, 3)
+	if y != x {
+		t.Fatal("second Get with same slot/shape returned a different tensor")
+	}
+	if y.Data[0] != 7 {
+		t.Fatal("recycled buffer was zeroed; Get must keep contents")
+	}
+}
+
+func TestArenaDistinguishesSlotAndShape(t *testing.T) {
+	var a Arena
+	x := a.Get("x", 4, 3)
+	if a.Get("y", 4, 3) == x {
+		t.Fatal("different slots with the same shape must not alias")
+	}
+	if a.Get("x", 3, 4) == x {
+		t.Fatal("same slot with a different shape must not alias")
+	}
+	if a.Get("x", 12) == x {
+		t.Fatal("same slot with a different rank must not alias")
+	}
+	// The original key still resolves to the original buffer.
+	if a.Get("x", 4, 3) != x {
+		t.Fatal("coexisting shapes evicted the original buffer")
+	}
+}
+
+func TestArenaGetLikeMatchesGet(t *testing.T) {
+	var a Arena
+	proto := New(2, 3, 4)
+	if a.GetLike("s", proto) != a.Get("s", 2, 3, 4) {
+		t.Fatal("GetLike and Get with the same slot/shape returned different buffers")
+	}
+	if a.GetLike("s", proto) == proto {
+		t.Fatal("GetLike returned the prototype itself")
+	}
+}
+
+func TestArenaReset(t *testing.T) {
+	var a Arena
+	x := a.Get("x", 5)
+	a.Reset()
+	if a.Get("x", 5) == x {
+		t.Fatal("Reset kept the old buffer")
+	}
+}
+
+func TestArenaRejectsExcessiveRank(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Get with rank 5 did not panic")
+		}
+	}()
+	var a Arena
+	a.Get("x", 1, 2, 3, 4, 5)
+}
+
+func TestEnsureShape(t *testing.T) {
+	x := New(3, 4)
+	x.Data[0] = 1
+	if got := EnsureShape(x, 3, 4); got != x {
+		t.Fatal("EnsureShape reallocated despite matching shape")
+	}
+	if got := EnsureShape(x, 4, 3); got == x {
+		t.Fatal("EnsureShape reused a buffer of the wrong shape")
+	} else if s := got.Shape(); s[0] != 4 || s[1] != 3 {
+		t.Fatalf("EnsureShape new shape = %v, want [4 3]", s)
+	}
+	if got := EnsureShape(nil, 2, 2); got == nil || got.Len() != 4 {
+		t.Fatal("EnsureShape(nil) did not allocate")
+	}
+	if got := EnsureShape(x, 3, 4, 1); got == x {
+		t.Fatal("EnsureShape reused a buffer of the wrong rank")
+	}
+}

@@ -17,6 +17,7 @@ func benchMat(b *testing.B, m, k, n int) {
 	bb := New(k, n)
 	bb.Randn(rng, 1)
 	dst := New(m, n)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		MatMulInto(dst, a, bb)
@@ -50,6 +51,7 @@ func BenchmarkIm2Col16x16(b *testing.B) {
 		img[i] = rng.NormFloat64()
 	}
 	dst := make([]float64, d.C*d.K*d.K*d.OutH()*d.OutW())
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		Im2Col(img, d, dst)
@@ -64,6 +66,7 @@ func BenchmarkCol2Im16x16(b *testing.B) {
 		col[i] = rng.NormFloat64()
 	}
 	dst := make([]float64, d.C*d.H*d.W)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for j := range dst {

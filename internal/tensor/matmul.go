@@ -86,23 +86,40 @@ func matmulRows(dst, a, b []float64, lo, hi, k, n int) {
 // MatMulTransB returns a·bᵀ for a (m×k) and b (n×k). Used by the dense and
 // conv backward passes, avoiding an explicit transpose allocation.
 func MatMulTransB(a, b *Tensor) *Tensor {
+	m, _, n := checkMatMulTransB(a, b)
+	out := New(m, n)
+	MatMulTransBInto(out, a, b)
+	return out
+}
+
+// MatMulTransBInto computes dst = a·bᵀ for a (m×k) and b (n×k), reusing
+// dst's buffer. dst must be m×n; every cell is overwritten. The kernel and
+// its parallel row-blocking are identical to MatMulTransB, so the result is
+// bit-identical to the allocating variant at any worker count.
+func MatMulTransBInto(dst, a, b *Tensor) {
+	m, k, n := checkMatMulTransB(a, b)
+	if dst.Rank() != 2 || dst.Dim(0) != m || dst.Dim(1) != n {
+		panic(fmt.Sprintf("tensor: MatMulTransBInto dst shape %v, want [%d %d]", dst.shape, m, n))
+	}
+	if parallelRows(m, m*k*n) {
+		parallel.ForBlocks(m, func(lo, hi int) {
+			matmulTransBRows(dst.Data, a.Data, b.Data, lo, hi, k, n)
+		})
+		return
+	}
+	matmulTransBRows(dst.Data, a.Data, b.Data, 0, m, k, n)
+}
+
+func checkMatMulTransB(a, b *Tensor) (m, k, n int) {
 	if a.Rank() != 2 || b.Rank() != 2 {
 		panic(fmt.Sprintf("tensor: MatMulTransB requires rank-2 operands, got %v and %v", a.shape, b.shape))
 	}
-	m, k := a.Dim(0), a.Dim(1)
-	n := b.Dim(0)
+	m, k = a.Dim(0), a.Dim(1)
+	n = b.Dim(0)
 	if b.Dim(1) != k {
 		panic(fmt.Sprintf("tensor: MatMulTransB inner dimension mismatch %v × %vᵀ", a.shape, b.shape))
 	}
-	out := New(m, n)
-	if parallelRows(m, m*k*n) {
-		parallel.ForBlocks(m, func(lo, hi int) {
-			matmulTransBRows(out.Data, a.Data, b.Data, lo, hi, k, n)
-		})
-		return out
-	}
-	matmulTransBRows(out.Data, a.Data, b.Data, 0, m, k, n)
-	return out
+	return m, k, n
 }
 
 // matmulTransBRows computes output rows [lo,hi) of a·bᵀ.
@@ -124,23 +141,47 @@ func matmulTransBRows(dst, a, b []float64, lo, hi, k, n int) {
 // MatMulTransA returns aᵀ·b for a (k×m) and b (k×n). Used to compute weight
 // gradients without materializing the transpose.
 func MatMulTransA(a, b *Tensor) *Tensor {
+	m, _, n := checkMatMulTransA(a, b)
+	out := New(m, n)
+	matMulTransAAccum(out, a, b)
+	return out
+}
+
+// MatMulTransAInto computes dst = aᵀ·b for a (k×m) and b (k×n), reusing
+// dst's buffer. dst must be m×n; it is zeroed first because the kernel
+// accumulates. Accumulation order matches MatMulTransA exactly, so the
+// result is bit-identical to the allocating variant at any worker count.
+func MatMulTransAInto(dst, a, b *Tensor) {
+	m, _, n := checkMatMulTransA(a, b)
+	if dst.Rank() != 2 || dst.Dim(0) != m || dst.Dim(1) != n {
+		panic(fmt.Sprintf("tensor: MatMulTransAInto dst shape %v, want [%d %d]", dst.shape, m, n))
+	}
+	dst.Zero()
+	matMulTransAAccum(dst, a, b)
+}
+
+func checkMatMulTransA(a, b *Tensor) (m, k, n int) {
 	if a.Rank() != 2 || b.Rank() != 2 {
 		panic(fmt.Sprintf("tensor: MatMulTransA requires rank-2 operands, got %v and %v", a.shape, b.shape))
 	}
-	k, m := a.Dim(0), a.Dim(1)
+	k, m = a.Dim(0), a.Dim(1)
 	if b.Dim(0) != k {
 		panic(fmt.Sprintf("tensor: MatMulTransA inner dimension mismatch %vᵀ × %v", a.shape, b.shape))
 	}
+	return m, k, b.Dim(1)
+}
+
+// matMulTransAAccum accumulates aᵀ·b into dst, which the caller has zeroed.
+func matMulTransAAccum(dst, a, b *Tensor) {
+	k, m := a.Dim(0), a.Dim(1)
 	n := b.Dim(1)
-	out := New(m, n)
 	if parallelRows(m, m*k*n) {
 		parallel.ForBlocks(m, func(lo, hi int) {
-			matmulTransARows(out.Data, a.Data, b.Data, lo, hi, k, m, n)
+			matmulTransARows(dst.Data, a.Data, b.Data, lo, hi, k, m, n)
 		})
-		return out
+		return
 	}
-	matmulTransARows(out.Data, a.Data, b.Data, 0, m, k, m, n)
-	return out
+	matmulTransARows(dst.Data, a.Data, b.Data, 0, m, k, m, n)
 }
 
 // matmulTransARows accumulates output rows [lo,hi) of aᵀ·b. For every
