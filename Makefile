@@ -10,6 +10,11 @@ GO ?= go
 # federated round.
 BENCH_SET = BenchmarkMatMul16x144x64$$|BenchmarkConv2DForward$$|BenchmarkConv2DBackward$$|^BenchmarkTrainStep$$|BenchmarkFLRound16ClientsSerial$$
 
+# The defense-loop benchmarks joined against the PR-3 baseline capture
+# (taken before incremental evaluation): the prune sweep, the AW sweep and
+# the end-to-end pipeline, all with workers pinned to 1 by their fixture.
+DEFENSE_BENCH_SET = BenchmarkPruneSweep$$|BenchmarkAWSweep$$|BenchmarkDefendPipeline$$
+
 ## build: compile every package
 build:
 	$(GO) build ./...
@@ -27,20 +32,24 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/tensor ./internal/nn
 
-## bench-json: measure the hot-path benchmark set and write BENCH_2.json,
-## joining the committed pre-optimization baseline (bench_baseline_pr2.txt)
-## so time and allocation ratios are machine-readable
+## bench-json: measure the hot-path and defense-loop benchmark sets and
+## write BENCH_2.json / BENCH_3.json, joining the committed
+## pre-optimization baselines (bench_baseline_pr2.txt / _pr3.txt) so time
+## and allocation ratios are machine-readable
 bench-json:
 	$(GO) test -run '^$$' -bench '$(BENCH_SET)' -benchmem -benchtime 20x \
 		./internal/tensor ./internal/nn . \
 		| $(GO) run ./cmd/benchjson -baseline bench_baseline_pr2.txt -o BENCH_2.json
 	@echo wrote BENCH_2.json
+	$(GO) test -run '^$$' -bench '$(DEFENSE_BENCH_SET)' -benchmem -benchtime 10x . \
+		| $(GO) run ./cmd/benchjson -baseline bench_baseline_pr3.txt -o BENCH_3.json
+	@echo wrote BENCH_3.json
 
 ## alloc-test: the allocation-regression gate — warm kernels, layer passes
 ## and whole train steps must not allocate (see internal/*/alloc_test.go;
 ## these files are excluded under -race, so the race job cannot cover them)
 alloc-test:
-	$(GO) test -run 'AllocFree' -v ./internal/tensor ./internal/nn ./internal/fl
+	$(GO) test -run 'AllocFree' -v ./internal/tensor ./internal/nn ./internal/fl ./internal/metrics
 
 ## fmt: fail if any file needs gofmt
 fmt:

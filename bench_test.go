@@ -13,9 +13,11 @@ import (
 	"math/rand"
 	"testing"
 
+	"github.com/fedcleanse/fedcleanse/internal/core"
 	"github.com/fedcleanse/fedcleanse/internal/dataset"
 	"github.com/fedcleanse/fedcleanse/internal/eval"
 	"github.com/fedcleanse/fedcleanse/internal/fl"
+	"github.com/fedcleanse/fedcleanse/internal/metrics"
 	"github.com/fedcleanse/fedcleanse/internal/nn"
 	"github.com/fedcleanse/fedcleanse/internal/parallel"
 )
@@ -150,6 +152,111 @@ func benchFLRound(b *testing.B, workers int) {
 
 func BenchmarkFLRound16ClientsSerial(b *testing.B)   { benchFLRound(b, 1) }
 func BenchmarkFLRound16ClientsParallel(b *testing.B) { benchFLRound(b, 0) }
+
+// defenseBench is the shared fixture of the defense-loop benchmarks: an
+// (untrained) SmallCNN, the server's validation slice, the attack's test
+// split and a fixed prune order over the last conv layer. The model is
+// deliberately untrained — the benchmarks measure the mutate-then-evaluate
+// loops themselves, whose cost does not depend on the weights.
+type defenseBench struct {
+	template  *nn.Sequential
+	train     *dataset.Dataset
+	val, test *dataset.Dataset
+	poison    dataset.PoisonConfig
+	layerIdx  int
+	order     []int
+}
+
+// newDefenseBench pins the worker count to 1 (serial-vs-serial is the
+// apples-to-apples comparison for the incremental-evaluation work; the
+// parallel fan-out is benchmarked by the FL-round pair above) and builds
+// the fixture. Callers must restore the previous worker count.
+func newDefenseBench() (*defenseBench, func()) {
+	prev := parallel.SetWorkers(1)
+	train, test := dataset.GenSynthMNIST(dataset.GenConfig{TrainPerClass: 80, TestPerClass: 40, Seed: 61})
+	rng := rand.New(rand.NewSource(62))
+	template := nn.NewSmallCNN(nn.Input{C: 1, H: 16, W: 16}, 10, rng)
+	nVal := test.Len() * 3 / 10
+	f := &defenseBench{
+		template: template,
+		train:    train,
+		val:      &dataset.Dataset{Shape: test.Shape, Classes: test.Classes, Samples: test.Samples[:nVal]},
+		test:     &dataset.Dataset{Shape: test.Shape, Classes: test.Classes, Samples: test.Samples[nVal:]},
+		poison: dataset.PoisonConfig{
+			Trigger:     dataset.PixelPattern(3, dataset.Shape{C: 1, H: 16, W: 16}),
+			VictimLabel: 9,
+			TargetLabel: 2,
+		},
+		layerIdx: template.LastConvIndex(),
+	}
+	units := template.Layer(f.layerIdx).(nn.Prunable).Units()
+	f.order = rng.Perm(units)
+	return f, func() { parallel.SetWorkers(prev) }
+}
+
+// BenchmarkPruneSweep measures the Fig. 5 instrument: pruning every unit
+// of the last conv layer while recording benign accuracy and attack
+// success after each prune.
+func BenchmarkPruneSweep(b *testing.B) {
+	f, restore := newDefenseBench()
+	defer restore()
+	ta := metrics.NewSuffixEvaluator(f.val, 0)
+	asr := metrics.NewCachedASR(f.test, f.poison, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := f.template.Clone()
+		benchSink = core.PruneSweep(m, f.layerIdx, f.order, ta, asr)
+	}
+}
+
+// BenchmarkAWSweep measures the Fig. 6 instrument over the pipeline's
+// default AW targets (last conv layer, then the first dense layer after
+// it).
+func BenchmarkAWSweep(b *testing.B) {
+	f, restore := newDefenseBench()
+	defer restore()
+	deltas := make([]float64, 0, 17)
+	for d := 5.0; d >= 1; d -= 0.25 {
+		deltas = append(deltas, d)
+	}
+	layers := core.DefaultAWLayers(f.template, f.layerIdx)
+	ta := metrics.NewSuffixEvaluator(f.val, 0)
+	asr := metrics.NewCachedASR(f.test, f.poison, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, li := range layers {
+			m := f.template.Clone()
+			benchSink = core.AWSweep(m, li, deltas, ta, asr)
+		}
+	}
+}
+
+// BenchmarkDefendPipeline measures Algorithm 1 end to end (MVP pruning +
+// adjusting weights; fine-tuning off so the cost is the defense loops plus
+// the clients' activation reports).
+func BenchmarkDefendPipeline(b *testing.B) {
+	f, restore := newDefenseBench()
+	defer restore()
+	const clients = 8
+	rng := rand.New(rand.NewSource(63))
+	shards := dataset.PartitionKLabel(f.train, clients, 3, 40, rng)
+	flCfg := fl.Config{Rounds: 1, LocalEpochs: 1, BatchSize: 20, LR: 0.05}
+	parts := make([]fl.Participant, clients)
+	for i := range parts {
+		parts[i] = fl.NewClient(i, shards[i], f.template, flCfg, 70+int64(i))
+	}
+	cfg := core.DefaultPipelineConfig()
+	cfg.FineTuneRounds = 0
+	evalFn := metrics.NewSuffixEvaluator(f.val, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := f.template.Clone()
+		benchSink = core.RunPipeline(m, fl.ReportClients(parts), nil, evalFn, cfg)
+	}
+}
 
 // BenchmarkAdaptiveAttacks is the ablation for the paper's §VI-B
 // discussion: the defense against a rank-manipulating attacker (Attack 1)

@@ -58,10 +58,10 @@ func main() {
 	s.FL.SelectPerRound = 0
 	server := fl.NewServer(template, parts, s.FL, s.Seed+300)
 
-	ta := func(m *nn.Sequential) float64 { return 100 * metrics.Accuracy(m, test, 0) }
-	aa := func(m *nn.Sequential) float64 {
-		return 100 * metrics.AttackSuccessRate(m, test, s.Poison, 0)
-	}
+	taEval := metrics.NewSuffixEvaluator(test, 0)
+	asrEval := metrics.NewCachedASR(test, s.Poison, 0)
+	ta := func(m *nn.Sequential) float64 { return 100 * taEval.Evaluate(m) }
+	aa := func(m *nn.Sequential) float64 { return 100 * asrEval.Evaluate(m) }
 
 	fmt.Printf("training over %d remote clients ...\n", len(parts))
 	server.Train(func(round int) {
@@ -74,7 +74,7 @@ func main() {
 	fmt.Println("\nrunning the defense pipeline over the wire ...")
 	cfg := core.DefaultPipelineConfig()
 	m := server.Model.Clone()
-	evalFn := func(mm *nn.Sequential) float64 { return metrics.Accuracy(mm, validation, 0) }
+	evalFn := metrics.NewSuffixEvaluator(validation, 0)
 	rep := core.RunPipeline(m, fl.ReportClients(parts), server, evalFn, cfg)
 	fmt.Printf("pruned %d neurons, %d fine-tune rounds, zeroed %d weights\n",
 		len(rep.Prune.Pruned), rep.FineTune.Rounds, rep.AW.Zeroed)

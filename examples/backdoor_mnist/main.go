@@ -58,10 +58,9 @@ func main() {
 	aa := 100 * fedcleanse.AttackSuccessRate(server.Model, test, poison, 0)
 	fmt.Printf("after training: TA=%.1f%% AA=%.1f%%\n\n", ta, aa)
 
-	// Compare defense modes on clones of the trained global model.
-	evalFn := func(m *fedcleanse.Model) float64 {
-		return fedcleanse.Accuracy(m, test, 0)
-	}
+	// Compare defense modes on clones of the trained global model. The
+	// cached evaluator re-runs only the layers a defense step mutated.
+	evalFn := fedcleanse.NewSuffixEvaluator(test, 0)
 	reporters := fedcleanse.ReportClients(parts)
 	for _, mode := range []string{"fp", "fp+aw", "all"} {
 		pcfg := fedcleanse.DefaultPipelineConfig()

@@ -143,6 +143,18 @@ type (
 	DefenseReport = core.Report
 	// ReportClient is the defense's view of a federated client.
 	ReportClient = core.ReportClient
+	// ScopedEvaluator scores candidate models for the defense's
+	// mutate-then-evaluate loops and accepts mutation scopes so
+	// implementations can evaluate incrementally.
+	ScopedEvaluator = core.ScopedEvaluator
+	// Evaluator adapts a plain scoring function to ScopedEvaluator (full
+	// forward pass per evaluation).
+	Evaluator = core.Evaluator
+	// SuffixEvaluator is the cached ScopedEvaluator: inside a mutation
+	// scope it forwards the dataset through the invariant prefix once and
+	// replays only the suffix layers per evaluation, bit-identical to a
+	// full forward pass.
+	SuffixEvaluator = metrics.SuffixEvaluator
 )
 
 // Defense methods and entry points.
@@ -217,6 +229,11 @@ var (
 	Accuracy = metrics.Accuracy
 	// AttackSuccessRate is the paper's AA metric.
 	AttackSuccessRate = metrics.AttackSuccessRate
+	// NewSuffixEvaluator builds a cached accuracy evaluator over a dataset.
+	NewSuffixEvaluator = metrics.NewSuffixEvaluator
+	// NewCachedASR builds a cached attack-success evaluator that poisons
+	// the test set once instead of per call.
+	NewCachedASR = metrics.NewCachedASR
 )
 
 // Baselines.

@@ -45,9 +45,7 @@ func TestPublicAPISurface(t *testing.T) {
 	pcfg := fedcleanse.DefaultPipelineConfig()
 	pcfg.FineTuneRounds = 1
 	m := server.Model.Clone()
-	evalFn := func(mm *fedcleanse.Model) float64 {
-		return fedcleanse.Accuracy(mm, test, 0)
-	}
+	evalFn := fedcleanse.NewSuffixEvaluator(test, 0)
 	rep := fedcleanse.RunPipeline(m, fedcleanse.ReportClients(parts), server, evalFn, pcfg)
 	if rep.AccFinal <= 0 {
 		t.Fatal("pipeline produced no final accuracy")

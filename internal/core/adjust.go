@@ -54,10 +54,19 @@ type AWResult struct {
 // to the original weights (clipping is monotone in Δ, so re-clipping the
 // already-clipped tensor is equivalent). The final sub-threshold clip is
 // reverted. m is modified in place.
-func AdjustWeights(m *nn.Sequential, layerIdx int, cfg AWConfig, eval Evaluator) AWResult {
+//
+// Prune masks are re-enforced after every clip, exactly as in AWSweep, so
+// pruned units stay dead at each evaluated point (numerically this is a
+// no-op — a pruned unit's original weights are already zero, and the clip
+// writes either the original value or zero — but the invariant should not
+// depend on that reasoning at a distance). Every mutation touches only
+// layer layerIdx, which the suffix scope announces to cached evaluators.
+func AdjustWeights(m *nn.Sequential, layerIdx int, cfg AWConfig, eval ScopedEvaluator) AWResult {
 	w := layerWeights(m, layerIdx)
 	mu, sigma := w.Mean(), w.Std()
 	original := w.Clone()
+	eval.BeginSuffix(m, layerIdx)
+	defer eval.EndScope()
 	var res AWResult
 	res.FinalDelta = cfg.StartDelta + cfg.Eps // sentinel: nothing clipped yet
 	backup := original.Clone()
@@ -72,7 +81,8 @@ func AdjustWeights(m *nn.Sequential, layerIdx int, cfg AWConfig, eval Evaluator)
 				w.Data[i] = v
 			}
 		}
-		acc := eval(m)
+		m.EnforceMasks()
+		acc := eval.Evaluate(m)
 		res.Curve = append(res.Curve, AWPoint{Delta: delta, Zeroed: zeroed, Accuracy: acc})
 		if acc < cfg.MinAccuracy {
 			// Revert to the previous Δ's clip and stop.
@@ -83,7 +93,6 @@ func AdjustWeights(m *nn.Sequential, layerIdx int, cfg AWConfig, eval Evaluator)
 		res.FinalDelta = delta
 		res.Zeroed = zeroed
 	}
-	m.EnforceMasks()
 	return res
 }
 
@@ -92,13 +101,17 @@ func AdjustWeights(m *nn.Sequential, layerIdx int, cfg AWConfig, eval Evaluator)
 // Fig. 6). The model is left clipped at the final Δ; callers pass a clone.
 // The first recorded point is Δ=+∞ (no clipping), matching the figure's
 // "Δ=0 stands for the original model" convention.
-func AWSweep(m *nn.Sequential, layerIdx int, deltas []float64, evals ...Evaluator) [][]float64 {
+func AWSweep(m *nn.Sequential, layerIdx int, deltas []float64, evals ...ScopedEvaluator) [][]float64 {
 	w := layerWeights(m, layerIdx)
 	mu, sigma := w.Mean(), w.Std()
 	original := w.Clone()
+	for _, e := range evals {
+		e.BeginSuffix(m, layerIdx)
+		defer e.EndScope()
+	}
 	curves := make([][]float64, len(evals))
 	for i, e := range evals {
-		curves[i] = append(curves[i], e(m))
+		curves[i] = append(curves[i], e.Evaluate(m))
 	}
 	for _, delta := range deltas {
 		lo, hi := mu-delta*sigma, mu+delta*sigma
@@ -111,7 +124,7 @@ func AWSweep(m *nn.Sequential, layerIdx int, deltas []float64, evals ...Evaluato
 		}
 		m.EnforceMasks()
 		for i, e := range evals {
-			curves[i] = append(curves[i], e(m))
+			curves[i] = append(curves[i], e.Evaluate(m))
 		}
 	}
 	return curves

@@ -26,7 +26,7 @@ func convWithPlantedExtremes(rng *rand.Rand, extremes []float64) (*nn.Sequential
 func TestAdjustWeightsZeroesExtremes(t *testing.T) {
 	rng := rand.New(rand.NewSource(40))
 	m, conv := convWithPlantedExtremes(rng, []float64{25, -25, 30})
-	eval := func(*nn.Sequential) float64 { return 1 } // guard never fires
+	eval := Evaluator(func(*nn.Sequential) float64 { return 1 }) // guard never fires
 	res := AdjustWeights(m, 0, AWConfig{StartDelta: 5, MinDelta: 3, Eps: 1, MinAccuracy: 0.5}, eval)
 	if res.Zeroed < 3 {
 		t.Fatalf("zeroed %d weights, want >= 3 planted extremes", res.Zeroed)
@@ -46,7 +46,7 @@ func TestAdjustWeightsGuardReverts(t *testing.T) {
 	m, conv := convWithPlantedExtremes(rng, []float64{25})
 	before := conv.W.Value.Clone()
 	// Guard fires immediately: no clip may survive.
-	eval := func(*nn.Sequential) float64 { return 0 }
+	eval := Evaluator(func(*nn.Sequential) float64 { return 0 })
 	res := AdjustWeights(m, 0, AWConfig{StartDelta: 5, MinDelta: 1, Eps: 1, MinAccuracy: 0.9}, eval)
 	if res.Zeroed != 0 {
 		t.Fatalf("zeroed %d despite immediate guard, want 0", res.Zeroed)
@@ -64,13 +64,13 @@ func TestAdjustWeightsGuardRevertsToLastGood(t *testing.T) {
 	m, conv := convWithPlantedExtremes(rng, []float64{25, -25})
 	// Accept the first clip (Δ=5), reject the second (Δ=4).
 	calls := 0
-	eval := func(*nn.Sequential) float64 {
+	eval := Evaluator(func(*nn.Sequential) float64 {
 		calls++
 		if calls == 1 {
 			return 1
 		}
 		return 0
-	}
+	})
 	res := AdjustWeights(m, 0, AWConfig{StartDelta: 5, MinDelta: 1, Eps: 1, MinAccuracy: 0.9}, eval)
 	if res.FinalDelta != 5 {
 		t.Fatalf("final delta %g, want 5", res.FinalDelta)
@@ -86,7 +86,7 @@ func TestAdjustWeightsGuardRevertsToLastGood(t *testing.T) {
 func TestAdjustWeightsIdempotent(t *testing.T) {
 	rng := rand.New(rand.NewSource(43))
 	m, conv := convWithPlantedExtremes(rng, []float64{25, -25, 18})
-	eval := func(*nn.Sequential) float64 { return 1 }
+	eval := Evaluator(func(*nn.Sequential) float64 { return 1 })
 	cfg := AWConfig{StartDelta: 3, MinDelta: 3, Eps: 1, MinAccuracy: 0.5}
 	AdjustWeights(m, 0, cfg, eval)
 	after1 := conv.W.Value.Clone()
@@ -105,7 +105,7 @@ func TestAdjustWeightsPreservesPruneMasks(t *testing.T) {
 	rng := rand.New(rand.NewSource(44))
 	m, conv := convWithPlantedExtremes(rng, nil)
 	m.PruneModelUnit(0, 2)
-	eval := func(*nn.Sequential) float64 { return 1 }
+	eval := Evaluator(func(*nn.Sequential) float64 { return 1 })
 	AdjustWeights(m, 0, AWConfig{StartDelta: 4, MinDelta: 2, Eps: 1, MinAccuracy: 0.5}, eval)
 	fanIn := conv.W.Value.Dim(1)
 	for j := 0; j < fanIn; j++ {
@@ -118,7 +118,7 @@ func TestAdjustWeightsPreservesPruneMasks(t *testing.T) {
 func TestAWSweepCurveShape(t *testing.T) {
 	rng := rand.New(rand.NewSource(45))
 	m, _ := convWithPlantedExtremes(rng, []float64{25})
-	zeroCount := func(mm *nn.Sequential) float64 {
+	zeroCount := Evaluator(func(mm *nn.Sequential) float64 {
 		conv := mm.Layer(0).(*nn.Conv2D)
 		n := 0.0
 		for _, v := range conv.W.Value.Data {
@@ -127,7 +127,7 @@ func TestAWSweepCurveShape(t *testing.T) {
 			}
 		}
 		return n
-	}
+	})
 	deltas := []float64{5, 4, 3, 2, 1}
 	curves := AWSweep(m, 0, deltas, zeroCount)
 	if len(curves[0]) != len(deltas)+1 {
@@ -147,7 +147,7 @@ func TestAdjustWeightsOnDenseLayer(t *testing.T) {
 	fc.W.Value.Randn(rng, 1)
 	fc.W.Value.Data[0] = 40
 	m := nn.NewSequential(fc)
-	eval := func(*nn.Sequential) float64 { return 1 }
+	eval := Evaluator(func(*nn.Sequential) float64 { return 1 })
 	res := AdjustWeights(m, 0, AWConfig{StartDelta: 5, MinDelta: 4, Eps: 1, MinAccuracy: 0}, eval)
 	if res.Zeroed < 1 || fc.W.Value.Data[0] != 0 {
 		t.Fatal("dense-layer extreme survived")
@@ -162,4 +162,39 @@ func TestDefaultAWConfig(t *testing.T) {
 	if math.Mod(cfg.StartDelta-cfg.MinDelta, cfg.Eps) > 1e-9 {
 		t.Fatalf("sweep does not land exactly on MinDelta: %+v", cfg)
 	}
+}
+
+// TestAWPreservesPruneMasks is the regression gate for the per-step mask
+// enforcement: units pruned before the Δ sweep must stay dead — weights,
+// bias and mask — at every evaluated point of AWSweep and AdjustWeights
+// (the defense evaluates mid-sweep states, so enforcement only after the
+// loop would leak resurrected weights into the reported curves).
+func TestAWPreservesPruneMasks(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	m, conv := convWithPlantedExtremes(rng, []float64{25, -25})
+	const unit = 2
+	m.PruneModelUnit(0, unit)
+	fanIn := conv.W.Value.Dim(1)
+	assertDead := func(when string) {
+		t.Helper()
+		for j := 0; j < fanIn; j++ {
+			if conv.W.Value.Data[unit*fanIn+j] != 0 {
+				t.Fatalf("%s: pruned unit weight %d resurrected to %g", when, j, conv.W.Value.Data[unit*fanIn+j])
+			}
+		}
+		if conv.B.Value.Data[unit] != 0 {
+			t.Fatalf("%s: pruned unit bias resurrected to %g", when, conv.B.Value.Data[unit])
+		}
+		if !conv.UnitPruned(unit) {
+			t.Fatalf("%s: prune mask lost", when)
+		}
+	}
+	eval := Evaluator(func(*nn.Sequential) float64 {
+		assertDead("during sweep")
+		return 1
+	})
+	AWSweep(m, 0, []float64{5, 3, 1, 0.25}, eval)
+	assertDead("after AWSweep")
+	AdjustWeights(m, 0, AWConfig{StartDelta: 5, MinDelta: 1, Eps: 1, MinAccuracy: 0}, eval)
+	assertDead("after AdjustWeights")
 }

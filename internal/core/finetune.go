@@ -24,16 +24,16 @@ type FineTuneResult struct {
 // performance and stop when the accuracy does not improve any further").
 // Prune masks on m survive aggregation because the model re-applies them
 // on every parameter installation.
-func FineTune(m *nn.Sequential, tuner Tuner, maxRounds, patience int, eval Evaluator) FineTuneResult {
+func FineTune(m *nn.Sequential, tuner Tuner, maxRounds, patience int, eval ScopedEvaluator) FineTuneResult {
 	if patience <= 0 {
 		patience = 2
 	}
-	res := FineTuneResult{Accuracies: []float64{eval(m)}}
+	res := FineTuneResult{Accuracies: []float64{eval.Evaluate(m)}}
 	best := res.Accuracies[0]
 	stale := 0
 	for r := 0; r < maxRounds; r++ {
 		tuner.FineTune(m, 1)
-		acc := eval(m)
+		acc := eval.Evaluate(m)
 		res.Accuracies = append(res.Accuracies, acc)
 		res.Rounds++
 		if acc > best+1e-9 {

@@ -123,7 +123,7 @@ type Report struct {
 // optional federated fine-tuning through the tuner, and adjusting extreme
 // weights. eval is the server's accuracy guard. tuner may be nil only when
 // cfg.FineTuneRounds is 0.
-func RunPipeline(m *nn.Sequential, clients []ReportClient, tuner Tuner, eval Evaluator, cfg PipelineConfig) Report {
+func RunPipeline(m *nn.Sequential, clients []ReportClient, tuner Tuner, eval ScopedEvaluator, cfg PipelineConfig) Report {
 	if len(clients) == 0 {
 		panic("core: RunPipeline with no clients")
 	}
@@ -134,7 +134,7 @@ func RunPipeline(m *nn.Sequential, clients []ReportClient, tuner Tuner, eval Eva
 			panic("core: model has no convolutional layer to target")
 		}
 	}
-	rep := Report{Method: cfg.Method, TargetLayer: layerIdx, AccBefore: eval(m)}
+	rep := Report{Method: cfg.Method, TargetLayer: layerIdx, AccBefore: eval.Evaluate(m)}
 
 	// Step 1 — federated pruning.
 	rep.AccAfterPrune = rep.AccBefore
@@ -157,7 +157,7 @@ func RunPipeline(m *nn.Sequential, clients []ReportClient, tuner Tuner, eval Eva
 
 	// Step 3 — adjusting extreme weights.
 	if cfg.SkipAW {
-		rep.AccFinal = eval(m)
+		rep.AccFinal = eval.Evaluate(m)
 		return rep
 	}
 	aw := cfg.AW
@@ -178,7 +178,7 @@ func RunPipeline(m *nn.Sequential, clients []ReportClient, tuner Tuner, eval Eva
 			// Each layer's sweep gets its own accuracy budget relative to
 			// the model as it stands, so an early layer cannot starve the
 			// later (often more backdoor-critical) layers.
-			aw.MinAccuracy = eval(m) - drop
+			aw.MinAccuracy = eval.Evaluate(m) - drop
 		}
 		res := AdjustWeights(m, li, aw, eval)
 		if i == 0 {
@@ -191,7 +191,7 @@ func RunPipeline(m *nn.Sequential, clients []ReportClient, tuner Tuner, eval Eva
 			}
 		}
 	}
-	rep.AccFinal = eval(m)
+	rep.AccFinal = eval.Evaluate(m)
 	return rep
 }
 

@@ -50,7 +50,7 @@ func TestRunPipelineAllStages(t *testing.T) {
 		&fakeReportClient{acts: []float64{4, 5, 2, 3, 0.2, 0.1}},
 	}
 	tuner := &fakeTuner{}
-	eval := func(*nn.Sequential) float64 { return 0.95 }
+	eval := Evaluator(func(*nn.Sequential) float64 { return 0.95 })
 	cfg := DefaultPipelineConfig()
 	cfg.TargetLayer = 0
 	cfg.MaxPruneUnits = 2
@@ -80,7 +80,7 @@ func TestRunPipelineFineTuneEarlyStop(t *testing.T) {
 	m := pipelineModel(71)
 	clients := []ReportClient{&fakeReportClient{acts: []float64{1, 2, 3, 4, 5, 6}}}
 	tuner := &fakeTuner{}
-	eval := func(*nn.Sequential) float64 { return 0.9 } // never improves
+	eval := Evaluator(func(*nn.Sequential) float64 { return 0.9 }) // never improves
 	cfg := DefaultPipelineConfig()
 	cfg.TargetLayer = 0
 	cfg.FineTuneRounds = 50
@@ -92,7 +92,7 @@ func TestRunPipelineFineTuneEarlyStop(t *testing.T) {
 }
 
 func TestRunPipelineSkipFlags(t *testing.T) {
-	eval := func(*nn.Sequential) float64 { return 1 }
+	eval := Evaluator(func(*nn.Sequential) float64 { return 1 })
 	clients := []ReportClient{&fakeReportClient{acts: []float64{1, 2, 3, 4, 5, 6}}}
 
 	m := pipelineModel(72)
@@ -117,7 +117,7 @@ func TestRunPipelineSkipFlags(t *testing.T) {
 }
 
 func TestRunPipelinePanics(t *testing.T) {
-	eval := func(*nn.Sequential) float64 { return 1 }
+	eval := Evaluator(func(*nn.Sequential) float64 { return 1 })
 	clients := []ReportClient{&fakeReportClient{acts: []float64{1, 2, 3, 4, 5, 6}}}
 	// No clients.
 	func() {
@@ -247,13 +247,13 @@ func TestFineTuneTracksBest(t *testing.T) {
 	// Accuracy improves for 3 rounds then plateaus.
 	seq := []float64{0.5, 0.6, 0.7, 0.8, 0.8, 0.8, 0.8}
 	i := 0
-	eval := func(*nn.Sequential) float64 {
+	eval := Evaluator(func(*nn.Sequential) float64 {
 		v := seq[i]
 		if i < len(seq)-1 {
 			i++
 		}
 		return v
-	}
+	})
 	res := FineTune(m, tuner, 10, 2, eval)
 	if res.Rounds != 5 { // 3 improving + 2 stale
 		t.Fatalf("ran %d rounds, want 5", res.Rounds)

@@ -128,11 +128,50 @@ func argsortDesc(xs []float64) []int {
 	return idx
 }
 
-// Evaluator scores a candidate model; the pruning and AW loops use it as
-// their accuracy guard. It is typically metrics.Accuracy over the server's
-// validation set, or a mean of client-reported accuracies when the server
-// holds no data.
+// ScopedEvaluator scores candidate models for the defense's
+// mutate-then-evaluate loops. Beyond plain evaluation it accepts mutation
+// scopes: a loop that only mutates layers ≥ li (or only prunes units of
+// layer li) announces so before it starts, which lets an implementation
+// cache the forward pass up to the mutation boundary and replay only the
+// suffix per step (metrics.SuffixEvaluator). The plain function adapter
+// Evaluator ignores scopes and evaluates the full network every time;
+// both must return bit-identical scores.
+type ScopedEvaluator interface {
+	// Evaluate scores the model (typically validation accuracy).
+	Evaluate(m *nn.Sequential) float64
+	// BeginSuffix declares that until EndScope every mutation of m is
+	// confined to layers ≥ layerIdx, so activations entering layerIdx are
+	// invariant.
+	BeginSuffix(m *nn.Sequential, layerIdx int)
+	// BeginPrune declares that until EndScope the only mutations of m are
+	// unit prunes (and their snapshot reverts) of the Prunable layer at
+	// layerIdx via PruneModelUnit. Pruning a unit zeroes exactly its output
+	// channel, so even layerIdx itself need not be re-run: its cached
+	// unpruned output with currently-pruned channels zeroed is bit-identical
+	// to recomputing it (see DESIGN.md §9).
+	BeginPrune(m *nn.Sequential, layerIdx int)
+	// EndScope leaves the current scope; the evaluator falls back to full
+	// forwards until the next Begin call.
+	EndScope()
+}
+
+// Evaluator adapts a plain scoring function to ScopedEvaluator with no-op
+// scopes; the loops then evaluate via full forward passes. It is typically
+// metrics.Accuracy over the server's validation set, or a mean of
+// client-reported accuracies when the server holds no data.
 type Evaluator func(m *nn.Sequential) float64
+
+// Evaluate implements ScopedEvaluator.
+func (e Evaluator) Evaluate(m *nn.Sequential) float64 { return e(m) }
+
+// BeginSuffix implements ScopedEvaluator as a no-op.
+func (e Evaluator) BeginSuffix(*nn.Sequential, int) {}
+
+// BeginPrune implements ScopedEvaluator as a no-op.
+func (e Evaluator) BeginPrune(*nn.Sequential, int) {}
+
+// EndScope implements ScopedEvaluator as a no-op.
+func (e Evaluator) EndScope() {}
 
 // PruneStep records the model state after one cumulative prune.
 type PruneStep struct {
@@ -159,17 +198,24 @@ type PruneResult struct {
 // prune — as soon as the evaluator drops below minAcc. m is modified in
 // place. maxUnits bounds the number of pruned units (0 means no bound
 // beyond leaving at least one unit alive).
-func PruneToThreshold(m *nn.Sequential, layerIdx int, order []int, eval Evaluator, minAcc float64, maxUnits int) PruneResult {
+//
+// The loop announces a prune scope so cached evaluators replay only the
+// suffix per step, and reverts a violating prune via a per-unit snapshot
+// (Sequential.CaptureUnit/RestoreUnit) instead of cloning the model.
+func PruneToThreshold(m *nn.Sequential, layerIdx int, order []int, eval ScopedEvaluator, minAcc float64, maxUnits int) PruneResult {
 	p, ok := m.Layer(layerIdx).(nn.Prunable)
 	if !ok {
 		panic("core: PruneToThreshold target layer is not prunable")
 	}
-	res := PruneResult{BaselineAccuracy: eval(m)}
+	eval.BeginPrune(m, layerIdx)
+	defer eval.EndScope()
+	res := PruneResult{BaselineAccuracy: eval.Evaluate(m)}
 	res.FinalAccuracy = res.BaselineAccuracy
 	limit := len(order) - 1 // always keep at least one unit
 	if maxUnits > 0 && maxUnits < limit {
 		limit = maxUnits
 	}
+	var snap nn.UnitSnapshot
 	for _, unit := range order {
 		if len(res.Pruned) >= limit {
 			break
@@ -177,14 +223,14 @@ func PruneToThreshold(m *nn.Sequential, layerIdx int, order []int, eval Evaluato
 		if p.UnitPruned(unit) {
 			continue
 		}
-		backup := m.Clone()
+		snap = m.CaptureUnit(layerIdx, unit, snap)
 		m.PruneModelUnit(layerIdx, unit)
-		acc := eval(m)
+		acc := eval.Evaluate(m)
 		res.Steps = append(res.Steps, PruneStep{Unit: unit, Accuracy: acc})
 		if acc < minAcc {
 			// Revert the violating prune and stop (the paper stops pruning
 			// before the test-accuracy drop).
-			m.RestoreFrom(backup)
+			m.RestoreUnit(snap)
 			break
 		}
 		res.Pruned = append(res.Pruned, unit)
@@ -198,15 +244,19 @@ func PruneToThreshold(m *nn.Sequential, layerIdx int, order []int, eval Evaluato
 // It is the instrument behind the paper's pruning curves (Fig. 5): pass
 // benign accuracy and attack success rate as the two evaluators. m is
 // modified in place (fully pruned on return); callers pass a clone.
-func PruneSweep(m *nn.Sequential, layerIdx int, order []int, evals ...Evaluator) [][]float64 {
+func PruneSweep(m *nn.Sequential, layerIdx int, order []int, evals ...ScopedEvaluator) [][]float64 {
+	for _, e := range evals {
+		e.BeginPrune(m, layerIdx)
+		defer e.EndScope()
+	}
 	curves := make([][]float64, len(evals))
 	for i, e := range evals {
-		curves[i] = append(curves[i], e(m)) // point 0: unpruned
+		curves[i] = append(curves[i], e.Evaluate(m)) // point 0: unpruned
 	}
 	for _, unit := range order {
 		m.PruneModelUnit(layerIdx, unit)
 		for i, e := range evals {
-			curves[i] = append(curves[i], e(m))
+			curves[i] = append(curves[i], e.Evaluate(m))
 		}
 	}
 	return curves

@@ -224,13 +224,13 @@ func TestPruneToThresholdStopsAndReverts(t *testing.T) {
 	m, layerIdx := plantedConv(t, rng)
 	// Evaluator: accuracy is 1.0 until more than 3 units are pruned, then
 	// collapses. The 4th prune must be attempted and reverted.
-	eval := func(mm *nn.Sequential) float64 {
+	eval := Evaluator(func(mm *nn.Sequential) float64 {
 		pruned := mm.Layer(layerIdx).(nn.Prunable).PrunedCount()
 		if pruned > 3 {
 			return 0.5
 		}
 		return 1.0
-	}
+	})
 	order := []int{5, 4, 3, 2, 1, 0}
 	res := PruneToThreshold(m, layerIdx, order, eval, 0.9, 0)
 	if len(res.Pruned) != 3 {
@@ -263,7 +263,7 @@ func TestPruneToThresholdStopsAndReverts(t *testing.T) {
 func TestPruneToThresholdRespectsMaxUnits(t *testing.T) {
 	rng := rand.New(rand.NewSource(32))
 	m, layerIdx := plantedConv(t, rng)
-	eval := func(*nn.Sequential) float64 { return 1 }
+	eval := Evaluator(func(*nn.Sequential) float64 { return 1 })
 	res := PruneToThreshold(m, layerIdx, []int{0, 1, 2, 3, 4, 5}, eval, 0, 2)
 	if len(res.Pruned) != 2 {
 		t.Fatalf("pruned %d, want 2 (maxUnits)", len(res.Pruned))
@@ -273,7 +273,7 @@ func TestPruneToThresholdRespectsMaxUnits(t *testing.T) {
 func TestPruneToThresholdNeverKillsAllUnits(t *testing.T) {
 	rng := rand.New(rand.NewSource(33))
 	m, layerIdx := plantedConv(t, rng)
-	eval := func(*nn.Sequential) float64 { return 1 } // never stops
+	eval := Evaluator(func(*nn.Sequential) float64 { return 1 }) // never stops
 	res := PruneToThreshold(m, layerIdx, []int{0, 1, 2, 3, 4, 5}, eval, 0, 0)
 	if len(res.Pruned) != 5 {
 		t.Fatalf("pruned %d, want 5 (one unit must survive)", len(res.Pruned))
@@ -284,7 +284,7 @@ func TestPruneSweepCurveLengths(t *testing.T) {
 	rng := rand.New(rand.NewSource(34))
 	m, layerIdx := plantedConv(t, rng)
 	calls := 0
-	eval := func(*nn.Sequential) float64 { calls++; return 1 }
+	eval := Evaluator(func(*nn.Sequential) float64 { calls++; return 1 })
 	curves := PruneSweep(m, layerIdx, []int{0, 1, 2}, eval, eval)
 	if len(curves) != 2 {
 		t.Fatalf("%d curves, want 2", len(curves))

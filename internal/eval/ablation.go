@@ -35,7 +35,7 @@ func AblationMaskedPruning(pair Pair) *Table {
 
 	// Masked variant: the standard pipeline path.
 	masked := t.Server.Model.Clone()
-	res := core.PruneToThreshold(masked, layerIdx, order, evalFn, evalFn(masked)-cfg.MaxAccuracyDrop, 0)
+	res := core.PruneToThreshold(masked, layerIdx, order, evalFn, evalFn.Evaluate(masked)-cfg.MaxAccuracyDrop, 0)
 	core.FineTune(masked, t.Server, cfg.FineTuneRounds, cfg.FineTunePatience, evalFn)
 	row.Cells["masked"] = Cell{TA: t.ModelTA(masked), AA: t.ModelAA(masked)}
 

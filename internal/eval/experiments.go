@@ -145,7 +145,7 @@ func TableIV(pair Pair) *Table {
 			flagged = []int{best}
 		}
 		evalFn := t.ValidationEvaluator()
-		base := evalFn(ncModel)
+		base := evalFn.Evaluate(ncModel)
 		for _, label := range flagged {
 			neuralcleanse.Mitigate(ncModel, trigs[label], t.Validation, evalFn, base-0.05)
 		}
@@ -268,6 +268,15 @@ func Fig3(ks []int) *Figure {
 	return fig
 }
 
+// toPercent scales sweep curves from fractions to percent in place.
+func toPercent(curves [][]float64) {
+	for _, c := range curves {
+		for i := range c {
+			c[i] *= 100
+		}
+	}
+}
+
 // Fig5 reproduces Figure 5: pruning curves (TA and AA vs number of pruned
 // neurons) for RAP and MVP on two attack targets.
 func Fig5(targets []int) *Figure {
@@ -281,10 +290,10 @@ func Fig5(targets []int) *Figure {
 			cfg.Method = method
 			order := core.GlobalPruneOrder(t.Server.Model, clients, layerIdx, cfg)
 			m := t.Server.Model.Clone()
-			curves := core.PruneSweep(m, layerIdx, order,
-				func(mm *nn.Sequential) float64 { return t.ModelTA(mm) },
-				func(mm *nn.Sequential) float64 { return t.ModelAA(mm) },
-			)
+			// Cached evaluators: the sweep replays only suffix layers per
+			// prune, with scores identical to ModelTA/ModelAA (scaled below).
+			curves := core.PruneSweep(m, layerIdx, order, t.TestEvaluator(), t.ASREvaluator())
+			toPercent(curves)
 			xs := make([]float64, len(curves[0]))
 			for i := range xs {
 				xs[i] = float64(i)
@@ -307,10 +316,8 @@ func Fig6(targets []int, deltas []float64) *Figure {
 		m, rep := t.DefendMode("fp")
 		for _, li := range core.DefaultAWLayers(m, rep.TargetLayer) {
 			mm := m.Clone()
-			curves := core.AWSweep(mm, li, deltas,
-				func(x *nn.Sequential) float64 { return t.ModelTA(x) },
-				func(x *nn.Sequential) float64 { return t.ModelAA(x) },
-			)
+			curves := core.AWSweep(mm, li, deltas, t.TestEvaluator(), t.ASREvaluator())
+			toPercent(curves)
 			xs := append([]float64{0}, deltas...) // 0 = unclipped original
 			fig.Series = append(fig.Series,
 				Series{Name: fmt.Sprintf("TA target %d layer %d", target, li), X: xs, Y: curves[0]},
@@ -410,7 +417,7 @@ func Fig9() []PhaseTiming {
 
 		start = time.Now()
 		order := core.GlobalPruneOrder(m, clients, layerIdx, cfg)
-		core.PruneToThreshold(m, layerIdx, order, evalFn, evalFn(m)-cfg.MaxAccuracyDrop, 0)
+		core.PruneToThreshold(m, layerIdx, order, evalFn, evalFn.Evaluate(m)-cfg.MaxAccuracyDrop, 0)
 		pt.Pruning = time.Since(start).Seconds()
 
 		start = time.Now()
@@ -419,7 +426,7 @@ func Fig9() []PhaseTiming {
 
 		start = time.Now()
 		aw := cfg.AW
-		aw.MinAccuracy = evalFn(m) - cfg.AWMaxAccuracyDrop
+		aw.MinAccuracy = evalFn.Evaluate(m) - cfg.AWMaxAccuracyDrop
 		for _, li := range core.DefaultAWLayers(m, layerIdx) {
 			core.AdjustWeights(m, li, aw, evalFn)
 		}

@@ -121,6 +121,13 @@ type Trained struct {
 	// Test is the benign evaluation split; Validation is the disjoint
 	// slice of it the server uses as its defense guard.
 	Test, Validation *dataset.Dataset
+
+	// Lazily-built cached evaluators (metrics.SuffixEvaluator), one per
+	// evaluation set, so batch buffers, the memoized poisoned test set and
+	// prefix-activation caches are shared by every probe and defense loop
+	// on this Trained. The harness is single-goroutine, which these
+	// evaluators require.
+	valEval, testEval, asrEval *metrics.SuffixEvaluator
 }
 
 // Components deterministically derives a scenario's shared pieces: the
@@ -198,35 +205,56 @@ func Run(s Scenario) *Trained {
 	return t
 }
 
+// TestEvaluator returns the cached benign-accuracy evaluator over the test
+// split (scores are fractions; TA/ModelTA scale to percent).
+func (t *Trained) TestEvaluator() *metrics.SuffixEvaluator {
+	if t.testEval == nil {
+		t.testEval = metrics.NewSuffixEvaluator(t.Test, 0)
+	}
+	return t.testEval
+}
+
+// ASREvaluator returns the cached attack-success evaluator: the poisoned
+// test set is built once here and reused by every AA probe and sweep,
+// instead of being re-poisoned per metrics.AttackSuccessRate call.
+func (t *Trained) ASREvaluator() *metrics.SuffixEvaluator {
+	if t.asrEval == nil {
+		t.asrEval = metrics.NewCachedASR(t.Test, t.Scenario.Poison, 0)
+	}
+	return t.asrEval
+}
+
 // TA returns the global model's benign test accuracy (percent).
 func (t *Trained) TA() float64 {
-	return 100 * metrics.Accuracy(t.Server.Model, t.Test, 0)
+	return 100 * t.TestEvaluator().Evaluate(t.Server.Model)
 }
 
 // AA returns the attack success rate (percent) of the scenario's backdoor
 // task against the global model, always evaluated with the full (global)
 // trigger.
 func (t *Trained) AA() float64 {
-	return 100 * metrics.AttackSuccessRate(t.Server.Model, t.Test, t.Scenario.Poison, 0)
+	return 100 * t.ASREvaluator().Evaluate(t.Server.Model)
 }
 
 // ModelTA and ModelAA evaluate an arbitrary model under this scenario's
 // test split and backdoor task.
 func (t *Trained) ModelTA(m *nn.Sequential) float64 {
-	return 100 * metrics.Accuracy(m, t.Test, 0)
+	return 100 * t.TestEvaluator().Evaluate(m)
 }
 
 // ModelAA evaluates attack success of m (percent).
 func (t *Trained) ModelAA(m *nn.Sequential) float64 {
-	return 100 * metrics.AttackSuccessRate(m, t.Test, t.Scenario.Poison, 0)
+	return 100 * t.ASREvaluator().Evaluate(m)
 }
 
 // ValidationEvaluator returns the defense's accuracy guard: accuracy on
-// the server's validation slice.
-func (t *Trained) ValidationEvaluator() core.Evaluator {
-	return func(m *nn.Sequential) float64 {
-		return metrics.Accuracy(m, t.Validation, 0)
+// the server's validation slice, as a cached evaluator so the pipeline's
+// mutate-then-evaluate loops replay only suffix layers per step.
+func (t *Trained) ValidationEvaluator() core.ScopedEvaluator {
+	if t.valEval == nil {
+		t.valEval = metrics.NewSuffixEvaluator(t.Validation, 0)
 	}
+	return t.valEval
 }
 
 // Defend clones the trained global model and runs the defense pipeline on

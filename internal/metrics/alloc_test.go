@@ -1,0 +1,86 @@
+//go:build !race
+
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/fedcleanse/fedcleanse/internal/dataset"
+	"github.com/fedcleanse/fedcleanse/internal/nn"
+	"github.com/fedcleanse/fedcleanse/internal/parallel"
+)
+
+// Allocation-regression gates for the warm suffix-evaluation path
+// (ISSUE 3): once a scope is warm, every Evaluate replays only the suffix
+// layers through reusable arena buffers and allocates nothing. Workers are
+// pinned to 1 (fanning out allocates its goroutines) and the gates are
+// excluded under the race detector, whose instrumentation allocates.
+
+func allocFixture() (*nn.Sequential, *dataset.Dataset) {
+	_, test := dataset.GenSynthMNIST(dataset.GenConfig{TrainPerClass: 1, TestPerClass: 10, Seed: 78})
+	rng := rand.New(rand.NewSource(79))
+	return nn.NewSmallCNN(nn.Input{C: 1, H: 16, W: 16}, 10, rng), test
+}
+
+func TestPruneScopedEvaluateWarmAllocFree(t *testing.T) {
+	prev := parallel.SetWorkers(1)
+	defer parallel.SetWorkers(prev)
+	m, ds := allocFixture()
+	li := m.LastConvIndex()
+	e := NewSuffixEvaluator(ds, 32)
+	e.BeginPrune(m, li)
+	defer e.EndScope()
+	m.PruneModelUnit(li, 3)
+	e.Evaluate(m) // warm: arena buffers, preds slice
+	e.Evaluate(m)
+	if allocs := testing.AllocsPerRun(10, func() { e.Evaluate(m) }); allocs != 0 {
+		t.Errorf("warm prune-scoped Evaluate: %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestSuffixScopedEvaluateWarmAllocFree(t *testing.T) {
+	prev := parallel.SetWorkers(1)
+	defer parallel.SetWorkers(prev)
+	m, ds := allocFixture()
+	li := -1 // first dense layer: the AW sweep's second target
+	for i := 0; i < m.NumLayers(); i++ {
+		if _, ok := m.Layer(i).(*nn.Dense); ok {
+			li = i
+			break
+		}
+	}
+	e := NewSuffixEvaluator(ds, 32)
+	e.BeginSuffix(m, li)
+	defer e.EndScope()
+	e.Evaluate(m)
+	e.Evaluate(m)
+	if allocs := testing.AllocsPerRun(10, func() { e.Evaluate(m) }); allocs != 0 {
+		t.Errorf("warm suffix-scoped Evaluate: %v allocs/op, want 0", allocs)
+	}
+}
+
+// The guarded prune loop around the evaluator — capture, prune, evaluate,
+// restore — is the PruneToThreshold hot path; with a reused snapshot it
+// must also be allocation-free once warm.
+func TestGuardedPruneStepWarmAllocFree(t *testing.T) {
+	prev := parallel.SetWorkers(1)
+	defer parallel.SetWorkers(prev)
+	m, ds := allocFixture()
+	li := m.LastConvIndex()
+	e := NewSuffixEvaluator(ds, 32)
+	e.BeginPrune(m, li)
+	defer e.EndScope()
+	var snap nn.UnitSnapshot
+	step := func() {
+		snap = m.CaptureUnit(li, 5, snap)
+		m.PruneModelUnit(li, 5)
+		e.Evaluate(m)
+		m.RestoreUnit(snap)
+	}
+	step()
+	step()
+	if allocs := testing.AllocsPerRun(10, step); allocs != 0 {
+		t.Errorf("warm guarded prune step: %v allocs/op, want 0", allocs)
+	}
+}

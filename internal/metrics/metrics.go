@@ -6,6 +6,7 @@ package metrics
 import (
 	"github.com/fedcleanse/fedcleanse/internal/dataset"
 	"github.com/fedcleanse/fedcleanse/internal/nn"
+	"github.com/fedcleanse/fedcleanse/internal/tensor"
 )
 
 // DefaultBatch is the evaluation batch size used when callers pass 0.
@@ -21,13 +22,18 @@ func Accuracy(m *nn.Sequential, ds *dataset.Dataset, batch int) float64 {
 		batch = DefaultBatch
 	}
 	correct := 0
+	var (
+		x      *tensor.Tensor
+		labels []int
+		pred   []int
+	)
 	for lo := 0; lo < ds.Len(); lo += batch {
 		hi := lo + batch
 		if hi > ds.Len() {
 			hi = ds.Len()
 		}
-		x, labels := ds.Batch(lo, hi)
-		pred := nn.Argmax(m.Forward(x, false))
+		x, labels = ds.BatchInto(lo, hi, x, labels)
+		pred = nn.ArgmaxInto(pred, m.Forward(x, false))
 		for i, p := range pred {
 			if p == labels[i] {
 				correct++
@@ -59,12 +65,16 @@ func LocalActivations(m *nn.Sequential, layerIdx int, ds *dataset.Dataset, batch
 	}
 	sums := make([]float64, units)
 	obs := 0
+	var (
+		x      *tensor.Tensor
+		labels []int
+	)
 	for lo := 0; lo < ds.Len(); lo += batch {
 		hi := lo + batch
 		if hi > ds.Len() {
 			hi = ds.Len()
 		}
-		x, _ := ds.Batch(lo, hi)
+		x, labels = ds.BatchInto(lo, hi, x, labels)
 		acts := m.ForwardActivations(x)
 		obs += nn.AccumulateUnitActivations(acts[layerIdx], units, sums)
 	}
@@ -86,13 +96,19 @@ func MeanLoss(m *nn.Sequential, ds *dataset.Dataset, batch int) float64 {
 		batch = DefaultBatch
 	}
 	total := 0.0
+	var (
+		x, dlogits *tensor.Tensor
+		labels     []int
+	)
 	for lo := 0; lo < ds.Len(); lo += batch {
 		hi := lo + batch
 		if hi > ds.Len() {
 			hi = ds.Len()
 		}
-		x, labels := ds.Batch(lo, hi)
-		loss, _ := nn.SoftmaxXent(m.Forward(x, false), labels)
+		x, labels = ds.BatchInto(lo, hi, x, labels)
+		logits := m.Forward(x, false)
+		dlogits = tensor.EnsureShape(dlogits, logits.Dim(0), logits.Dim(1))
+		loss := nn.SoftmaxXentInto(dlogits, logits, labels)
 		total += loss * float64(hi-lo)
 	}
 	return total / float64(ds.Len())

@@ -170,7 +170,7 @@ func DetectOutliersMAD(triggers []ReversedTrigger, threshold float64) []int {
 // activate on trigger-stamped data than on clean data, and pruned in that
 // order until the evaluator drops below minAcc. m is modified in place.
 // It returns the number of pruned neurons.
-func Mitigate(m *nn.Sequential, trig ReversedTrigger, data *dataset.Dataset, eval core.Evaluator, minAcc float64) int {
+func Mitigate(m *nn.Sequential, trig ReversedTrigger, data *dataset.Dataset, eval core.ScopedEvaluator, minAcc float64) int {
 	li := m.LastConvIndex()
 	if li < 0 {
 		panic("neuralcleanse: model has no conv layer")

@@ -127,8 +127,8 @@ func TestMitigateReducesAttack(t *testing.T) {
 		t.Fatalf("planted backdoor too weak: AA=%.2f", before)
 	}
 	trig := ReverseTrigger(m, test, poison.TargetLabel, Config{Steps: 80, Batch: 40, LR: 0.2, Lambda: 0.02})
-	evalFn := func(mm *nn.Sequential) float64 { return metrics.Accuracy(mm, test, 0) }
-	baseline := evalFn(m)
+	evalFn := metrics.NewSuffixEvaluator(test, 0)
+	baseline := evalFn.Evaluate(m)
 	pruned := Mitigate(m, trig, test, evalFn, baseline-0.1)
 	if pruned == 0 {
 		t.Fatal("mitigation pruned nothing")

@@ -30,6 +30,10 @@ type BatchNorm2D struct {
 
 	pruned []bool
 
+	// evalReuse routes inference outputs through the scratch arena
+	// (Sequential.SetEvalReuse).
+	evalReuse bool
+
 	// frozen makes training-mode forward/backward use the running
 	// statistics as constants: no batch statistics, no stat updates, and a
 	// simplified backward. Trigger reverse-engineering (Neural Cleanse)
@@ -103,6 +107,8 @@ func (l *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		}
 		l.n, l.hw = n, hw
 		l.frozenPass = l.frozen
+	} else if l.evalReuse {
+		out = l.scratch.GetLike("eout", x)
 	} else {
 		out = tensor.New(n, l.channels, h, w)
 	}
@@ -267,6 +273,25 @@ func (l *BatchNorm2D) EnforceMask() {
 		}
 	}
 }
+
+// AppendUnitState implements Prunable: the channel's affine parameters
+// (the running statistics are not touched by pruning).
+func (l *BatchNorm2D) AppendUnitState(dst []float64, i int) []float64 {
+	return append(dst, l.Gamma.Value.Data[i], l.Beta.Value.Data[i])
+}
+
+// SetUnitState implements Prunable.
+func (l *BatchNorm2D) SetUnitState(i int, vals []float64, pruned bool) {
+	if len(vals) != 2 {
+		panic(fmt.Sprintf("nn: %s: unit state length %d, want 2", l.name, len(vals)))
+	}
+	l.Gamma.Value.Data[i] = vals[0]
+	l.Beta.Value.Data[i] = vals[1]
+	l.pruned[i] = pruned
+}
+
+// setEvalReuse implements evalReuser.
+func (l *BatchNorm2D) setEvalReuse(on bool) { l.evalReuse = on }
 
 func (l *BatchNorm2D) maskGrads() {
 	for c, p := range l.pruned {

@@ -23,6 +23,11 @@ type Conv2D struct {
 	// bias are held at zero by EnforceMask.
 	pruned []bool
 
+	// evalReuse routes inference outputs through the scratch arena instead
+	// of fresh allocations (Sequential.SetEvalReuse; scoped to the cached
+	// evaluators' suffix passes, where outputs are consumed per batch).
+	evalReuse bool
+
 	// cols views the im2col matrices of the last training forward pass, one
 	// header per batch sample into the shared colsData backing; inShape
 	// caches the input batch shape. cols is nil after an inference pass.
@@ -136,14 +141,20 @@ func (l *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	fanIn := d.C * d.K * d.K
 	// The training output buffer is reused across steps; inference passes
 	// allocate fresh because callers (activation recording, evaluation)
-	// may retain the result across forward calls.
+	// may retain the result across forward calls — unless eval reuse is on,
+	// in which case the output lives in its own arena slot ("eout", never
+	// shared with the training path) and is overwritten by the next pass.
 	var out *tensor.Tensor
 	if train {
 		out = l.scratch.Get("out", n, l.filters, outH, outW)
 		l.ensureCols(n, fanIn, spatial)
 		l.setInShape(x)
 	} else {
-		out = tensor.New(n, l.filters, outH, outW)
+		if l.evalReuse {
+			out = l.scratch.Get("eout", n, l.filters, outH, outW)
+		} else {
+			out = tensor.New(n, l.filters, outH, outW)
+		}
 		l.cols = nil
 	}
 	sampleIn := d.C * d.H * d.W
@@ -327,6 +338,27 @@ func (l *Conv2D) EnforceMask() {
 		l.B.Value.Data[f] = 0
 	}
 }
+
+// AppendUnitState implements Prunable: the channel's weight row and bias.
+func (l *Conv2D) AppendUnitState(dst []float64, i int) []float64 {
+	fanIn := l.W.Value.Dim(1)
+	dst = append(dst, l.W.Value.Data[i*fanIn:(i+1)*fanIn]...)
+	return append(dst, l.B.Value.Data[i])
+}
+
+// SetUnitState implements Prunable.
+func (l *Conv2D) SetUnitState(i int, vals []float64, pruned bool) {
+	fanIn := l.W.Value.Dim(1)
+	if len(vals) != fanIn+1 {
+		panic(fmt.Sprintf("nn: %s: unit state length %d, want %d", l.name, len(vals), fanIn+1))
+	}
+	copy(l.W.Value.Data[i*fanIn:(i+1)*fanIn], vals[:fanIn])
+	l.B.Value.Data[i] = vals[fanIn]
+	l.pruned[i] = pruned
+}
+
+// setEvalReuse implements evalReuser.
+func (l *Conv2D) setEvalReuse(on bool) { l.evalReuse = on }
 
 // maskGrads zeroes gradients flowing into pruned channels.
 func (l *Conv2D) maskGrads() {

@@ -18,6 +18,10 @@ type Dense struct {
 
 	pruned []bool
 
+	// evalReuse routes inference outputs through the scratch arena
+	// (Sequential.SetEvalReuse).
+	evalReuse bool
+
 	// x caches the input of the last training forward pass.
 	x *tensor.Tensor
 
@@ -66,14 +70,19 @@ func (l *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	}
 	n := x.Dim(0)
 	// The training output buffer is reused across steps; inference passes
-	// allocate fresh because callers may retain the result.
+	// allocate fresh because callers may retain the result, unless eval
+	// reuse is on (suffix scopes consume each output before the next pass).
 	var out *tensor.Tensor
 	if train {
 		l.x = x
 		out = l.scratch.Get("out", n, l.out)
 	} else {
 		l.x = nil
-		out = tensor.New(n, l.out)
+		if l.evalReuse {
+			out = l.scratch.Get("eout", n, l.out)
+		} else {
+			out = tensor.New(n, l.out)
+		}
 	}
 	tensor.MatMulInto(out, x, l.W.Value)
 	for s := 0; s < n; s++ {
@@ -163,6 +172,29 @@ func (l *Dense) EnforceMask() {
 		l.B.Value.Data[j] = 0
 	}
 }
+
+// AppendUnitState implements Prunable: the unit's weight column and bias.
+func (l *Dense) AppendUnitState(dst []float64, i int) []float64 {
+	for r := 0; r < l.in; r++ {
+		dst = append(dst, l.W.Value.Data[r*l.out+i])
+	}
+	return append(dst, l.B.Value.Data[i])
+}
+
+// SetUnitState implements Prunable.
+func (l *Dense) SetUnitState(i int, vals []float64, pruned bool) {
+	if len(vals) != l.in+1 {
+		panic(fmt.Sprintf("nn: %s: unit state length %d, want %d", l.name, len(vals), l.in+1))
+	}
+	for r := 0; r < l.in; r++ {
+		l.W.Value.Data[r*l.out+i] = vals[r]
+	}
+	l.B.Value.Data[i] = vals[l.in]
+	l.pruned[i] = pruned
+}
+
+// setEvalReuse implements evalReuser.
+func (l *Dense) setEvalReuse(on bool) { l.evalReuse = on }
 
 func (l *Dense) maskGrads() {
 	for j, p := range l.pruned {

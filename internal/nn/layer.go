@@ -102,6 +102,14 @@ type Prunable interface {
 	// EnforceMask re-zeroes parameters of pruned units. Training loops call
 	// it after each optimizer step and after installing aggregated updates.
 	EnforceMask()
+	// AppendUnitState appends the parameter values producing unit i to dst
+	// and returns the extended slice. Together with SetUnitState it lets a
+	// guarded prune loop snapshot and revert a single unit without cloning
+	// the model (Sequential.CaptureUnit / RestoreUnit).
+	AppendUnitState(dst []float64, i int) []float64
+	// SetUnitState installs values captured by AppendUnitState and the
+	// unit's mask flag.
+	SetUnitState(i int, vals []float64, pruned bool)
 }
 
 // heInit fills w with He-normal initialization for fanIn inputs, the

@@ -92,8 +92,18 @@ func Softmax(logits *tensor.Tensor) *tensor.Tensor {
 
 // Argmax returns the predicted class of every row of logits.
 func Argmax(logits *tensor.Tensor) []int {
+	return ArgmaxInto(make([]int, logits.Dim(0)), logits)
+}
+
+// ArgmaxInto is Argmax writing into dst, which is grown when too small and
+// returned resliced to the row count. Passing the previous call's result
+// back in makes a warm evaluation loop allocation-free.
+func ArgmaxInto(dst []int, logits *tensor.Tensor) []int {
 	n, c := logits.Dim(0), logits.Dim(1)
-	out := make([]int, n)
+	if cap(dst) < n {
+		dst = make([]int, n)
+	}
+	dst = dst[:n]
 	for s := 0; s < n; s++ {
 		row := logits.Data[s*c : (s+1)*c]
 		best, bestJ := row[0], 0
@@ -102,7 +112,7 @@ func Argmax(logits *tensor.Tensor) []int {
 				best, bestJ = v, j+1
 			}
 		}
-		out[s] = bestJ
+		dst[s] = bestJ
 	}
-	return out
+	return dst
 }

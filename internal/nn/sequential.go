@@ -39,6 +39,57 @@ func (m *Sequential) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	return x
 }
 
+// ForwardTo runs inference through layers [0, hi) and returns the boundary
+// activation (for hi == 0 the input itself). Together with ForwardFrom it
+// splits a forward pass at a layer boundary: callers that mutate only
+// layers ≥ hi can compute the prefix once and replay the suffix per
+// mutation, bit-identically to a full Forward — the suffix executes the
+// same ops on the same floats.
+func (m *Sequential) ForwardTo(hi int, x *tensor.Tensor) *tensor.Tensor {
+	if hi < 0 || hi > len(m.layers) {
+		panic(fmt.Sprintf("nn: ForwardTo boundary %d outside [0,%d]", hi, len(m.layers)))
+	}
+	for _, l := range m.layers[:hi] {
+		x = l.Forward(x, false)
+	}
+	return x
+}
+
+// ForwardFrom runs inference through layers [li, NumLayers) on a boundary
+// activation produced by ForwardTo(li, ·). Layers never write to their
+// input, so a cached boundary activation can be replayed any number of
+// times.
+func (m *Sequential) ForwardFrom(li int, x *tensor.Tensor) *tensor.Tensor {
+	if li < 0 || li > len(m.layers) {
+		panic(fmt.Sprintf("nn: ForwardFrom boundary %d outside [0,%d]", li, len(m.layers)))
+	}
+	for _, l := range m.layers[li:] {
+		x = l.Forward(x, false)
+	}
+	return x
+}
+
+// evalReuser is implemented by layers whose inference outputs can be routed
+// through reusable scratch buffers instead of fresh allocations.
+type evalReuser interface {
+	setEvalReuse(on bool)
+}
+
+// SetEvalReuse switches every layer's inference output between freshly
+// allocated tensors (off, the default: callers may retain results across
+// forward passes, see DESIGN.md §8) and reusable per-layer scratch buffers
+// (on: each layer's next inference pass overwrites its previous output).
+// The cached evaluators turn reuse on for the duration of a suffix scope,
+// where every output is consumed before the next batch, making the warm
+// suffix path allocation-free. Clones always start with reuse off.
+func (m *Sequential) SetEvalReuse(on bool) {
+	for _, l := range m.layers {
+		if r, ok := l.(evalReuser); ok {
+			r.setEvalReuse(on)
+		}
+	}
+}
+
 // ForwardActivations runs inference and returns the output of every layer.
 // acts[i] is the output of layer i; the final element is the network output.
 // The federated pruning step uses this to record per-neuron activations.
@@ -218,6 +269,59 @@ func (m *Sequential) PruneModelUnit(li, u int) {
 		if bn, ok := m.layers[li+1].(*BatchNorm2D); ok {
 			bn.PruneUnit(u)
 		}
+	}
+}
+
+// UnitSnapshot holds the parameter state touched by PruneModelUnit(li, u):
+// the unit's slice of the Prunable layer at li plus, when the next layer is
+// a BatchNorm2D, that channel's affine parameters. CaptureUnit fills one,
+// RestoreUnit reinstates it — a revert that copies a handful of floats
+// instead of cloning the whole model. Snapshots reuse their backing slices
+// across captures, so a guarded prune loop allocates nothing after the
+// first capture.
+type UnitSnapshot struct {
+	li, unit int
+	vals     []float64
+	pruned   bool
+	hasBN    bool
+	bnVals   []float64
+	bnPruned bool
+}
+
+// CaptureUnit records the state PruneModelUnit(li, u) would mutate,
+// reusing prev's backing storage. It panics if layer li is not Prunable.
+func (m *Sequential) CaptureUnit(li, u int, prev UnitSnapshot) UnitSnapshot {
+	p, ok := m.layers[li].(Prunable)
+	if !ok {
+		panic(fmt.Sprintf("nn: layer %d (%s) is not prunable", li, m.layers[li].Name()))
+	}
+	snap := prev
+	snap.li, snap.unit = li, u
+	snap.vals = p.AppendUnitState(snap.vals[:0], u)
+	snap.pruned = p.UnitPruned(u)
+	snap.hasBN = false
+	if li+1 < len(m.layers) {
+		if bn, ok := m.layers[li+1].(*BatchNorm2D); ok {
+			snap.hasBN = true
+			snap.bnVals = bn.AppendUnitState(snap.bnVals[:0], u)
+			snap.bnPruned = bn.UnitPruned(u)
+		}
+	}
+	return snap
+}
+
+// RestoreUnit reinstates a snapshot taken with CaptureUnit, exactly
+// reverting an intervening PruneModelUnit(li, u): that call zeroes only the
+// unit's parameters and sets its mask flags, both of which the snapshot
+// carries.
+func (m *Sequential) RestoreUnit(snap UnitSnapshot) {
+	p, ok := m.layers[snap.li].(Prunable)
+	if !ok {
+		panic(fmt.Sprintf("nn: layer %d (%s) is not prunable", snap.li, m.layers[snap.li].Name()))
+	}
+	p.SetUnitState(snap.unit, snap.vals, snap.pruned)
+	if snap.hasBN {
+		m.layers[snap.li+1].(*BatchNorm2D).SetUnitState(snap.unit, snap.bnVals, snap.bnPruned)
 	}
 }
 

@@ -11,6 +11,10 @@ type ReLU struct {
 	name string
 	mask []bool // true where input > 0 in the last training forward
 
+	// evalReuse routes inference outputs through the scratch arena
+	// (Sequential.SetEvalReuse).
+	evalReuse bool
+
 	// scratch holds the reusable train-mode output and backward dx
 	// buffers. Inference passes allocate fresh because callers may retain
 	// the result. Not cloned.
@@ -28,9 +32,16 @@ func (l *ReLU) Name() string { return l.name }
 // Forward implements Layer.
 func (l *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if !train {
-		out := x.Clone()
-		for i, v := range out.Data {
-			if v <= 0 {
+		var out *tensor.Tensor
+		if l.evalReuse {
+			out = l.scratch.GetLike("eout", x)
+		} else {
+			out = tensor.New(x.Shape()...)
+		}
+		for i, v := range x.Data {
+			if v > 0 {
+				out.Data[i] = v
+			} else {
 				out.Data[i] = 0
 			}
 		}
@@ -76,10 +87,17 @@ func (l *ReLU) Params() []*Param { return nil }
 // CloneLayer implements Layer.
 func (l *ReLU) CloneLayer() Layer { return &ReLU{name: l.name} }
 
+// setEvalReuse implements evalReuser.
+func (l *ReLU) setEvalReuse(on bool) { l.evalReuse = on }
+
 // Flatten reshapes (N, ...) batches to (N, D).
 type Flatten struct {
 	name    string
 	inShape []int
+
+	// evalReuse routes inference reshape headers through the persistent
+	// per-batch-size set (Sequential.SetEvalReuse).
+	evalReuse bool
 
 	// hdrs holds persistent reshape headers per batch size, re-pointed at
 	// the caller's data each training step. Keying by batch size keeps a
@@ -88,9 +106,10 @@ type Flatten struct {
 	hdrs map[int]*flattenHdrs
 }
 
-// flattenHdrs is one batch size's pair of reshape headers.
+// flattenHdrs is one batch size's set of reshape headers (training output,
+// backward dx, and the eval-reuse output).
 type flattenHdrs struct {
-	out, dx *tensor.Tensor
+	out, dx, eout *tensor.Tensor
 }
 
 var _ Layer = (*Flatten)(nil)
@@ -106,7 +125,16 @@ func (l *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	n := x.Dim(0)
 	d := x.Len() / n
 	if !train {
-		return x.Reshape(n, d)
+		if !l.evalReuse {
+			return x.Reshape(n, d)
+		}
+		h := l.headers(n)
+		if h.eout == nil || h.eout.Dim(1) != d {
+			h.eout = x.Reshape(n, d)
+		} else {
+			h.eout.Data = x.Data
+		}
+		return h.eout
 	}
 	if len(l.inShape) != x.Rank() {
 		l.inShape = make([]int, x.Rank())
@@ -170,6 +198,9 @@ func (l *Flatten) Params() []*Param { return nil }
 // CloneLayer implements Layer.
 func (l *Flatten) CloneLayer() Layer { return &Flatten{name: l.name} }
 
+// setEvalReuse implements evalReuser.
+func (l *Flatten) setEvalReuse(on bool) { l.evalReuse = on }
+
 // MaxPool2D performs non-overlapping (or strided) 2-D max pooling over NCHW
 // batches.
 type MaxPool2D struct {
@@ -179,6 +210,10 @@ type MaxPool2D struct {
 
 	inShape []int
 	argmax  []int // flat input index chosen for each output element
+
+	// evalReuse routes inference outputs through the scratch arena
+	// (Sequential.SetEvalReuse).
+	evalReuse bool
 
 	// scratch holds the reusable train-mode output and backward dx
 	// buffers. Not cloned.
@@ -221,7 +256,11 @@ func (l *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		}
 		l.argmax = l.argmax[:out.Len()]
 	} else {
-		out = tensor.New(n, c, outH, outW)
+		if l.evalReuse {
+			out = l.scratch.Get("eout", n, c, outH, outW)
+		} else {
+			out = tensor.New(n, c, outH, outW)
+		}
 		l.argmax = nil
 	}
 	oi := 0
@@ -274,3 +313,6 @@ func (l *MaxPool2D) Params() []*Param { return nil }
 func (l *MaxPool2D) CloneLayer() Layer {
 	return &MaxPool2D{name: l.name, size: l.size, stride: l.stride}
 }
+
+// setEvalReuse implements evalReuser.
+func (l *MaxPool2D) setEvalReuse(on bool) { l.evalReuse = on }

@@ -6,11 +6,14 @@ import "fmt"
 // the training stack is rank 1–4 (NCHW batches at most).
 const maxArenaRank = 4
 
-// arenaKey identifies one scratch buffer: a caller-chosen slot name plus
-// the exact shape. Keeping the key a comparable value type makes the map
-// lookup allocation-free, which is the whole point of the arena.
+// arenaKey identifies one scratch buffer: a caller-chosen slot name, an
+// optional integer index (batch-keyed caches hold one buffer per batch
+// under a single slot name) plus the exact shape. Keeping the key a
+// comparable value type makes the map lookup allocation-free, which is the
+// whole point of the arena.
 type arenaKey struct {
 	slot string
+	idx  int
 	rank int
 	dims [maxArenaRank]int
 }
@@ -54,6 +57,37 @@ func (a *Arena) Get(slot string, shape ...int) *Tensor {
 	copy(k.dims[:], shape)
 	if t, ok := a.m[k]; ok {
 		return t
+	}
+	return a.miss(k)
+}
+
+// GetIndexed returns the arena's buffer for (slot, idx, shape), allocating
+// a zeroed tensor on first use. The integer index distinguishes same-shaped
+// buffers under one slot name without the caller having to mint per-index
+// slot strings (which would allocate on every lookup): a batch-keyed
+// activation cache holds batch b in GetIndexed("act", b, shape...).
+func (a *Arena) GetIndexed(slot string, idx int, shape ...int) *Tensor {
+	if len(shape) > maxArenaRank {
+		panic(fmt.Sprintf("tensor: Arena.GetIndexed rank %d exceeds %d", len(shape), maxArenaRank))
+	}
+	k := arenaKey{slot: slot, idx: idx, rank: len(shape)}
+	copy(k.dims[:], shape)
+	if t, ok := a.m[k]; ok {
+		return t
+	}
+	return a.miss(k)
+}
+
+// GetIndexedLike is GetIndexed with the shape read in place from t,
+// keeping the warm path allocation-free for ad-hoc shapes.
+func (a *Arena) GetIndexedLike(slot string, idx int, t *Tensor) *Tensor {
+	if len(t.shape) > maxArenaRank {
+		panic(fmt.Sprintf("tensor: Arena.GetIndexedLike rank %d exceeds %d", len(t.shape), maxArenaRank))
+	}
+	k := arenaKey{slot: slot, idx: idx, rank: len(t.shape)}
+	copy(k.dims[:], t.shape)
+	if b, ok := a.m[k]; ok {
+		return b
 	}
 	return a.miss(k)
 }

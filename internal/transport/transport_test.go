@@ -126,7 +126,7 @@ func TestRemoteDefensePipeline(t *testing.T) {
 	pcfg.FineTuneRounds = 2
 	pcfg.FineTunePatience = 5
 	m := srv.Model.Clone()
-	evalFn := func(mm *nn.Sequential) float64 { return metrics.Accuracy(mm, test, 0) }
+	evalFn := metrics.NewSuffixEvaluator(test, 0)
 	rep := core.RunPipeline(m, fl.ReportClients(remote), srv, evalFn, pcfg)
 	if rep.AccFinal <= 0 {
 		t.Fatal("pipeline over the wire produced no evaluation")
