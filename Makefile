@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-json alloc-test fmt vet check
+.PHONY: build test race bench bench-json alloc-test chaos-test fmt vet check
 
 # The benchmarks joined against the PR-2 baseline capture: the matmul
 # kernel, the conv forward/backward passes, one full SGD train step and one
@@ -51,6 +51,15 @@ bench-json:
 alloc-test:
 	$(GO) test -run 'AllocFree' -v ./internal/tensor ./internal/nn ./internal/fl ./internal/metrics
 
+## chaos-test: the transport fault-tolerance gate under the race detector —
+## fault-injected federations (chaos), quorum/drop equivalence, server
+## lifecycle and the decoder fuzz seeds. Short mode skips the slowest
+## full-pipeline chaos run; the plain `test` target covers it.
+chaos-test:
+	FEDCLEANSE_WORKERS=4 $(GO) test -race -short -count=1 \
+		-run 'Chaos|Fault|Quorum|FineTune|Serve|Shutdown|RemoteClient|RoundTimeout|Fuzz|Drop' \
+		./internal/transport ./internal/fl
+
 ## fmt: fail if any file needs gofmt
 fmt:
 	@unformatted=$$(gofmt -l .); \
@@ -63,4 +72,4 @@ vet:
 	$(GO) vet ./...
 
 ## check: everything CI runs
-check: fmt vet build test race
+check: fmt vet build test race chaos-test

@@ -14,10 +14,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"time"
 
 	"github.com/fedcleanse/fedcleanse/internal/core"
 	"github.com/fedcleanse/fedcleanse/internal/eval"
@@ -70,10 +72,26 @@ func main() {
 	}
 	fmt.Printf("participant %d (%s) serving on %s\n", *index, role, addr)
 
-	// Serve until interrupted.
+	// Serve until interrupted or the server dies underneath us; a clean
+	// Shutdown delivers nil on the error channel.
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, os.Interrupt)
-	<-ch
+	select {
+	case <-ch:
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := cs.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "shutdown:", err)
+			os.Exit(1)
+		}
+		if err := <-cs.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(1)
+		}
+	case err := <-cs.Err():
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
 }
 
 // scenarioByName maps a CLI dataset name to its scenario.

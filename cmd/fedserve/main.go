@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"github.com/fedcleanse/fedcleanse/internal/core"
 	"github.com/fedcleanse/fedcleanse/internal/eval"
@@ -26,6 +27,10 @@ func main() {
 	clients := flag.String("clients", "", "comma-separated client addresses, in participant-index order")
 	seed := flag.Int64("seed", 0, "experiment seed (0 = scenario default)")
 	defend := flag.Bool("defend", true, "run the defense pipeline after training")
+	quorum := flag.Float64("quorum", 0.5, "fraction of clients that must respond for a round to apply (0 = any)")
+	roundTimeout := flag.Duration("round-timeout", 5*time.Minute, "deadline for one aggregation round (0 = none)")
+	retries := flag.Int("retries", 3, "attempts per remote call")
+	attemptTimeout := flag.Duration("attempt-timeout", time.Minute, "deadline per remote call attempt")
 	flag.Parse()
 
 	var s eval.Scenario
@@ -50,12 +55,18 @@ func main() {
 	}
 
 	template, _, test, validation := eval.Components(s)
+	retry := transport.DefaultRetryPolicy()
+	retry.MaxAttempts = *retries
+	retry.AttemptTimeout = *attemptTimeout
 	parts := make([]fl.Participant, len(addrs))
 	for i, addr := range addrs {
-		parts[i] = transport.NewRemoteClient(i, strings.TrimSpace(addr))
+		parts[i] = transport.NewRemoteClient(i, strings.TrimSpace(addr),
+			transport.WithRetryPolicy(retry))
 	}
 	// The population size follows the actually connected clients.
 	s.FL.SelectPerRound = 0
+	s.FL.Quorum = *quorum
+	s.FL.RoundTimeout = *roundTimeout
 	server := fl.NewServer(template, parts, s.FL, s.Seed+300)
 
 	taEval := metrics.NewSuffixEvaluator(test, 0)
@@ -64,18 +75,34 @@ func main() {
 	aa := func(m *nn.Sequential) float64 { return 100 * asrEval.Evaluate(m) }
 
 	fmt.Printf("training over %d remote clients ...\n", len(parts))
-	server.Train(func(round int) {
-		fmt.Printf("round %2d: TA=%5.1f AA=%5.1f\n", round, ta(server.Model), aa(server.Model))
-	})
+	for round := 0; round < server.Config().Rounds; round++ {
+		res := server.RoundDetail(round)
+		status := ""
+		if len(res.Dropped) > 0 {
+			status = fmt.Sprintf("  dropped=%v", res.Dropped)
+		}
+		if !res.Applied {
+			status += "  BELOW QUORUM (round discarded)"
+		}
+		fmt.Printf("round %2d: TA=%5.1f AA=%5.1f%s\n", round, ta(server.Model), aa(server.Model), status)
+		for id, err := range res.Errs {
+			fmt.Fprintf(os.Stderr, "  client %d: %v\n", id, err)
+		}
+	}
 
 	if !*defend {
 		return
 	}
 	fmt.Println("\nrunning the defense pipeline over the wire ...")
 	cfg := core.DefaultPipelineConfig()
+	cfg.ReportQuorum = *quorum
+	cfg.ReportTimeout = *roundTimeout
 	m := server.Model.Clone()
 	evalFn := metrics.NewSuffixEvaluator(validation, 0)
 	rep := core.RunPipeline(m, fl.ReportClients(parts), server, evalFn, cfg)
+	if len(rep.ReportDropouts) > 0 {
+		fmt.Printf("prune reports lost from clients %v\n", rep.ReportDropouts)
+	}
 	fmt.Printf("pruned %d neurons, %d fine-tune rounds, zeroed %d weights\n",
 		len(rep.Prune.Pruned), rep.FineTune.Rounds, rep.AW.Zeroed)
 	fmt.Printf("result: TA %.1f -> %.1f, AA %.1f -> %.1f\n",

@@ -37,6 +37,7 @@ import (
 	"github.com/fedcleanse/fedcleanse/internal/nn"
 	"github.com/fedcleanse/fedcleanse/internal/parallel"
 	"github.com/fedcleanse/fedcleanse/internal/robust"
+	"github.com/fedcleanse/fedcleanse/internal/transport"
 )
 
 // Parallel execution knobs. Simulation and kernel hot paths fan out over a
@@ -117,6 +118,11 @@ type (
 	Participant = fl.Participant
 	// Aggregator combines per-round client updates.
 	Aggregator = fl.Aggregator
+	// DropPolicy injects client failures into federated rounds.
+	DropPolicy = fl.DropPolicy
+	// RoundResult is one round's failure telemetry: who was selected, who
+	// responded, who dropped out, and whether quorum was met.
+	RoundResult = fl.RoundResult
 )
 
 // FL constructors.
@@ -177,6 +183,45 @@ var (
 	PruneToThreshold = core.PruneToThreshold
 	// ReportClients adapts federated participants to the defense's view.
 	ReportClients = fl.ReportClients
+)
+
+// Networked federation (DESIGN.md §10). RemoteClient never panics on wire
+// failures: calls retry with capped exponential backoff under per-attempt
+// timeouts, and a call that still fails becomes a recorded dropout in the
+// round drivers, which proceed on the surviving quorum.
+type (
+	// RemoteClient is the server-side stub for a client reachable over HTTP.
+	RemoteClient = transport.RemoteClient
+	// ClientServer exposes one federated participant over HTTP.
+	ClientServer = transport.ClientServer
+	// RetryPolicy bounds RemoteClient's per-call retry loop.
+	RetryPolicy = transport.RetryPolicy
+	// RemoteOption configures a RemoteClient.
+	RemoteOption = transport.RemoteOption
+	// FaultInjector deterministically injects wire faults (chaos testing).
+	FaultInjector = transport.FaultInjector
+	// Fault is one scheduled wire failure.
+	Fault = transport.Fault
+	// FaultKind enumerates the injectable failure modes.
+	FaultKind = transport.FaultKind
+	// FaultSchedule decides which fault each exchange suffers.
+	FaultSchedule = transport.Schedule
+)
+
+// Transport constructors and options.
+var (
+	// NewRemoteClient builds a stub for the client server at an address.
+	NewRemoteClient = transport.NewRemoteClient
+	// NewClientServer wraps a participant for serving over HTTP.
+	NewClientServer = transport.NewClientServer
+	// NewFaultInjector builds a deterministic fault injector.
+	NewFaultInjector = transport.NewFaultInjector
+	// DefaultRetryPolicy is the production retry configuration.
+	DefaultRetryPolicy = transport.DefaultRetryPolicy
+	// WithRetryPolicy overrides a RemoteClient's retry policy.
+	WithRetryPolicy = transport.WithRetryPolicy
+	// WithTransport installs a custom http.RoundTripper on a RemoteClient.
+	WithTransport = transport.WithTransport
 )
 
 // Experiment harness (paper scenarios).

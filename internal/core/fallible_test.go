@@ -1,0 +1,191 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/fedcleanse/fedcleanse/internal/nn"
+)
+
+// flakyReportClient is a fakeReportClient whose fallible surface fails on
+// demand, standing in for a remote stub behind a bad network.
+type flakyReportClient struct {
+	fakeReportClient
+	failRanks, failVotes, failAcc bool
+}
+
+var errFlaky = errors.New("injected report failure")
+
+func (f *flakyReportClient) TryRankReport(_ context.Context, m *nn.Sequential, li int) ([]int, error) {
+	if f.failRanks {
+		return nil, errFlaky
+	}
+	return f.RankReport(m, li), nil
+}
+
+func (f *flakyReportClient) TryVoteReport(_ context.Context, m *nn.Sequential, li int, p float64) ([]bool, error) {
+	if f.failVotes {
+		return nil, errFlaky
+	}
+	return f.VoteReport(m, li, p), nil
+}
+
+func (f *flakyReportClient) TryReportAccuracy(_ context.Context, m *nn.Sequential) (float64, error) {
+	if f.failAcc {
+		return 0, errFlaky
+	}
+	return f.ReportAccuracy(m), nil
+}
+
+// nilReportClient models a remote stub's infallible surface after a wire
+// failure: nil reports, NaN accuracy.
+type nilReportClient struct{}
+
+func (nilReportClient) RankReport(*nn.Sequential, int) []int           { return nil }
+func (nilReportClient) VoteReport(*nn.Sequential, int, float64) []bool { return nil }
+func (nilReportClient) ReportAccuracy(*nn.Sequential) float64          { return math.NaN() }
+
+// TestGlobalPruneOrderSkipsFailedReports: a cohort with wire failures must
+// aggregate bit-identically to the same cohort with the failed clients
+// removed, for both pruning methods.
+func TestGlobalPruneOrderSkipsFailedReports(t *testing.T) {
+	m := pipelineModel(90)
+	healthy := []ReportClient{
+		&fakeReportClient{acts: []float64{5, 4, 3, 2, 0.1, 0.2}},
+		&fakeReportClient{acts: []float64{4, 5, 2, 3, 0.2, 0.1}},
+	}
+	failing := &flakyReportClient{
+		fakeReportClient: fakeReportClient{acts: []float64{0.1, 0.2, 5, 4, 3, 2}},
+		failRanks:        true, failVotes: true,
+	}
+	mixed := []ReportClient{healthy[0], failing, healthy[1]}
+
+	for _, method := range []PruneMethod{RAP, MVP} {
+		cfg := PipelineConfig{Method: method, VoteRate: 0.5}
+		res := GlobalPruneOrderDetail(m, mixed, 0, cfg)
+		want := GlobalPruneOrder(m, healthy, 0, cfg)
+		if len(res.Order) != len(want) {
+			t.Fatalf("%v: order length %d, want %d", method, len(res.Order), len(want))
+		}
+		for i := range want {
+			if res.Order[i] != want[i] {
+				t.Fatalf("%v: order %v, want %v (failed client leaked into aggregate)",
+					method, res.Order, want)
+			}
+		}
+		if len(res.Dropped) != 1 || res.Dropped[0] != 1 {
+			t.Fatalf("%v: dropped %v, want [1]", method, res.Dropped)
+		}
+		if len(res.Responded) != 2 || res.Responded[0] != 0 || res.Responded[1] != 2 {
+			t.Fatalf("%v: responded %v, want [0 2]", method, res.Responded)
+		}
+	}
+}
+
+// TestGlobalPruneOrderNilReportIsDropout: the infallible surface's nil
+// report (a remote stub after a failed call) counts as a dropout too.
+func TestGlobalPruneOrderNilReportIsDropout(t *testing.T) {
+	m := pipelineModel(91)
+	clients := []ReportClient{
+		&fakeReportClient{acts: []float64{5, 4, 3, 2, 0.1, 0.2}},
+		nilReportClient{},
+	}
+	cfg := PipelineConfig{Method: MVP, VoteRate: 0.5}
+	res := GlobalPruneOrderDetail(m, clients, 0, cfg)
+	if len(res.Dropped) != 1 || res.Dropped[0] != 1 {
+		t.Fatalf("dropped %v, want [1]", res.Dropped)
+	}
+}
+
+// TestGlobalPruneOrderQuorumPanics: too many failures abort collection.
+func TestGlobalPruneOrderQuorumPanics(t *testing.T) {
+	m := pipelineModel(92)
+	clients := []ReportClient{
+		&fakeReportClient{acts: []float64{5, 4, 3, 2, 0.1, 0.2}},
+		&flakyReportClient{failRanks: true, failVotes: true},
+		&flakyReportClient{failRanks: true, failVotes: true},
+	}
+	cfg := PipelineConfig{Method: MVP, VoteRate: 0.5, ReportQuorum: 0.67}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("missed quorum did not panic")
+		}
+	}()
+	GlobalPruneOrderDetail(m, clients, 0, cfg)
+}
+
+// TestGlobalPruneOrderAllFailedPanics: with every report lost there is
+// nothing to aggregate, quorum or not.
+func TestGlobalPruneOrderAllFailedPanics(t *testing.T) {
+	m := pipelineModel(93)
+	clients := []ReportClient{&flakyReportClient{failRanks: true, failVotes: true}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("total report loss did not panic")
+		}
+	}()
+	GlobalPruneOrder(m, clients, 0, PipelineConfig{Method: RAP})
+}
+
+// TestMeanReportedAccuracySkipsFailures: failed reporters (fallible error
+// or NaN from the infallible surface) drop out of the mean; the mean over
+// the survivors is bit-identical to the cohort without them.
+func TestMeanReportedAccuracySkipsFailures(t *testing.T) {
+	m := pipelineModel(94)
+	clients := []ReportClient{
+		&fakeReportClient{reportedAcc: 0.9},
+		&flakyReportClient{failAcc: true},
+		nilReportClient{},
+		&fakeReportClient{reportedAcc: 0.5},
+	}
+	got, dropped := MeanReportedAccuracyDetail(m, clients, PipelineConfig{})
+	want := MeanReportedAccuracy(m, []ReportClient{
+		&fakeReportClient{reportedAcc: 0.9},
+		&fakeReportClient{reportedAcc: 0.5},
+	})
+	if got != want {
+		t.Fatalf("mean %g, want %g", got, want)
+	}
+	if len(dropped) != 2 || dropped[0] != 1 || dropped[1] != 2 {
+		t.Fatalf("dropped %v, want [1 2]", dropped)
+	}
+}
+
+// TestMeanReportedAccuracyQuorumPanics mirrors the prune-report quorum.
+func TestMeanReportedAccuracyQuorumPanics(t *testing.T) {
+	m := pipelineModel(95)
+	clients := []ReportClient{
+		&fakeReportClient{reportedAcc: 0.9},
+		&flakyReportClient{failAcc: true},
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("missed accuracy quorum did not panic")
+		}
+	}()
+	MeanReportedAccuracyDetail(m, clients, PipelineConfig{ReportQuorum: 0.9})
+}
+
+// TestRunPipelineRecordsReportDropouts: the pipeline report surfaces which
+// clients' prune reports were lost.
+func TestRunPipelineRecordsReportDropouts(t *testing.T) {
+	m := pipelineModel(96)
+	clients := []ReportClient{
+		&fakeReportClient{acts: []float64{5, 4, 3, 2, 0.1, 0.2}},
+		&flakyReportClient{
+			fakeReportClient: fakeReportClient{acts: []float64{1, 1, 1, 1, 1, 1}},
+			failRanks:        true, failVotes: true,
+		},
+	}
+	eval := Evaluator(func(*nn.Sequential) float64 { return 0.95 })
+	cfg := DefaultPipelineConfig()
+	cfg.TargetLayer = 0
+	cfg.MaxPruneUnits = 2
+	cfg.FineTuneRounds = 0
+	rep := RunPipeline(m, clients, nil, eval, cfg)
+	if len(rep.ReportDropouts) != 1 || rep.ReportDropouts[0] != 1 {
+		t.Fatalf("report dropouts %v, want [1]", rep.ReportDropouts)
+	}
+}

@@ -1,7 +1,11 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"math"
+	"time"
 
 	"github.com/fedcleanse/fedcleanse/internal/nn"
 	"github.com/fedcleanse/fedcleanse/internal/parallel"
@@ -52,6 +56,28 @@ type AccuracyReporter interface {
 	ReportAccuracy(m *nn.Sequential) float64
 }
 
+// FallibleReportClient is implemented by report clients whose reports
+// travel over a network and can fail (transport.RemoteClient). Report
+// collection prefers the Try methods when available: an error means the
+// client drops out of this aggregation — its report is simply absent,
+// exactly as if the client had not been in the cohort — and the
+// collection proceeds once ReportQuorum is met.
+type FallibleReportClient interface {
+	ReportClient
+	// TryRankReport is RankReport with failure reporting and cancellation.
+	TryRankReport(ctx context.Context, m *nn.Sequential, layerIdx int) ([]int, error)
+	// TryVoteReport is VoteReport with failure reporting and cancellation.
+	TryVoteReport(ctx context.Context, m *nn.Sequential, layerIdx int, p float64) ([]bool, error)
+}
+
+// FallibleAccuracyReporter is AccuracyReporter with failure reporting.
+type FallibleAccuracyReporter interface {
+	AccuracyReporter
+	// TryReportAccuracy is ReportAccuracy with failure reporting and
+	// cancellation.
+	TryReportAccuracy(ctx context.Context, m *nn.Sequential) (float64, error)
+}
+
 // PipelineConfig parameterizes Algorithm 1 end to end.
 type PipelineConfig struct {
 	// Method selects RAP or MVP.
@@ -90,6 +116,17 @@ type PipelineConfig struct {
 	// activation collapses into a single spatial cell whose amplified
 	// weights sit in that dense layer (see DESIGN.md).
 	AWLayers []int
+	// ReportQuorum is the minimum fraction (0,1] of clients whose reports
+	// must arrive for an aggregation (prune reports, accuracy fallback) to
+	// proceed; collection panics when the quorum is missed, since the
+	// defense cannot act on an unrepresentative minority. 0 accepts any
+	// non-empty subset.
+	ReportQuorum float64
+	// ReportTimeout bounds each report-collection fan-out; when it expires
+	// the collection context is cancelled, aborting in-flight remote
+	// requests and recording the stragglers as dropouts. 0 means no
+	// deadline.
+	ReportTimeout time.Duration
 }
 
 // DefaultPipelineConfig returns the configuration used by the paper's
@@ -116,6 +153,10 @@ type Report struct {
 	AW          AWResult
 	// Accuracy milestones as seen by the evaluator.
 	AccBefore, AccAfterPrune, AccAfterFineTune, AccFinal float64
+	// ReportDropouts lists the indices (positions in the clients slice) of
+	// clients whose prune reports failed and were excluded from
+	// aggregation; empty when every report arrived.
+	ReportDropouts []int
 }
 
 // RunPipeline executes the paper's Algorithm 1 on model m in place:
@@ -139,9 +180,10 @@ func RunPipeline(m *nn.Sequential, clients []ReportClient, tuner Tuner, eval Sco
 	// Step 1 — federated pruning.
 	rep.AccAfterPrune = rep.AccBefore
 	if !cfg.SkipPrune {
-		order := GlobalPruneOrder(m, clients, layerIdx, cfg)
+		collected := GlobalPruneOrderDetail(m, clients, layerIdx, cfg)
+		rep.ReportDropouts = collected.Dropped
 		minAcc := rep.AccBefore - cfg.MaxAccuracyDrop
-		rep.Prune = PruneToThreshold(m, layerIdx, order, eval, minAcc, cfg.MaxPruneUnits)
+		rep.Prune = PruneToThreshold(m, layerIdx, collected.Order, eval, minAcc, cfg.MaxPruneUnits)
 		rep.AccAfterPrune = rep.Prune.FinalAccuracy
 	}
 
@@ -209,8 +251,26 @@ func DefaultAWLayers(m *nn.Sequential, pruneLayer int) []int {
 	return layers
 }
 
+// PruneOrderResult carries the aggregated pruning sequence plus the
+// collection telemetry: which clients (by index into the clients slice)
+// responded and which dropped out. A dropped client contributes nothing
+// to the aggregate — the order is computed exactly as if the cohort had
+// never contained it.
+type PruneOrderResult struct {
+	Order     []int
+	Responded []int
+	Dropped   []int
+}
+
 // GlobalPruneOrder collects rank or vote reports from every client and
 // aggregates them into the server's global pruning sequence for the layer.
+// It is GlobalPruneOrderDetail without the telemetry.
+func GlobalPruneOrder(m *nn.Sequential, clients []ReportClient, layerIdx int, cfg PipelineConfig) []int {
+	return GlobalPruneOrderDetail(m, clients, layerIdx, cfg).Order
+}
+
+// GlobalPruneOrderDetail collects rank or vote reports and aggregates the
+// survivors into the global pruning sequence.
 //
 // Report collection fans out across clients: each one records activations
 // over its whole local shard, which is the defense's per-client hot path
@@ -218,53 +278,169 @@ func DefaultAWLayers(m *nn.Sequential, pruneLayer int) []int {
 // own clone of m — inference mutates per-layer caches, so sharing the
 // model would race — and a clone carries identical parameters, so reports
 // are bit-identical to the serial path. Aggregation itself stays serial in
-// client-index order.
-func GlobalPruneOrder(m *nn.Sequential, clients []ReportClient, layerIdx int, cfg PipelineConfig) []int {
+// client-index order, so a cohort with wire failures aggregates
+// bit-identically to the same cohort with the failed clients removed.
+//
+// Clients implementing FallibleReportClient are collected through the
+// fallible path under cfg.ReportTimeout; a failed (or nil) report drops
+// the client from this aggregation. It panics when no report arrives or
+// fewer than cfg.ReportQuorum of the cohort responds.
+func GlobalPruneOrderDetail(m *nn.Sequential, clients []ReportClient, layerIdx int, cfg PipelineConfig) PruneOrderResult {
+	ctx, cancel := reportCtx(cfg.ReportTimeout)
+	defer cancel()
+	res := PruneOrderResult{}
 	switch cfg.Method {
 	case RAP:
 		reports := make([][]int, len(clients))
+		errs := make([]error, len(clients))
 		parallel.For(len(clients), func(i int) {
-			reports[i] = clients[i].RankReport(m.Clone(), layerIdx)
+			reports[i], errs[i] = rankReport(ctx, clients[i], m.Clone(), layerIdx)
 		})
-		return PruneOrderFromRanks(AggregateRanks(reports))
+		ok := compactReports(reports, errs, &res)
+		requireReportQuorum(len(ok), len(clients), cfg.ReportQuorum)
+		res.Order = PruneOrderFromRanks(AggregateRanks(ok))
 	case MVP:
 		p := cfg.VoteRate
 		if p == 0 {
 			p = 0.5
 		}
 		reports := make([][]bool, len(clients))
+		errs := make([]error, len(clients))
 		parallel.For(len(clients), func(i int) {
-			reports[i] = clients[i].VoteReport(m.Clone(), layerIdx, p)
+			reports[i], errs[i] = voteReport(ctx, clients[i], m.Clone(), layerIdx, p)
 		})
-		return PruneOrderFromVotes(AggregateVotes(reports))
+		ok := compactReports(reports, errs, &res)
+		requireReportQuorum(len(ok), len(clients), cfg.ReportQuorum)
+		res.Order = PruneOrderFromVotes(AggregateVotes(ok))
 	default:
 		panic(fmt.Sprintf("core: unknown prune method %v", cfg.Method))
 	}
+	return res
+}
+
+// errNilReport marks an infallible client that returned no report
+// (transport.RemoteClient's infallible surface does this on failure).
+var errNilReport = errors.New("core: client returned no report")
+
+func rankReport(ctx context.Context, c ReportClient, m *nn.Sequential, layerIdx int) ([]int, error) {
+	if fc, ok := c.(FallibleReportClient); ok {
+		return fc.TryRankReport(ctx, m, layerIdx)
+	}
+	r := c.RankReport(m, layerIdx)
+	if r == nil {
+		return nil, errNilReport
+	}
+	return r, nil
+}
+
+func voteReport(ctx context.Context, c ReportClient, m *nn.Sequential, layerIdx int, p float64) ([]bool, error) {
+	if fc, ok := c.(FallibleReportClient); ok {
+		return fc.TryVoteReport(ctx, m, layerIdx, p)
+	}
+	v := c.VoteReport(m, layerIdx, p)
+	if v == nil {
+		return nil, errNilReport
+	}
+	return v, nil
+}
+
+// compactReports keeps the successful reports in client-index order and
+// files the respondent/dropout indices into res.
+func compactReports[T any](reports []T, errs []error, res *PruneOrderResult) []T {
+	ok := make([]T, 0, len(reports))
+	for i := range reports {
+		if errs[i] != nil {
+			res.Dropped = append(res.Dropped, i)
+			continue
+		}
+		res.Responded = append(res.Responded, i)
+		ok = append(ok, reports[i])
+	}
+	return ok
+}
+
+// requireReportQuorum panics when too few of the cohort's reports arrived.
+func requireReportQuorum(got, cohort int, quorum float64) {
+	need := 1
+	if quorum > 0 {
+		if n := int(math.Ceil(quorum * float64(cohort))); n > need {
+			need = n
+		}
+	}
+	if got < need {
+		panic(fmt.Sprintf("core: %d of %d reports arrived, quorum needs %d", got, cohort, need))
+	}
+}
+
+// reportCtx builds the collection context for a report fan-out.
+func reportCtx(timeout time.Duration) (context.Context, context.CancelFunc) {
+	if timeout > 0 {
+		return context.WithTimeout(context.Background(), timeout)
+	}
+	return context.WithCancel(context.Background())
 }
 
 // MeanReportedAccuracy averages client-reported accuracies, the fallback
 // evaluator for servers without a validation set. Clients that do not
-// implement AccuracyReporter are skipped; it panics if none do.
-// The per-client evaluations run concurrently (each on its own model
-// clone, see GlobalPruneOrder); the mean is summed serially in client
-// order so the float result matches the serial path exactly.
+// implement AccuracyReporter are skipped entirely; among the reporters,
+// wire failures (FallibleAccuracyReporter errors, or NaN from the
+// infallible surface) drop out of the mean. It panics if no report
+// arrives. The per-client evaluations run concurrently (each on its own
+// model clone, see GlobalPruneOrderDetail); the mean is summed serially
+// in client order so the float result matches the serial path — and a
+// cohort with failures matches the same cohort without the failed
+// clients — exactly.
 func MeanReportedAccuracy(m *nn.Sequential, clients []ReportClient) float64 {
-	reporters := make([]AccuracyReporter, 0, len(clients))
-	for _, c := range clients {
+	acc, _ := MeanReportedAccuracyDetail(m, clients, PipelineConfig{})
+	return acc
+}
+
+// MeanReportedAccuracyDetail is MeanReportedAccuracy under cfg's
+// ReportTimeout and ReportQuorum (quorum counted over the clients that
+// implement AccuracyReporter), returning the mean plus the indices (into
+// the clients slice) of reporters that dropped out.
+func MeanReportedAccuracyDetail(m *nn.Sequential, clients []ReportClient, cfg PipelineConfig) (float64, []int) {
+	type reporter struct {
+		idx int
+		r   AccuracyReporter
+	}
+	reporters := make([]reporter, 0, len(clients))
+	for i, c := range clients {
 		if r, ok := c.(AccuracyReporter); ok {
-			reporters = append(reporters, r)
+			reporters = append(reporters, reporter{idx: i, r: r})
 		}
 	}
 	if len(reporters) == 0 {
 		panic("core: no client implements AccuracyReporter")
 	}
+	ctx, cancel := reportCtx(cfg.ReportTimeout)
+	defer cancel()
 	accs := make([]float64, len(reporters))
+	errs := make([]error, len(reporters))
 	parallel.For(len(reporters), func(i int) {
-		accs[i] = reporters[i].ReportAccuracy(m.Clone())
+		accs[i], errs[i] = reportAccuracy(ctx, reporters[i].r, m.Clone())
 	})
-	sum := 0.0
-	for _, a := range accs {
-		sum += a
+	var dropped []int
+	sum, n := 0.0, 0
+	for i := range reporters {
+		if errs[i] != nil {
+			dropped = append(dropped, reporters[i].idx)
+			continue
+		}
+		sum += accs[i]
+		n++
 	}
-	return sum / float64(len(reporters))
+	requireReportQuorum(n, len(reporters), cfg.ReportQuorum)
+	return sum / float64(n), dropped
+}
+
+func reportAccuracy(ctx context.Context, r AccuracyReporter, m *nn.Sequential) (float64, error) {
+	if fr, ok := r.(FallibleAccuracyReporter); ok {
+		return fr.TryReportAccuracy(ctx, m)
+	}
+	a := r.ReportAccuracy(m)
+	if math.IsNaN(a) {
+		return 0, errNilReport
+	}
+	return a, nil
 }

@@ -13,8 +13,10 @@
 package fl
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"time"
 
 	"github.com/fedcleanse/fedcleanse/internal/dataset"
 	"github.com/fedcleanse/fedcleanse/internal/nn"
@@ -33,6 +35,16 @@ type Config struct {
 	BatchSize int
 	// LR, Momentum, WeightDecay configure each client's local optimizer.
 	LR, Momentum, WeightDecay float64
+	// Quorum is the minimum fraction (0,1] of the selected cohort whose
+	// updates must arrive for the round's aggregate to be applied; a
+	// round below quorum is recorded but leaves the model untouched. 0
+	// keeps the historical behavior of applying with any single update.
+	Quorum float64
+	// RoundTimeout bounds one round's update collection; when it expires
+	// the round context is cancelled, which aborts in-flight remote calls
+	// and records the stragglers as dropouts. 0 means no deadline
+	// (in-process participants cannot be cancelled either way).
+	RoundTimeout time.Duration
 }
 
 // withDefaults fills unset fields with the values used throughout the
@@ -63,6 +75,19 @@ type Participant interface {
 	// Dataset exposes the client's local shard (the defense uses it for
 	// activation recording and fine-tuning participation).
 	Dataset() *dataset.Dataset
+}
+
+// FallibleParticipant is implemented by participants whose local update
+// can fail — remote stubs over a real network (transport.RemoteClient).
+// Round drivers prefer TryLocalUpdate over LocalUpdate when available:
+// an error is recorded as that client dropping out of the round, exactly
+// like a DropPolicy drop, and the round context is threaded through so a
+// round deadline cancels in-flight requests.
+type FallibleParticipant interface {
+	Participant
+	// TryLocalUpdate is LocalUpdate with failure reporting and
+	// cancellation.
+	TryLocalUpdate(ctx context.Context, global []float64, round int) ([]float64, error)
 }
 
 // Client is an honest participant running plain local SGD.

@@ -1,7 +1,10 @@
 package fl
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 
 	"github.com/fedcleanse/fedcleanse/internal/nn"
@@ -157,44 +160,153 @@ func NewServer(template *nn.Sequential, participants []Participant, cfg Config, 
 // Config returns the server's training configuration.
 func (s *Server) Config() Config { return s.cfg }
 
+// RoundResult records one federated round's outcome: who was selected,
+// whose updates arrived, who dropped (failure policy or wire failure) and
+// whether the aggregate was applied. A dropped client leaves nothing
+// behind in the aggregate — its delta is never buffered — only its ID
+// (and transport error, if any) in this record.
+type RoundResult struct {
+	// Round is the round index the drivers passed in.
+	Round int
+	// Selected lists the IDs drawn for this round, in participant order.
+	Selected []int
+	// Completed lists the IDs whose updates arrived and were aggregated
+	// (or would have been, had quorum been met), in participant order.
+	Completed []int
+	// Dropped lists the IDs that delivered nothing: DropPolicy drops
+	// first, then transport failures, each in participant order.
+	Dropped []int
+	// Errs maps a failed client ID to its transport error; policy drops
+	// have no entry. nil when no wire failure occurred.
+	Errs map[int]error
+	// Applied reports whether the aggregate was applied to the model —
+	// false when fewer than quorum updates arrived.
+	Applied bool
+}
+
+// errNilUpdate marks an infallible participant that returned no delta
+// (transport.RemoteClient's fl.Participant surface does this on failure).
+var errNilUpdate = errors.New("fl: participant returned no update")
+
 // Round executes one federated round: select clients, collect their
 // updates from the current global parameters, aggregate, and apply. It
-// returns the IDs of the selected clients.
+// returns the IDs of the clients whose updates were collected. Failed
+// clients — DropPolicy drops, and FallibleParticipant errors on the wire
+// path — are recorded as dropouts and excluded from the aggregate; the
+// round applies once cfg.Quorum of the selected cohort has responded.
 //
 // Local training runs concurrently across the selected clients (bounded by
 // parallel.Workers). Every participant owns its model clone and RNG, and
 // the global vector is shared read-only, so the per-client deltas — and
 // therefore the aggregated round — are bit-identical for any worker count.
+// A round in which a set of clients fails on the wire aggregates exactly
+// like a round in which the same set was dropped by policy.
 func (s *Server) Round(t int) []int {
-	selected := s.selectClients()
-	global := s.Model.ParamsVector()
+	return s.RoundDetail(t).Completed
+}
+
+// RoundDetail is Round with full failure telemetry.
+func (s *Server) RoundDetail(t int) RoundResult {
+	return s.runRound(s.Model, s.selectClients(), t)
+}
+
+// runRound drives one aggregation round over the given cohort against
+// model m (the global model for training rounds, the defense's working
+// model for fine-tuning).
+func (s *Server) runRound(m *nn.Sequential, selected []Participant, t int) RoundResult {
+	res := RoundResult{Round: t, Selected: make([]int, 0, len(selected))}
+	for _, p := range selected {
+		res.Selected = append(res.Selected, p.ID())
+	}
+	global := m.ParamsVector()
 	// Drop decisions consume the policy's randomness stream in participant
 	// order before any concurrency, keeping failure injection deterministic
 	// under every worker count.
 	var active []Participant
-	var ids []int
 	for _, p := range selected {
 		if s.Drop != nil && s.Drop.Dropped(p.ID(), t) {
+			res.Dropped = append(res.Dropped, p.ID())
 			continue
 		}
 		active = append(active, p)
-		ids = append(ids, p.ID())
 	}
-	if len(active) == 0 {
-		// Every selected client failed: the round delivers no update, as in
-		// a real deployment where the server times out and retries.
-		return ids
+	ctx := context.Background()
+	if s.cfg.RoundTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RoundTimeout)
+		defer cancel()
 	}
 	deltas := make([][]float64, len(active))
+	errs := make([]error, len(active))
 	parallel.For(len(active), func(i int) {
-		deltas[i] = active[i].LocalUpdate(global, t)
+		deltas[i], errs[i] = localUpdate(ctx, active[i], global, t)
 	})
-	if wa, ok := s.Agg.(WeightedAggregator); ok {
-		s.Model.AddDeltaVector(1, wa.AggregateWeighted(deltas, ids))
-	} else {
-		s.Model.AddDeltaVector(1, s.Agg.Aggregate(deltas))
+	// Compact survivors in participant order, so aggregating a round with
+	// wire failures is bit-identical to aggregating one where the same
+	// clients were excluded up front.
+	var ids []int
+	var ok [][]float64
+	for i, p := range active {
+		if errs[i] != nil {
+			res.Dropped = append(res.Dropped, p.ID())
+			if res.Errs == nil {
+				res.Errs = make(map[int]error)
+			}
+			res.Errs[p.ID()] = errs[i]
+			continue
+		}
+		ids = append(ids, p.ID())
+		ok = append(ok, deltas[i])
 	}
-	return ids
+	res.Completed = ids
+	if len(ok) == 0 || len(ok) < s.quorumCount(len(selected)) {
+		// Below quorum the round delivers no update, as in a real
+		// deployment where the server abandons the round and retries.
+		return res
+	}
+	if wa, isWeighted := s.Agg.(WeightedAggregator); isWeighted {
+		m.AddDeltaVector(1, wa.AggregateWeighted(ok, ids))
+	} else {
+		m.AddDeltaVector(1, s.aggregator().Aggregate(ok))
+	}
+	res.Applied = true
+	return res
+}
+
+// localUpdate collects one client's update, preferring the fallible
+// context-aware path when the participant supports it.
+func localUpdate(ctx context.Context, p Participant, global []float64, round int) ([]float64, error) {
+	if fp, ok := p.(FallibleParticipant); ok {
+		return fp.TryLocalUpdate(ctx, global, round)
+	}
+	d := p.LocalUpdate(global, round)
+	if d == nil {
+		return nil, errNilUpdate
+	}
+	return d, nil
+}
+
+// aggregator returns the configured aggregation rule (MeanAggregator when
+// unset).
+func (s *Server) aggregator() Aggregator {
+	if s.Agg == nil {
+		return MeanAggregator{}
+	}
+	return s.Agg
+}
+
+// quorumCount converts cfg.Quorum into the minimum number of arrived
+// updates for a cohort of the given size (at least one).
+func (s *Server) quorumCount(selected int) int {
+	q := s.cfg.Quorum
+	if q <= 0 {
+		return 1
+	}
+	n := int(math.Ceil(q * float64(selected)))
+	if n < 1 {
+		n = 1
+	}
+	return n
 }
 
 // Train runs cfg.Rounds rounds. After each round, onRound (if non-nil) is
@@ -229,16 +341,14 @@ func (s *Server) selectClients() []Participant {
 }
 
 // FineTune implements the defense's federated fine-tuning contract
-// (internal/core.Tuner): it runs the given number of plain FedAvg rounds
+// (internal/core.Tuner): it runs the given number of aggregation rounds
 // over the full population starting from m, updating m in place. Prune
 // masks installed on m survive because AddDeltaVector re-applies them.
+// Fine-tuning rounds share Round's machinery end to end: the server's
+// configured Agg rule, its Drop policy, the round timeout and the quorum
+// semantics all apply, and wire failures degrade to recorded dropouts.
 func (s *Server) FineTune(m *nn.Sequential, rounds int) {
 	for t := 0; t < rounds; t++ {
-		global := m.ParamsVector()
-		deltas := make([][]float64, len(s.Participants))
-		parallel.For(len(s.Participants), func(i int) {
-			deltas[i] = s.Participants[i].LocalUpdate(global, t)
-		})
-		m.AddDeltaVector(1, MeanAggregator{}.Aggregate(deltas))
+		s.runRound(m, s.Participants, t)
 	}
 }

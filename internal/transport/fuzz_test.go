@@ -1,0 +1,131 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/fedcleanse/fedcleanse/internal/dataset"
+	"github.com/fedcleanse/fedcleanse/internal/nn"
+	"github.com/fedcleanse/fedcleanse/internal/tensor"
+)
+
+// Fuzz targets for the gob decoders behind the four protocol endpoints.
+// The invariant under fuzzing: an arbitrary request body either decodes
+// into a well-formed request (HTTP 200) or is rejected with HTTP 400 —
+// the handler never panics and never returns any other status. Seed
+// corpora live in testdata/fuzz/.
+
+// stubFuzzParticipant answers instantly so fuzzing measures the decoder
+// and validators, not model training.
+type stubFuzzParticipant struct{ units int }
+
+func (stubFuzzParticipant) ID() int                   { return 0 }
+func (stubFuzzParticipant) Dataset() *dataset.Dataset { return nil }
+func (stubFuzzParticipant) LocalUpdate(global []float64, _ int) []float64 {
+	return make([]float64, len(global))
+}
+func (s stubFuzzParticipant) RankReport(*nn.Sequential, int) []int {
+	ranks := make([]int, s.units)
+	for i := range ranks {
+		ranks[i] = i
+	}
+	return ranks
+}
+func (s stubFuzzParticipant) VoteReport(*nn.Sequential, int, float64) []bool {
+	return make([]bool, s.units)
+}
+func (stubFuzzParticipant) ReportAccuracy(*nn.Sequential) float64 { return 0.5 }
+
+// fuzzHandler builds a small ClientServer and returns its handler plus the
+// template parameter count (for crafting valid and invalid bodies).
+func fuzzHandler() (http.Handler, int) {
+	rng := rand.New(rand.NewSource(7))
+	d := tensor.ConvDims{C: 1, H: 4, W: 4, K: 3, Stride: 1, Pad: 1}
+	template := nn.NewSequential(
+		nn.NewConv2D("conv", d, 4, rng),
+		nn.NewReLU("relu"),
+		nn.NewFlatten("flatten"),
+		nn.NewDense("fc", 4*16, 3, rng),
+	)
+	cs := NewClientServer(stubFuzzParticipant{units: 4}, template)
+	return cs.Handler(), template.NumParams()
+}
+
+func gobBytes(t *testing.F, v any) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// fuzzEndpoint drives one endpoint with the fuzzed body and checks the
+// status invariant.
+func fuzzEndpoint(f *testing.F, path string, seeds [][]byte) {
+	h, _ := fuzzHandler()
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK && rec.Code != http.StatusBadRequest {
+			t.Fatalf("%s returned %d for body %q, want 200 or 400", path, rec.Code, body)
+		}
+	})
+}
+
+func FuzzHandleUpdate(f *testing.F) {
+	_, n := fuzzHandler()
+	valid := gobBytes(f, UpdateRequest{Global: make([]float64, n), Round: 1})
+	fuzzEndpoint(f, "/v1/update", [][]byte{
+		valid,
+		valid[:len(valid)/2],
+		{},
+		[]byte("not gob at all"),
+		gobBytes(f, UpdateRequest{Global: []float64{1, 2, 3}}), // wrong length
+	})
+}
+
+func FuzzHandleRanks(f *testing.F) {
+	_, n := fuzzHandler()
+	valid := gobBytes(f, RankRequest{Global: make([]float64, n), Layer: 0})
+	fuzzEndpoint(f, "/v1/ranks", [][]byte{
+		valid,
+		valid[:len(valid)/2],
+		{},
+		[]byte("\x00\xff garbage"),
+		gobBytes(f, RankRequest{Global: make([]float64, n), Layer: 99}), // bad layer
+	})
+}
+
+func FuzzHandleVotes(f *testing.F) {
+	_, n := fuzzHandler()
+	valid := gobBytes(f, VoteRequest{Global: make([]float64, n), Layer: 0, Rate: 0.5})
+	fuzzEndpoint(f, "/v1/votes", [][]byte{
+		valid,
+		valid[:len(valid)/2],
+		{},
+		gobBytes(f, VoteRequest{Global: make([]float64, n), Rate: math.NaN()}),
+		gobBytes(f, VoteRequest{Global: make([]float64, n), Rate: -3}),
+	})
+}
+
+func FuzzHandleAccuracy(f *testing.F) {
+	_, n := fuzzHandler()
+	valid := gobBytes(f, AccuracyRequest{Global: make([]float64, n)})
+	fuzzEndpoint(f, "/v1/accuracy", [][]byte{
+		valid,
+		valid[:len(valid)/2],
+		{},
+		[]byte("garbage"),
+		gobBytes(f, AccuracyRequest{Global: []float64{1}}),
+	})
+}

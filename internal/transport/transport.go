@@ -17,13 +17,26 @@
 // Bodies are gob-encoded request/response structs. Model parameters travel
 // as flat vectors; both sides hold the architecture (as in cross-silo FL
 // deployments, where the model definition ships with the software).
+//
+// Failure model (DESIGN.md §10): every remote call can fail — crashes,
+// stragglers, partitions, corrupted responses. RemoteClient never panics;
+// each logical call runs a bounded retry loop (per-attempt timeouts,
+// capped exponential backoff) under the caller's context, and surfaces
+// the final error through the fallible interfaces
+// (fl.FallibleParticipant, core.FallibleReportClient,
+// core.FallibleAccuracyReporter) that the round drivers use to record a
+// dropout and continue on the surviving quorum. The deterministic
+// FaultInjector in fault.go reproduces the failure modes in tests.
 package transport
 
 import (
 	"bytes"
 	"context"
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"io"
+	"math"
 	"net"
 	"net/http"
 	"sync"
@@ -91,52 +104,125 @@ type participant interface {
 	core.AccuracyReporter
 }
 
+// ClientServer lifecycle states.
+const (
+	csIdle = iota
+	csServing
+	csClosed
+)
+
 // ClientServer exposes one federated participant over HTTP.
 type ClientServer struct {
 	part participant
 	// template provides the model architecture for report requests.
 	template *nn.Sequential
+	// maxBody bounds request bodies so a malicious or corrupted peer
+	// cannot make the decoder allocate unboundedly.
+	maxBody int64
 
-	mu       sync.Mutex // serializes access to the participant
-	listener net.Listener
-	server   *http.Server
+	mu sync.Mutex // serializes access to the participant
+
+	stateMu    sync.Mutex // guards the lifecycle fields below
+	state      int
+	listener   net.Listener
+	server     *http.Server
+	errc       chan error
+	middleware func(http.Handler) http.Handler
 }
 
 // NewClientServer wraps a participant (an fl.Client or fl.Attacker; both
 // implement the defense reporting interfaces). template provides the model
 // architecture and is cloned per request model reconstruction.
 func NewClientServer(part participant, template *nn.Sequential) *ClientServer {
-	return &ClientServer{part: part, template: template.Clone()}
+	return &ClientServer{
+		part:     part,
+		template: template.Clone(),
+		// A parameter vector gob-encodes to at most ~9 bytes per float64;
+		// 16x plus slack accommodates every legitimate request.
+		maxBody: int64(template.NumParams())*16 + 1<<16,
+	}
 }
 
-// Serve starts listening on addr ("127.0.0.1:0" for an ephemeral port) and
-// serves until Shutdown. It returns the bound address.
-func (cs *ClientServer) Serve(addr string) (string, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return "", fmt.Errorf("transport: listen: %w", err)
-	}
+// SetMiddleware installs a handler wrapper applied around the protocol
+// mux (tests use it to inject server-side faults). It must be called
+// before Serve or Handler.
+func (cs *ClientServer) SetMiddleware(mw func(http.Handler) http.Handler) {
+	cs.stateMu.Lock()
+	defer cs.stateMu.Unlock()
+	cs.middleware = mw
+}
+
+// Handler returns the protocol handler (with any installed middleware),
+// for callers that embed the endpoints into their own server.
+func (cs *ClientServer) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/update", cs.handleUpdate)
 	mux.HandleFunc("/v1/ranks", cs.handleRanks)
 	mux.HandleFunc("/v1/votes", cs.handleVotes)
 	mux.HandleFunc("/v1/accuracy", cs.handleAccuracy)
+	cs.stateMu.Lock()
+	mw := cs.middleware
+	cs.stateMu.Unlock()
+	if mw != nil {
+		return mw(mux)
+	}
+	return mux
+}
+
+// Serve starts listening on addr ("127.0.0.1:0" for an ephemeral port) and
+// serves until Shutdown. It returns the bound address. Serving happens on
+// a background goroutine; its terminal error is delivered on the Err
+// channel (nil after a clean Shutdown). Serve can be called at most once;
+// a second call, or a call after Shutdown, returns an error.
+func (cs *ClientServer) Serve(addr string) (string, error) {
+	h := cs.Handler()
+	cs.stateMu.Lock()
+	defer cs.stateMu.Unlock()
+	switch cs.state {
+	case csServing:
+		return "", errors.New("transport: Serve called twice")
+	case csClosed:
+		return "", errors.New("transport: Serve after Shutdown")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("transport: listen: %w", err)
+	}
 	cs.listener = ln
-	cs.server = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	cs.server = &http.Server{Handler: h, ReadHeaderTimeout: 10 * time.Second}
+	cs.errc = make(chan error, 1)
+	cs.state = csServing
+	srv, errc := cs.server, cs.errc
 	go func() {
-		// Serve exits with ErrServerClosed on Shutdown; other errors are
-		// surfaced through failed client calls.
-		_ = cs.server.Serve(ln)
+		err := srv.Serve(ln)
+		if errors.Is(err, http.ErrServerClosed) {
+			err = nil
+		}
+		errc <- err
 	}()
 	return ln.Addr().String(), nil
 }
 
-// Shutdown stops the server.
+// Err returns the channel that delivers the terminal serve error: nil
+// after a clean Shutdown, the net/http failure otherwise. It returns nil
+// before Serve has been called.
+func (cs *ClientServer) Err() <-chan error {
+	cs.stateMu.Lock()
+	defer cs.stateMu.Unlock()
+	return cs.errc
+}
+
+// Shutdown stops the server. Calling it before Serve (or twice) is safe;
+// after Shutdown the ClientServer cannot serve again.
 func (cs *ClientServer) Shutdown(ctx context.Context) error {
-	if cs.server == nil {
+	cs.stateMu.Lock()
+	srv := cs.server
+	cs.state = csClosed
+	cs.stateMu.Unlock()
+	if srv == nil {
 		return nil
 	}
-	return cs.server.Shutdown(ctx)
+	return srv.Shutdown(ctx)
 }
 
 // modelFor reconstructs a model with the given parameters.
@@ -146,9 +232,31 @@ func (cs *ClientServer) modelFor(global []float64) *nn.Sequential {
 	return m
 }
 
+// checkGlobal rejects parameter vectors that do not match the template
+// architecture; without this a malformed-but-valid-gob body would panic
+// SetParamsVector inside the handler.
+func (cs *ClientServer) checkGlobal(w http.ResponseWriter, global []float64) bool {
+	if len(global) != cs.template.NumParams() {
+		http.Error(w, fmt.Sprintf("bad request: %d params, want %d",
+			len(global), cs.template.NumParams()), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+// checkLayer rejects out-of-range layer indices.
+func (cs *ClientServer) checkLayer(w http.ResponseWriter, layer int) bool {
+	if layer < 0 || layer >= cs.template.NumLayers() {
+		http.Error(w, fmt.Sprintf("bad request: layer %d outside [0,%d)",
+			layer, cs.template.NumLayers()), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
 func (cs *ClientServer) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	var req UpdateRequest
-	if !decodeBody(w, r, &req) {
+	if !cs.decodeBody(w, r, &req) || !cs.checkGlobal(w, req.Global) {
 		return
 	}
 	cs.mu.Lock()
@@ -159,7 +267,7 @@ func (cs *ClientServer) handleUpdate(w http.ResponseWriter, r *http.Request) {
 
 func (cs *ClientServer) handleRanks(w http.ResponseWriter, r *http.Request) {
 	var req RankRequest
-	if !decodeBody(w, r, &req) {
+	if !cs.decodeBody(w, r, &req) || !cs.checkGlobal(w, req.Global) || !cs.checkLayer(w, req.Layer) {
 		return
 	}
 	cs.mu.Lock()
@@ -170,7 +278,12 @@ func (cs *ClientServer) handleRanks(w http.ResponseWriter, r *http.Request) {
 
 func (cs *ClientServer) handleVotes(w http.ResponseWriter, r *http.Request) {
 	var req VoteRequest
-	if !decodeBody(w, r, &req) {
+	if !cs.decodeBody(w, r, &req) || !cs.checkGlobal(w, req.Global) || !cs.checkLayer(w, req.Layer) {
+		return
+	}
+	if !(req.Rate >= 0 && req.Rate <= 1) { // also rejects NaN
+		http.Error(w, fmt.Sprintf("bad request: rate %g outside [0,1]", req.Rate),
+			http.StatusBadRequest)
 		return
 	}
 	cs.mu.Lock()
@@ -181,7 +294,7 @@ func (cs *ClientServer) handleVotes(w http.ResponseWriter, r *http.Request) {
 
 func (cs *ClientServer) handleAccuracy(w http.ResponseWriter, r *http.Request) {
 	var req AccuracyRequest
-	if !decodeBody(w, r, &req) {
+	if !cs.decodeBody(w, r, &req) || !cs.checkGlobal(w, req.Global) {
 		return
 	}
 	cs.mu.Lock()
@@ -190,12 +303,13 @@ func (cs *ClientServer) handleAccuracy(w http.ResponseWriter, r *http.Request) {
 	encodeBody(w, AccuracyResponse{Accuracy: acc})
 }
 
-func decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+func (cs *ClientServer) decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return false
 	}
-	if err := gob.NewDecoder(r.Body).Decode(dst); err != nil {
+	body := http.MaxBytesReader(w, r.Body, cs.maxBody)
+	if err := gob.NewDecoder(body).Decode(dst); err != nil {
 		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
 		return false
 	}
@@ -212,30 +326,127 @@ func encodeBody(w http.ResponseWriter, v any) {
 	_, _ = w.Write(buf.Bytes())
 }
 
+// RetryPolicy bounds RemoteClient's per-call retry loop.
+type RetryPolicy struct {
+	// MaxAttempts is the retry budget per logical call (minimum 1).
+	MaxAttempts int
+	// AttemptTimeout bounds each individual HTTP attempt; 0 means no
+	// per-attempt deadline beyond the caller's context.
+	AttemptTimeout time.Duration
+	// BaseBackoff is the wait before the first retry; it doubles per
+	// subsequent retry, capped at MaxBackoff.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential backoff (0 means BaseBackoff).
+	MaxBackoff time.Duration
+}
+
+// DefaultRetryPolicy returns the production defaults: three attempts with
+// 50 ms base backoff capped at 2 s, each attempt bounded to one minute.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts:    3,
+		AttemptTimeout: time.Minute,
+		BaseBackoff:    50 * time.Millisecond,
+		MaxBackoff:     2 * time.Second,
+	}
+}
+
+// withDefaults fills unset fields.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 1
+	}
+	if p.MaxBackoff == 0 {
+		p.MaxBackoff = p.BaseBackoff
+	}
+	return p
+}
+
+// backoff returns the wait before retry number n (0-based): capped
+// exponential growth from BaseBackoff.
+func (p RetryPolicy) backoff(n int) time.Duration {
+	d := p.BaseBackoff
+	for i := 0; i < n && d < p.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	return d
+}
+
+// StatusError is returned when the peer answers with a non-200 status.
+type StatusError struct {
+	Path string
+	Code int
+	Body string
+}
+
+// Error implements error.
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("transport: %s: HTTP %d: %s", e.Path, e.Code, e.Body)
+}
+
+// permanent reports whether err cannot be cured by retrying the same
+// bytes: client-side encode bugs and 4xx rejections.
+func permanent(err error) bool {
+	var se *StatusError
+	return errors.As(err, &se) && se.Code >= 400 && se.Code < 500
+}
+
+// RemoteOption configures a RemoteClient.
+type RemoteOption func(*RemoteClient)
+
+// WithRetryPolicy overrides the client's retry policy.
+func WithRetryPolicy(p RetryPolicy) RemoteOption {
+	return func(rc *RemoteClient) { rc.retry = p.withDefaults() }
+}
+
+// WithTransport installs a custom http.RoundTripper (fault injectors,
+// instrumented transports). nil restores http.DefaultTransport.
+func WithTransport(rt http.RoundTripper) RemoteOption {
+	return func(rc *RemoteClient) { rc.httpc.Transport = rt }
+}
+
 // RemoteClient is the server-side stub for a client reachable over HTTP.
 // It implements fl.Participant, core.ReportClient and
 // core.AccuracyReporter, so it drops into both federated training and the
-// defense pipeline.
+// defense pipeline — and their fallible extensions
+// (fl.FallibleParticipant, core.FallibleReportClient,
+// core.FallibleAccuracyReporter), which the round drivers prefer: a
+// failed call becomes a recorded dropout, never a panic.
 type RemoteClient struct {
 	id      int
 	baseURL string
 	httpc   *http.Client
+	retry   RetryPolicy
+
+	errMu   sync.Mutex
+	lastErr error
 }
 
 var (
-	_ fl.Participant        = (*RemoteClient)(nil)
-	_ core.ReportClient     = (*RemoteClient)(nil)
-	_ core.AccuracyReporter = (*RemoteClient)(nil)
+	_ fl.Participant                = (*RemoteClient)(nil)
+	_ fl.FallibleParticipant        = (*RemoteClient)(nil)
+	_ core.ReportClient             = (*RemoteClient)(nil)
+	_ core.FallibleReportClient     = (*RemoteClient)(nil)
+	_ core.AccuracyReporter         = (*RemoteClient)(nil)
+	_ core.FallibleAccuracyReporter = (*RemoteClient)(nil)
 )
 
 // NewRemoteClient builds a stub for the client server at addr
-// (host:port).
-func NewRemoteClient(id int, addr string) *RemoteClient {
-	return &RemoteClient{
+// (host:port) with the default retry policy.
+func NewRemoteClient(id int, addr string, opts ...RemoteOption) *RemoteClient {
+	rc := &RemoteClient{
 		id:      id,
 		baseURL: "http://" + addr,
-		httpc:   &http.Client{Timeout: 5 * time.Minute},
+		httpc:   &http.Client{},
+		retry:   DefaultRetryPolicy(),
 	}
+	for _, opt := range opts {
+		opt(rc)
+	}
+	return rc
 }
 
 // ID implements fl.Participant.
@@ -246,51 +457,176 @@ func (rc *RemoteClient) ID() int { return rc.id }
 // defense uses the report endpoints instead.
 func (rc *RemoteClient) Dataset() *dataset.Dataset { return nil }
 
-// LocalUpdate implements fl.Participant over the wire. Transport errors
-// panic: the synchronous round protocol has no partial-failure story at
-// this layer (fl.Server's failure-injection tests exercise participant
-// dropout separately).
-func (rc *RemoteClient) LocalUpdate(global []float64, round int) []float64 {
-	var resp UpdateResponse
-	rc.call("/v1/update", UpdateRequest{Global: global, Round: round}, &resp)
-	return resp.Delta
+// LastErr returns the error of the client's most recent failed call, or
+// nil if the last call succeeded.
+func (rc *RemoteClient) LastErr() error {
+	rc.errMu.Lock()
+	defer rc.errMu.Unlock()
+	return rc.lastErr
 }
 
-// RankReport implements core.ReportClient over the wire.
-func (rc *RemoteClient) RankReport(m *nn.Sequential, layerIdx int) []int {
-	var resp RankResponse
-	rc.call("/v1/ranks", RankRequest{Global: m.ParamsVector(), Layer: layerIdx}, &resp)
-	return resp.Ranks
+func (rc *RemoteClient) noteErr(err error) {
+	rc.errMu.Lock()
+	rc.lastErr = err
+	rc.errMu.Unlock()
 }
 
-// VoteReport implements core.ReportClient over the wire.
-func (rc *RemoteClient) VoteReport(m *nn.Sequential, layerIdx int, p float64) []bool {
-	var resp VoteResponse
-	rc.call("/v1/votes", VoteRequest{Global: m.ParamsVector(), Layer: layerIdx, Rate: p}, &resp)
-	return resp.Votes
-}
-
-// ReportAccuracy implements core.AccuracyReporter over the wire.
-func (rc *RemoteClient) ReportAccuracy(m *nn.Sequential) float64 {
-	var resp AccuracyResponse
-	rc.call("/v1/accuracy", AccuracyRequest{Global: m.ParamsVector()}, &resp)
-	return resp.Accuracy
-}
-
-func (rc *RemoteClient) call(path string, req, resp any) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(req); err != nil {
-		panic(fmt.Sprintf("transport: encode %s: %v", path, err))
-	}
-	httpResp, err := rc.httpc.Post(rc.baseURL+path, "application/x-gob", &buf)
+// TryLocalUpdate implements fl.FallibleParticipant over the wire.
+func (rc *RemoteClient) TryLocalUpdate(ctx context.Context, global []float64, round int) ([]float64, error) {
+	resp, err := call[UpdateResponse](rc, ctx, "/v1/update", UpdateRequest{Global: global, Round: round})
 	if err != nil {
-		panic(fmt.Sprintf("transport: %s: %v", path, err))
+		return nil, err
 	}
-	defer httpResp.Body.Close()
-	if httpResp.StatusCode != http.StatusOK {
-		panic(fmt.Sprintf("transport: %s: HTTP %d", path, httpResp.StatusCode))
+	return resp.Delta, nil
+}
+
+// TryRankReport implements core.FallibleReportClient over the wire.
+func (rc *RemoteClient) TryRankReport(ctx context.Context, m *nn.Sequential, layerIdx int) ([]int, error) {
+	resp, err := call[RankResponse](rc, ctx, "/v1/ranks", RankRequest{Global: m.ParamsVector(), Layer: layerIdx})
+	if err != nil {
+		return nil, err
 	}
-	if err := gob.NewDecoder(httpResp.Body).Decode(resp); err != nil {
-		panic(fmt.Sprintf("transport: decode %s: %v", path, err))
+	return resp.Ranks, nil
+}
+
+// TryVoteReport implements core.FallibleReportClient over the wire.
+func (rc *RemoteClient) TryVoteReport(ctx context.Context, m *nn.Sequential, layerIdx int, p float64) ([]bool, error) {
+	resp, err := call[VoteResponse](rc, ctx, "/v1/votes", VoteRequest{Global: m.ParamsVector(), Layer: layerIdx, Rate: p})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Votes, nil
+}
+
+// TryReportAccuracy implements core.FallibleAccuracyReporter over the
+// wire.
+func (rc *RemoteClient) TryReportAccuracy(ctx context.Context, m *nn.Sequential) (float64, error) {
+	resp, err := call[AccuracyResponse](rc, ctx, "/v1/accuracy", AccuracyRequest{Global: m.ParamsVector()})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Accuracy, nil
+}
+
+// LocalUpdate implements fl.Participant over the wire. A transport
+// failure yields a nil delta, which fl's round drivers record as a
+// dropout (the error is retained in LastErr); prefer TryLocalUpdate for
+// explicit error handling.
+func (rc *RemoteClient) LocalUpdate(global []float64, round int) []float64 {
+	d, err := rc.TryLocalUpdate(context.Background(), global, round)
+	if err != nil {
+		return nil
+	}
+	return d
+}
+
+// RankReport implements core.ReportClient over the wire; failures yield a
+// nil report, recorded as a dropout by the defense's report collection.
+func (rc *RemoteClient) RankReport(m *nn.Sequential, layerIdx int) []int {
+	r, err := rc.TryRankReport(context.Background(), m, layerIdx)
+	if err != nil {
+		return nil
+	}
+	return r
+}
+
+// VoteReport implements core.ReportClient over the wire; failures yield a
+// nil report.
+func (rc *RemoteClient) VoteReport(m *nn.Sequential, layerIdx int, p float64) []bool {
+	v, err := rc.TryVoteReport(context.Background(), m, layerIdx, p)
+	if err != nil {
+		return nil
+	}
+	return v
+}
+
+// ReportAccuracy implements core.AccuracyReporter over the wire; failures
+// yield NaN, which MeanReportedAccuracy skips as a dropout.
+func (rc *RemoteClient) ReportAccuracy(m *nn.Sequential) float64 {
+	a, err := rc.TryReportAccuracy(context.Background(), m)
+	if err != nil {
+		return math.NaN()
+	}
+	return a
+}
+
+// call runs one logical request through the retry loop: encode once, then
+// up to MaxAttempts HTTP attempts with capped exponential backoff between
+// them, each decoded into a fresh response value. Retries stop early on
+// context cancellation and on permanent (4xx) rejections.
+func call[Resp any](rc *RemoteClient, ctx context.Context, path string, req any) (Resp, error) {
+	var zero Resp
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(req); err != nil {
+		err = fmt.Errorf("transport: encode %s: %w", path, err)
+		rc.noteErr(err)
+		return zero, err
+	}
+	payload := body.Bytes()
+	pol := rc.retry.withDefaults()
+	var lastErr error
+	for attempt := 0; attempt < pol.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			if err := sleepCtx(ctx, pol.backoff(attempt-1)); err != nil {
+				break
+			}
+		}
+		var resp Resp
+		err := rc.attempt(ctx, pol, path, payload, &resp)
+		if err == nil {
+			rc.noteErr(nil)
+			return resp, nil
+		}
+		lastErr = err
+		if permanent(err) || ctx.Err() != nil {
+			break
+		}
+	}
+	if lastErr == nil { // context expired before the first attempt
+		lastErr = fmt.Errorf("transport: %s: %w", path, ctx.Err())
+	}
+	rc.noteErr(lastErr)
+	return zero, lastErr
+}
+
+// attempt performs a single HTTP exchange under the per-attempt timeout.
+func (rc *RemoteClient) attempt(ctx context.Context, pol RetryPolicy, path string, payload []byte, resp any) error {
+	if pol.AttemptTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, pol.AttemptTimeout)
+		defer cancel()
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, rc.baseURL+path, bytes.NewReader(payload))
+	if err != nil {
+		return fmt.Errorf("transport: %s: %w", path, err)
+	}
+	hreq.Header.Set("Content-Type", "application/x-gob")
+	hresp, err := rc.httpc.Do(hreq)
+	if err != nil {
+		return fmt.Errorf("transport: %s: %w", path, err)
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(hresp.Body, 256))
+		return &StatusError{Path: path, Code: hresp.StatusCode, Body: string(bytes.TrimSpace(msg))}
+	}
+	if err := gob.NewDecoder(hresp.Body).Decode(resp); err != nil {
+		return fmt.Errorf("transport: decode %s: %w", path, err)
+	}
+	return nil
+}
+
+// sleepCtx waits for d or until ctx is done, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"net/http"
 	"testing"
+	"time"
 
 	"github.com/fedcleanse/fedcleanse/internal/core"
 	"github.com/fedcleanse/fedcleanse/internal/dataset"
@@ -133,14 +134,113 @@ func TestRemoteDefensePipeline(t *testing.T) {
 	}
 }
 
-func TestRemoteClientPanicsOnDeadServer(t *testing.T) {
-	rc := NewRemoteClient(0, "127.0.0.1:1") // nothing listens there
-	defer func() {
-		if recover() == nil {
-			t.Fatal("dead server did not panic")
+// fastRetry keeps failure tests quick: two attempts, millisecond backoff,
+// short per-attempt timeout.
+func fastRetry() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 2, AttemptTimeout: 250 * time.Millisecond,
+		BaseBackoff: time.Millisecond, MaxBackoff: 4 * time.Millisecond}
+}
+
+func TestRemoteClientErrorsOnDeadServer(t *testing.T) {
+	rc := NewRemoteClient(0, "127.0.0.1:1", WithRetryPolicy(fastRetry())) // nothing listens there
+	if _, err := rc.TryLocalUpdate(context.Background(), make([]float64, 4), 0); err == nil {
+		t.Fatal("dead server did not return an error")
+	}
+	// The infallible fl.Participant surface degrades to a nil delta (a
+	// recorded dropout in the round drivers), never a panic.
+	if d := rc.LocalUpdate(make([]float64, 4), 0); d != nil {
+		t.Fatalf("dead server returned a delta: %v", d)
+	}
+	if rc.LastErr() == nil {
+		t.Fatal("failed call left no LastErr")
+	}
+}
+
+func TestRemoteClientRespectsCallerContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rc := NewRemoteClient(0, "127.0.0.1:1", WithRetryPolicy(fastRetry()))
+	if _, err := rc.TryLocalUpdate(ctx, make([]float64, 4), 0); err == nil {
+		t.Fatal("cancelled context did not surface an error")
+	}
+}
+
+func TestServeTwiceFails(t *testing.T) {
+	local, _, template, _, shutdown := buildPopulation(t)
+	defer shutdown()
+	cs := NewClientServer(local[1].(interface {
+		fl.Participant
+		core.ReportClient
+		core.AccuracyReporter
+	}), template)
+	if _, err := cs.Serve("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer cs.Shutdown(context.Background())
+	if _, err := cs.Serve("127.0.0.1:0"); err == nil {
+		t.Fatal("second Serve did not fail")
+	}
+}
+
+func TestShutdownBeforeServeIsSafe(t *testing.T) {
+	local, _, template, _, shutdown := buildPopulation(t)
+	defer shutdown()
+	cs := NewClientServer(local[1].(interface {
+		fl.Participant
+		core.ReportClient
+		core.AccuracyReporter
+	}), template)
+	if err := cs.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown before Serve: %v", err)
+	}
+	if _, err := cs.Serve("127.0.0.1:0"); err == nil {
+		t.Fatal("Serve after Shutdown did not fail")
+	}
+	if err := cs.Shutdown(context.Background()); err != nil {
+		t.Fatalf("double Shutdown: %v", err)
+	}
+}
+
+func TestServeErrorChannel(t *testing.T) {
+	local, _, template, _, shutdown := buildPopulation(t)
+	defer shutdown()
+	mk := func() *ClientServer {
+		return NewClientServer(local[1].(interface {
+			fl.Participant
+			core.ReportClient
+			core.AccuracyReporter
+		}), template)
+	}
+
+	// Clean shutdown delivers nil.
+	cs := mk()
+	if cs.Err() != nil {
+		t.Fatal("Err non-nil before Serve")
+	}
+	if _, err := cs.Serve("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-cs.Err(); err != nil {
+		t.Fatalf("clean shutdown delivered %v, want nil", err)
+	}
+
+	// A listener failure out from under the server delivers the error.
+	cs = mk()
+	if _, err := cs.Serve("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	cs.listener.Close()
+	select {
+	case err := <-cs.Err():
+		if err == nil {
+			t.Fatal("listener failure delivered nil")
 		}
-	}()
-	rc.LocalUpdate(make([]float64, 4), 0)
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve error never delivered")
+	}
 }
 
 func TestClientServerRejectsGet(t *testing.T) {
