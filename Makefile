@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-json alloc-test chaos-test fmt vet check
+.PHONY: build test race bench bench-json alloc-test chaos-test obs-test ops-smoke fmt vet check
 
 # The benchmarks joined against the PR-2 baseline capture: the matmul
 # kernel, the conv forward/backward passes, one full SGD train step and one
@@ -49,7 +49,20 @@ bench-json:
 ## and whole train steps must not allocate (see internal/*/alloc_test.go;
 ## these files are excluded under -race, so the race job cannot cover them)
 alloc-test:
-	$(GO) test -run 'AllocFree' -v ./internal/tensor ./internal/nn ./internal/fl ./internal/metrics
+	$(GO) test -run 'AllocFree' -v ./internal/tensor ./internal/nn ./internal/fl ./internal/metrics ./internal/obs
+
+## obs-test: the observability gate — registry/logger/span/ops-endpoint
+## unit tests (DESIGN.md §11) plus the remote-run metrics integration
+## test (a faulty federation must leave non-zero round, retry and
+## stage-latency metrics)
+obs-test:
+	$(GO) test -count=1 ./internal/obs ./cmd/benchjson
+	$(GO) test -count=1 -run 'TestRemoteRunPopulatesMetrics' -v ./internal/transport
+
+## ops-smoke: end-to-end smoke of the fedserve ops endpoint (/metrics,
+## /healthz, pprof) over a 3-client loopback federation
+ops-smoke:
+	./scripts/ops_smoke.sh
 
 ## chaos-test: the transport fault-tolerance gate under the race detector —
 ## fault-injected federations (chaos), quorum/drop equivalence, server
@@ -72,4 +85,4 @@ vet:
 	$(GO) vet ./...
 
 ## check: everything CI runs
-check: fmt vet build test race chaos-test
+check: fmt vet build test race chaos-test obs-test

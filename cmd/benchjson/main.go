@@ -59,6 +59,7 @@ var benchLine = regexp.MustCompile(
 func main() {
 	in := flag.String("in", "-", "bench output to parse (- = stdin)")
 	baseline := flag.String("baseline", "", "optional baseline bench output to join by benchmark name")
+	extra := flag.String("extra", "", "optional JSON object file (e.g. a fedbench -metrics-json snapshot) whose top-level keys are merged into the output document; keys unknown to benchjson pass through unchanged")
 	out := flag.String("o", "-", "output path (- = stdout)")
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -102,11 +103,18 @@ func main() {
 		doc.Benchmarks = append(doc.Benchmarks, r)
 	}
 
-	buf, err := json.MarshalIndent(doc, "", "  ")
+	var extraJSON []byte
+	if *extra != "" {
+		b, err := os.ReadFile(*extra)
+		if err != nil {
+			fatal(err)
+		}
+		extraJSON = b
+	}
+	buf, err := renderDoc(doc, extraJSON)
 	if err != nil {
 		fatal(err)
 	}
-	buf = append(buf, '\n')
 	if *out == "-" {
 		os.Stdout.Write(buf)
 		return
@@ -114,6 +122,32 @@ func main() {
 	if err := os.WriteFile(*out, buf, 0o644); err != nil {
 		fatal(err)
 	}
+}
+
+// renderDoc marshals the document, merging in the top-level keys of the
+// optional extra JSON object. Keys benchjson does not know about pass
+// through unchanged; on collision the document's own fields win, so an
+// extra file cannot silently replace the benchmark records. Output key
+// order is encoding/json's sorted map order, hence deterministic.
+func renderDoc(doc Document, extraJSON []byte) ([]byte, error) {
+	merged := make(map[string]json.RawMessage)
+	if len(extraJSON) > 0 {
+		if err := json.Unmarshal(extraJSON, &merged); err != nil {
+			return nil, fmt.Errorf("benchjson: -extra is not a JSON object: %w", err)
+		}
+	}
+	own, err := json.Marshal(doc)
+	if err != nil {
+		return nil, err
+	}
+	if err := json.Unmarshal(own, &merged); err != nil {
+		return nil, err
+	}
+	buf, err := json.MarshalIndent(merged, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, '\n'), nil
 }
 
 // parseFile reads bench output from path ("-" = stdin) and returns every

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -49,5 +50,87 @@ func TestParseIgnoresNoise(t *testing.T) {
 	}
 	if len(rs) != 0 {
 		t.Fatalf("parsed %d results from noise, want 0", len(rs))
+	}
+}
+
+func sampleDoc() Document {
+	a := 3.0
+	return Document{
+		Note: "n",
+		Benchmarks: []Record{
+			{Result: Result{Name: "BenchmarkX", Runs: 10, NsPerOp: 100, AllocsPerOp: &a}},
+		},
+	}
+}
+
+// Top-level keys of the -extra object that benchjson does not know about
+// (here a fedbench metrics snapshot) must survive into the output
+// unchanged.
+func TestRenderDocExtraPassthrough(t *testing.T) {
+	extra := []byte(`{"metrics":{"counters":{"fl_rounds_total":12}},"run_id":"abc"}`)
+	buf, err := renderDoc(sampleDoc(), extra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]json.RawMessage
+	if err := json.Unmarshal(buf, &got); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf)
+	}
+	for _, key := range []string{"note", "benchmarks", "metrics", "run_id"} {
+		if _, ok := got[key]; !ok {
+			t.Errorf("output missing key %q", key)
+		}
+	}
+	var metrics struct {
+		Counters map[string]uint64 `json:"counters"`
+	}
+	if err := json.Unmarshal(got["metrics"], &metrics); err != nil {
+		t.Fatal(err)
+	}
+	if metrics.Counters["fl_rounds_total"] != 12 {
+		t.Errorf("metrics passthrough mangled: %s", got["metrics"])
+	}
+}
+
+// On key collision the document's own fields win — an extra file cannot
+// silently replace the benchmark records.
+func TestRenderDocExtraCollision(t *testing.T) {
+	extra := []byte(`{"note":"evil","benchmarks":[]}`)
+	buf, err := renderDoc(sampleDoc(), extra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Note       string   `json:"note"`
+		Benchmarks []Record `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(buf, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Note != "n" {
+		t.Errorf("note = %q, want the document's own %q", got.Note, "n")
+	}
+	if len(got.Benchmarks) != 1 || got.Benchmarks[0].Name != "BenchmarkX" {
+		t.Errorf("benchmarks overridden by -extra: %+v", got.Benchmarks)
+	}
+}
+
+func TestRenderDocNoExtra(t *testing.T) {
+	buf, err := renderDoc(sampleDoc(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]json.RawMessage
+	if err := json.Unmarshal(buf, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Errorf("output has %d keys, want exactly note+benchmarks", len(got))
+	}
+}
+
+func TestRenderDocBadExtra(t *testing.T) {
+	if _, err := renderDoc(sampleDoc(), []byte(`[1,2,3]`)); err == nil {
+		t.Fatal("non-object -extra accepted")
 	}
 }

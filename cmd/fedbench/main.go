@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"github.com/fedcleanse/fedcleanse/internal/eval"
+	"github.com/fedcleanse/fedcleanse/internal/obs"
 	"github.com/fedcleanse/fedcleanse/internal/parallel"
 	"github.com/fedcleanse/fedcleanse/internal/profiling"
 )
@@ -26,8 +27,14 @@ func main() {
 	expFlag := flag.String("exp", "all", "experiment id: table1..table7, fig3, fig5..fig10, ablation-mask, ablation-rate, ablation-aw, adaptive, or all")
 	full := flag.Bool("full", false, "run the paper's full sweeps instead of the reduced defaults")
 	workers := flag.Int("workers", 0, "worker goroutines for the parallel simulation paths (0 = FEDCLEANSE_WORKERS or GOMAXPROCS; 1 reproduces the serial path)")
+	metricsJSON := flag.String("metrics-json", "", "write the final obs metrics snapshot as a JSON object to this file (join into the benchmark document via benchjson -extra)")
 	prof := profiling.AddFlags()
+	logf := obs.AddLogFlags()
 	flag.Parse()
+	if _, err := logf.Setup(os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	defer prof.Start()()
 	if *workers > 0 {
 		parallel.SetWorkers(*workers)
@@ -88,4 +95,31 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unexpected arguments: %v\n", flag.Args())
 		os.Exit(2)
 	}
+
+	if *metricsJSON != "" {
+		if err := writeMetrics(*metricsJSON); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote metrics snapshot to %s\n", *metricsJSON)
+	}
+}
+
+// writeMetrics dumps the accumulated obs registry — round counts, stage
+// latencies and so on across every experiment run — under a top-level
+// "metrics" key, the shape benchjson -extra merges into its document.
+func writeMetrics(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.WriteString(`{"metrics":`); err != nil {
+		return err
+	}
+	if err := obs.Default.WriteJSON(f); err != nil {
+		return err
+	}
+	_, err = f.WriteString("}\n")
+	return err
 }

@@ -24,6 +24,7 @@ import (
 	"github.com/fedcleanse/fedcleanse/internal/core"
 	"github.com/fedcleanse/fedcleanse/internal/eval"
 	"github.com/fedcleanse/fedcleanse/internal/fl"
+	"github.com/fedcleanse/fedcleanse/internal/obs"
 	"github.com/fedcleanse/fedcleanse/internal/transport"
 )
 
@@ -34,7 +35,12 @@ func main() {
 	index := flag.Int("index", 0, "this participant's index in the population")
 	listen := flag.String("listen", "127.0.0.1:0", "listen address")
 	seed := flag.Int64("seed", 0, "experiment seed (0 = scenario default)")
+	logf := obs.AddLogFlags()
 	flag.Parse()
+	if _, err := logf.Setup(os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	s, ok := scenarioByName(*ds, *victim, *target)
 	if !ok {

@@ -14,6 +14,7 @@ import (
 
 	"github.com/fedcleanse/fedcleanse/internal/core"
 	"github.com/fedcleanse/fedcleanse/internal/eval"
+	"github.com/fedcleanse/fedcleanse/internal/obs"
 )
 
 func main() {
@@ -24,7 +25,13 @@ func main() {
 	method := flag.String("method", "mvp", "pruning method: rap or mvp")
 	voteRate := flag.Float64("rate", 0.5, "MVP pruning rate p")
 	seed := flag.Int64("seed", 0, "experiment seed (0 = scenario default)")
+	logf := obs.AddLogFlags()
 	flag.Parse()
+	logger, err := logf.Setup(os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	var s eval.Scenario
 	switch *ds {
@@ -42,9 +49,10 @@ func main() {
 		s.Seed = *seed
 	}
 
-	fmt.Printf("training %s ...\n", s.Name)
+	logger.Info("defend: training start", "scenario", s.Name)
 	t := eval.Run(s)
-	fmt.Printf("after training: TA=%.1f AA=%.1f\n", t.TA(), t.AA())
+	logger.Info("defend: training done",
+		"ta", fmt.Sprintf("%.1f", t.TA()), "aa", fmt.Sprintf("%.1f", t.AA()))
 
 	cfg := core.DefaultPipelineConfig()
 	switch *method {
@@ -73,13 +81,25 @@ func main() {
 	}
 
 	m, rep := t.Defend(cfg)
-	fmt.Printf("\ndefense report (%s, %s):\n", *mode, cfg.Method)
-	fmt.Printf("  target layer:        %d\n", rep.TargetLayer)
-	fmt.Printf("  pruned neurons:      %d\n", len(rep.Prune.Pruned))
-	fmt.Printf("  fine-tuning rounds:  %d\n", rep.FineTune.Rounds)
-	fmt.Printf("  zeroed weights (AW): %d (final delta %.2f)\n", rep.AW.Zeroed, rep.AW.FinalDelta)
-	fmt.Printf("  validation accuracy: before=%.3f prune=%.3f ft=%.3f final=%.3f\n",
-		rep.AccBefore, rep.AccAfterPrune, rep.AccAfterFineTune, rep.AccFinal)
-	fmt.Printf("\nresult: TA %.1f -> %.1f, AA %.1f -> %.1f\n",
-		t.TA(), t.ModelTA(m), t.AA(), t.ModelAA(m))
+	logger.Info("defend: report",
+		"mode", *mode,
+		"method", fmt.Sprint(cfg.Method),
+		"target_layer", rep.TargetLayer,
+		"pruned", len(rep.Prune.Pruned),
+		"finetune_rounds", rep.FineTune.Rounds,
+		"zeroed", rep.AW.Zeroed,
+		"final_delta", fmt.Sprintf("%.2f", rep.AW.FinalDelta))
+	logger.Info("defend: validation accuracy",
+		"before", fmt.Sprintf("%.3f", rep.AccBefore),
+		"prune", fmt.Sprintf("%.3f", rep.AccAfterPrune),
+		"finetune", fmt.Sprintf("%.3f", rep.AccAfterFineTune),
+		"final", fmt.Sprintf("%.3f", rep.AccFinal))
+	logger.Info("defend: result",
+		"ta_before", fmt.Sprintf("%.1f", t.TA()),
+		"ta_after", fmt.Sprintf("%.1f", t.ModelTA(m)),
+		"aa_before", fmt.Sprintf("%.1f", t.AA()),
+		"aa_after", fmt.Sprintf("%.1f", t.ModelAA(m)))
+
+	fmt.Println("\nfinal metrics snapshot:")
+	_ = obs.Default.WriteText(os.Stdout)
 }

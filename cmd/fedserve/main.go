@@ -3,9 +3,15 @@
 // federation spread across OS processes, communicating only through the
 // transport protocol. Start it with the same scenario flags as the
 // fedclient processes (see cmd/fedclient for a full example).
+//
+// While a run is in flight, -ops-addr exposes the live diagnostics
+// surface: /metrics (text or JSON snapshot of the obs registry),
+// /healthz, and net/http/pprof. -log-level/-log-json control the
+// structured event stream; a final metrics snapshot prints on exit.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -17,6 +23,8 @@ import (
 	"github.com/fedcleanse/fedcleanse/internal/fl"
 	"github.com/fedcleanse/fedcleanse/internal/metrics"
 	"github.com/fedcleanse/fedcleanse/internal/nn"
+	"github.com/fedcleanse/fedcleanse/internal/obs"
+	"github.com/fedcleanse/fedcleanse/internal/profiling"
 	"github.com/fedcleanse/fedcleanse/internal/transport"
 )
 
@@ -31,7 +39,16 @@ func main() {
 	roundTimeout := flag.Duration("round-timeout", 5*time.Minute, "deadline for one aggregation round (0 = none)")
 	retries := flag.Int("retries", 3, "attempts per remote call")
 	attemptTimeout := flag.Duration("attempt-timeout", time.Minute, "deadline per remote call attempt")
+	opsAddr := flag.String("ops-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (empty = off)")
+	logf := obs.AddLogFlags()
+	prof := profiling.AddFlags()
 	flag.Parse()
+	logger, err := logf.Setup(os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	defer prof.Start()()
 
 	var s eval.Scenario
 	switch *ds {
@@ -54,6 +71,26 @@ func main() {
 		os.Exit(2)
 	}
 
+	// The ops endpoint comes up before any training so a long run is
+	// observable from its first round.
+	if *opsAddr != "" {
+		ops, err := obs.ServeOps(*opsAddr, obs.Default)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		logger.Info("serve: ops endpoint up", "addr", ops.Addr())
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_ = ops.Shutdown(ctx)
+		}()
+	}
+	defer func() {
+		fmt.Println("\nfinal metrics snapshot:")
+		_ = obs.Default.WriteText(os.Stdout)
+	}()
+
 	template, _, test, validation := eval.Components(s)
 	retry := transport.DefaultRetryPolicy()
 	retry.MaxAttempts = *retries
@@ -74,26 +111,21 @@ func main() {
 	ta := func(m *nn.Sequential) float64 { return 100 * taEval.Evaluate(m) }
 	aa := func(m *nn.Sequential) float64 { return 100 * asrEval.Evaluate(m) }
 
-	fmt.Printf("training over %d remote clients ...\n", len(parts))
+	logger.Info("serve: training start", "clients", len(parts), "rounds", server.Config().Rounds)
 	for round := 0; round < server.Config().Rounds; round++ {
 		res := server.RoundDetail(round)
-		status := ""
-		if len(res.Dropped) > 0 {
-			status = fmt.Sprintf("  dropped=%v", res.Dropped)
-		}
-		if !res.Applied {
-			status += "  BELOW QUORUM (round discarded)"
-		}
-		fmt.Printf("round %2d: TA=%5.1f AA=%5.1f%s\n", round, ta(server.Model), aa(server.Model), status)
-		for id, err := range res.Errs {
-			fmt.Fprintf(os.Stderr, "  client %d: %v\n", id, err)
-		}
+		logger.Info("serve: round done",
+			"round", round,
+			"ta", fmt.Sprintf("%.1f", ta(server.Model)),
+			"aa", fmt.Sprintf("%.1f", aa(server.Model)),
+			"dropped", len(res.Dropped),
+			"applied", res.Applied)
 	}
 
 	if !*defend {
 		return
 	}
-	fmt.Println("\nrunning the defense pipeline over the wire ...")
+	logger.Info("serve: defense pipeline start")
 	cfg := core.DefaultPipelineConfig()
 	cfg.ReportQuorum = *quorum
 	cfg.ReportTimeout = *roundTimeout
@@ -101,10 +133,15 @@ func main() {
 	evalFn := metrics.NewSuffixEvaluator(validation, 0)
 	rep := core.RunPipeline(m, fl.ReportClients(parts), server, evalFn, cfg)
 	if len(rep.ReportDropouts) > 0 {
-		fmt.Printf("prune reports lost from clients %v\n", rep.ReportDropouts)
+		logger.Warn("serve: prune reports lost", "clients", fmt.Sprint(rep.ReportDropouts))
 	}
-	fmt.Printf("pruned %d neurons, %d fine-tune rounds, zeroed %d weights\n",
-		len(rep.Prune.Pruned), rep.FineTune.Rounds, rep.AW.Zeroed)
-	fmt.Printf("result: TA %.1f -> %.1f, AA %.1f -> %.1f\n",
-		ta(server.Model), ta(m), aa(server.Model), aa(m))
+	logger.Info("serve: defense done",
+		"pruned", len(rep.Prune.Pruned),
+		"finetune_rounds", rep.FineTune.Rounds,
+		"zeroed", rep.AW.Zeroed)
+	logger.Info("serve: result",
+		"ta_before", fmt.Sprintf("%.1f", ta(server.Model)),
+		"ta_after", fmt.Sprintf("%.1f", ta(m)),
+		"aa_before", fmt.Sprintf("%.1f", aa(server.Model)),
+		"aa_after", fmt.Sprintf("%.1f", aa(m)))
 }

@@ -14,6 +14,7 @@ import (
 
 	"github.com/fedcleanse/fedcleanse/internal/eval"
 	"github.com/fedcleanse/fedcleanse/internal/nn"
+	"github.com/fedcleanse/fedcleanse/internal/obs"
 	"github.com/fedcleanse/fedcleanse/internal/parallel"
 	"github.com/fedcleanse/fedcleanse/internal/profiling"
 )
@@ -29,7 +30,12 @@ func main() {
 	save := flag.String("save", "", "write the trained global model snapshot to this path")
 	workers := flag.Int("workers", 0, "worker goroutines for the parallel simulation paths (0 = FEDCLEANSE_WORKERS or GOMAXPROCS; 1 reproduces the serial path)")
 	prof := profiling.AddFlags()
+	logf := obs.AddLogFlags()
 	flag.Parse()
+	if _, err := logf.Setup(os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	defer prof.Start()()
 	if *workers > 0 {
 		parallel.SetWorkers(*workers)

@@ -16,6 +16,7 @@ import (
 	"github.com/fedcleanse/fedcleanse/internal/dataset"
 	"github.com/fedcleanse/fedcleanse/internal/eval"
 	"github.com/fedcleanse/fedcleanse/internal/nn"
+	"github.com/fedcleanse/fedcleanse/internal/obs"
 	"github.com/fedcleanse/fedcleanse/internal/viz"
 )
 
@@ -26,7 +27,12 @@ func main() {
 	weights := flag.Bool("weights", false, "render a weight histogram of a freshly trained model's last conv layer")
 	pixels := flag.Int("pixels", 3, "trigger pattern size for -triggers (1,3,5,7,9)")
 	seed := flag.Int64("seed", 1, "generation seed")
+	logf := obs.AddLogFlags()
 	flag.Parse()
+	if _, err := logf.Setup(os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	gen, ok := dataset.GenByName(*ds)
 	if !ok {

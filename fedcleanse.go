@@ -35,9 +35,36 @@ import (
 	"github.com/fedcleanse/fedcleanse/internal/metrics"
 	"github.com/fedcleanse/fedcleanse/internal/neuralcleanse"
 	"github.com/fedcleanse/fedcleanse/internal/nn"
+	"github.com/fedcleanse/fedcleanse/internal/obs"
 	"github.com/fedcleanse/fedcleanse/internal/parallel"
 	"github.com/fedcleanse/fedcleanse/internal/robust"
 	"github.com/fedcleanse/fedcleanse/internal/transport"
+)
+
+// Observability (DESIGN.md §11). Every library path is instrumented
+// against a process-wide nop logger and a shared metrics registry; both
+// are inert until a caller opts in, and neither influences model
+// arithmetic, worker scheduling, or RNG draws.
+type (
+	// MetricsRegistry is a set of named atomic counters, gauges and
+	// fixed-bucket histograms whose warm operations allocate nothing.
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is a point-in-time copy of a registry.
+	MetricsSnapshot = obs.Snapshot
+	// OpsServer is a running /metrics + /healthz + pprof HTTP endpoint.
+	OpsServer = obs.OpsServer
+)
+
+var (
+	// Metrics is the registry all instrumented library paths record into.
+	Metrics = obs.Default
+	// NewMetricsRegistry builds an empty private registry.
+	NewMetricsRegistry = obs.NewRegistry
+	// SetLogger installs the process-wide structured event logger
+	// (nil restores the silent default).
+	SetLogger = obs.SetLogger
+	// ServeOps starts the ops HTTP endpoint over a registry.
+	ServeOps = obs.ServeOps
 )
 
 // Parallel execution knobs. Simulation and kernel hot paths fan out over a

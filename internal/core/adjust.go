@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/fedcleanse/fedcleanse/internal/nn"
+	"github.com/fedcleanse/fedcleanse/internal/obs"
 	"github.com/fedcleanse/fedcleanse/internal/tensor"
 )
 
@@ -63,6 +64,8 @@ type AWResult struct {
 // layer layerIdx, which the suffix scope announces to cached evaluators.
 func AdjustWeights(m *nn.Sequential, layerIdx int, cfg AWConfig, eval ScopedEvaluator) AWResult {
 	w := layerWeights(m, layerIdx)
+	sp := obs.StartSpan("defense.aw.sweep", obs.M.DefenseAWSweepSeconds)
+	defer sp.End()
 	mu, sigma := w.Mean(), w.Std()
 	original := w.Clone()
 	eval.BeginSuffix(m, layerIdx)
@@ -93,6 +96,9 @@ func AdjustWeights(m *nn.Sequential, layerIdx int, cfg AWConfig, eval ScopedEval
 		res.FinalDelta = delta
 		res.Zeroed = zeroed
 	}
+	obs.M.DefenseZeroedWeights.Add(uint64(res.Zeroed))
+	obs.L().Debug("defense: layer sweep done",
+		"layer", layerIdx, "zeroed", res.Zeroed, "final_delta", res.FinalDelta)
 	return res
 }
 

@@ -1,6 +1,9 @@
 package core
 
-import "github.com/fedcleanse/fedcleanse/internal/nn"
+import (
+	"github.com/fedcleanse/fedcleanse/internal/nn"
+	"github.com/fedcleanse/fedcleanse/internal/obs"
+)
 
 // Tuner runs federated fine-tuning rounds over the client population,
 // updating m in place. internal/fl.Server implements it; injecting the
@@ -28,6 +31,8 @@ func FineTune(m *nn.Sequential, tuner Tuner, maxRounds, patience int, eval Scope
 	if patience <= 0 {
 		patience = 2
 	}
+	sp := obs.StartSpan("defense.finetune", obs.M.DefenseFineTuneSeconds)
+	defer sp.End()
 	res := FineTuneResult{Accuracies: []float64{eval.Evaluate(m)}}
 	best := res.Accuracies[0]
 	stale := 0

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/fedcleanse/fedcleanse/internal/nn"
+	"github.com/fedcleanse/fedcleanse/internal/obs"
 	"github.com/fedcleanse/fedcleanse/internal/parallel"
 )
 
@@ -168,6 +169,9 @@ func RunPipeline(m *nn.Sequential, clients []ReportClient, tuner Tuner, eval Sco
 	if len(clients) == 0 {
 		panic("core: RunPipeline with no clients")
 	}
+	sp := obs.StartSpan("defense.pipeline", obs.M.DefensePipelineSeconds)
+	defer sp.End()
+	obs.M.DefensePipelines.Inc()
 	layerIdx := cfg.TargetLayer
 	if layerIdx < 0 {
 		layerIdx = m.LastConvIndex()
@@ -176,15 +180,20 @@ func RunPipeline(m *nn.Sequential, clients []ReportClient, tuner Tuner, eval Sco
 		}
 	}
 	rep := Report{Method: cfg.Method, TargetLayer: layerIdx, AccBefore: eval.Evaluate(m)}
+	obs.L().Info("defense: pipeline start",
+		"method", cfg.Method.String(), "layer", layerIdx, "acc", rep.AccBefore)
 
 	// Step 1 — federated pruning.
 	rep.AccAfterPrune = rep.AccBefore
 	if !cfg.SkipPrune {
 		collected := GlobalPruneOrderDetail(m, clients, layerIdx, cfg)
 		rep.ReportDropouts = collected.Dropped
+		obs.M.DefenseReportDropouts.Add(uint64(len(collected.Dropped)))
 		minAcc := rep.AccBefore - cfg.MaxAccuracyDrop
 		rep.Prune = PruneToThreshold(m, layerIdx, collected.Order, eval, minAcc, cfg.MaxPruneUnits)
 		rep.AccAfterPrune = rep.Prune.FinalAccuracy
+		obs.L().Info("defense: pruning done", "pruned", len(rep.Prune.Pruned),
+			"dropouts", len(collected.Dropped), "acc", rep.AccAfterPrune)
 	}
 
 	// Step 2 — optional federated fine-tuning.
@@ -195,6 +204,8 @@ func RunPipeline(m *nn.Sequential, clients []ReportClient, tuner Tuner, eval Sco
 		}
 		rep.FineTune = FineTune(m, tuner, cfg.FineTuneRounds, cfg.FineTunePatience, eval)
 		rep.AccAfterFineTune = rep.FineTune.Accuracies[len(rep.FineTune.Accuracies)-1]
+		obs.L().Info("defense: fine-tuning done",
+			"rounds", rep.FineTune.Rounds, "acc", rep.AccAfterFineTune)
 	}
 
 	// Step 3 — adjusting extreme weights.
@@ -234,6 +245,8 @@ func RunPipeline(m *nn.Sequential, clients []ReportClient, tuner Tuner, eval Sco
 		}
 	}
 	rep.AccFinal = eval.Evaluate(m)
+	obs.L().Info("defense: weight adjustment done",
+		"zeroed", rep.AW.Zeroed, "final_delta", rep.AW.FinalDelta, "acc", rep.AccFinal)
 	return rep
 }
 
@@ -360,6 +373,8 @@ func compactReports[T any](reports []T, errs []error, res *PruneOrderResult) []T
 }
 
 // requireReportQuorum panics when too few of the cohort's reports arrived.
+// The shortfall is counted and logged before the panic so a crashed
+// defense run still leaves its cause in the metrics and the event stream.
 func requireReportQuorum(got, cohort int, quorum float64) {
 	need := 1
 	if quorum > 0 {
@@ -368,6 +383,9 @@ func requireReportQuorum(got, cohort int, quorum float64) {
 		}
 	}
 	if got < need {
+		obs.M.DefenseReportQuorumFailures.Inc()
+		obs.L().Error("defense: report collection below quorum",
+			"arrived", got, "cohort", cohort, "need", need)
 		panic(fmt.Sprintf("core: %d of %d reports arrived, quorum needs %d", got, cohort, need))
 	}
 }

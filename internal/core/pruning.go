@@ -19,6 +19,7 @@ import (
 	"sort"
 
 	"github.com/fedcleanse/fedcleanse/internal/nn"
+	"github.com/fedcleanse/fedcleanse/internal/obs"
 )
 
 // RanksFromActivations converts a client's recorded per-neuron average
@@ -207,6 +208,8 @@ func PruneToThreshold(m *nn.Sequential, layerIdx int, order []int, eval ScopedEv
 	if !ok {
 		panic("core: PruneToThreshold target layer is not prunable")
 	}
+	sp := obs.StartSpan("defense.prune.sweep", obs.M.DefensePruneSweepSeconds)
+	defer sp.End()
 	eval.BeginPrune(m, layerIdx)
 	defer eval.EndScope()
 	res := PruneResult{BaselineAccuracy: eval.Evaluate(m)}
@@ -236,6 +239,7 @@ func PruneToThreshold(m *nn.Sequential, layerIdx int, order []int, eval ScopedEv
 		res.Pruned = append(res.Pruned, unit)
 		res.FinalAccuracy = acc
 	}
+	obs.M.DefensePrunedUnits.Add(uint64(len(res.Pruned)))
 	return res
 }
 

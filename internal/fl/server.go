@@ -8,6 +8,7 @@ import (
 	"math/rand"
 
 	"github.com/fedcleanse/fedcleanse/internal/nn"
+	"github.com/fedcleanse/fedcleanse/internal/obs"
 	"github.com/fedcleanse/fedcleanse/internal/parallel"
 )
 
@@ -213,7 +214,18 @@ func (s *Server) RoundDetail(t int) RoundResult {
 // runRound drives one aggregation round over the given cohort against
 // model m (the global model for training rounds, the defense's working
 // model for fine-tuning).
+//
+// The round is traced as an obs span feeding the fl_round_seconds
+// histogram; every drop — policy or wire — counts into fl_dropped_total
+// (wire failures additionally log the client's error with round/client
+// attributes), and a below-quorum round counts into
+// fl_quorum_failures_total. Instrumentation only observes the round's
+// outcome after the fact; it touches no model arithmetic, scheduling or
+// RNG stream, so rounds stay bit-identical with metrics enabled.
 func (s *Server) runRound(m *nn.Sequential, selected []Participant, t int) RoundResult {
+	sp := obs.StartSpan("fl.round", obs.M.FLRoundSeconds)
+	defer sp.End()
+	obs.M.FLRounds.Inc()
 	res := RoundResult{Round: t, Selected: make([]int, 0, len(selected))}
 	for _, p := range selected {
 		res.Selected = append(res.Selected, p.ID())
@@ -226,6 +238,8 @@ func (s *Server) runRound(m *nn.Sequential, selected []Participant, t int) Round
 	for _, p := range selected {
 		if s.Drop != nil && s.Drop.Dropped(p.ID(), t) {
 			res.Dropped = append(res.Dropped, p.ID())
+			obs.M.FLDropped.Inc()
+			obs.L().Debug("fl: client dropped by policy", "round", t, "client", p.ID())
 			continue
 		}
 		active = append(active, p)
@@ -253,15 +267,21 @@ func (s *Server) runRound(m *nn.Sequential, selected []Participant, t int) Round
 				res.Errs = make(map[int]error)
 			}
 			res.Errs[p.ID()] = errs[i]
+			obs.M.FLDropped.Inc()
+			obs.L().Warn("fl: client update failed", "round", t, "client", p.ID(), "err", errs[i])
 			continue
 		}
 		ids = append(ids, p.ID())
 		ok = append(ok, deltas[i])
 	}
 	res.Completed = ids
+	obs.M.FLCompleted.Add(uint64(len(ids)))
 	if len(ok) == 0 || len(ok) < s.quorumCount(len(selected)) {
 		// Below quorum the round delivers no update, as in a real
 		// deployment where the server abandons the round and retries.
+		obs.M.FLQuorumFailures.Inc()
+		obs.L().Warn("fl: round below quorum, discarded",
+			"round", t, "arrived", len(ok), "need", s.quorumCount(len(selected)), "selected", len(selected))
 		return res
 	}
 	if wa, isWeighted := s.Agg.(WeightedAggregator); isWeighted {
@@ -349,6 +369,7 @@ func (s *Server) selectClients() []Participant {
 // semantics all apply, and wire failures degrade to recorded dropouts.
 func (s *Server) FineTune(m *nn.Sequential, rounds int) {
 	for t := 0; t < rounds; t++ {
+		obs.M.FLFineTuneRounds.Inc()
 		s.runRound(m, s.Participants, t)
 	}
 }

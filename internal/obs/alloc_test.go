@@ -1,0 +1,57 @@
+//go:build !race
+
+package obs
+
+import (
+	"testing"
+)
+
+// Allocation-regression gates for the instrumentation primitives (ISSUE 5):
+// once a metric is registered — which happens at construction time, never
+// on the hot path — recording into it and tracing spans around it must not
+// allocate. These gates are what lets internal/fl, internal/core and
+// internal/transport carry instrumentation without moving the existing
+// TrainStep/FLRound/scoped-Evaluate gates. Excluded under the race
+// detector, whose instrumentation allocates.
+
+func TestCounterWarmAllocFree(t *testing.T) {
+	c := NewRegistry().Counter("c_total")
+	if allocs := testing.AllocsPerRun(100, func() { c.Inc() }); allocs != 0 {
+		t.Errorf("warm Counter.Inc: %v allocs/op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { c.Add(7) }); allocs != 0 {
+		t.Errorf("warm Counter.Add: %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestGaugeWarmAllocFree(t *testing.T) {
+	g := NewRegistry().Gauge("g")
+	if allocs := testing.AllocsPerRun(100, func() { g.Set(3); g.Add(-1); g.Inc(); g.Dec() }); allocs != 0 {
+		t.Errorf("warm Gauge ops: %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestHistogramObserveWarmAllocFree(t *testing.T) {
+	h := NewRegistry().Histogram("h_seconds", DurationBuckets)
+	v := 0.0
+	if allocs := testing.AllocsPerRun(100, func() {
+		h.Observe(v)
+		v += 0.37 // walk across buckets, including overflow
+	}); allocs != 0 {
+		t.Errorf("warm Histogram.Observe: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestSpanWarmAllocFree gates the span start/end pair with the default
+// (nop) logger installed — the state every instrumented library runs in
+// unless a command wires a handler.
+func TestSpanWarmAllocFree(t *testing.T) {
+	SetLogger(nil) // the package default, explicit for test isolation
+	h := NewRegistry().Histogram("span_seconds", DurationBuckets)
+	if allocs := testing.AllocsPerRun(100, func() {
+		sp := StartSpan("alloc.test", h)
+		sp.End()
+	}); allocs != 0 {
+		t.Errorf("warm span start/end: %v allocs/op, want 0", allocs)
+	}
+}

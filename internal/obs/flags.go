@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+	"sync"
+)
+
+// LogFlags holds the logging flags registered by AddLogFlags.
+type LogFlags struct {
+	Level *string
+	JSON  *bool
+}
+
+// AddLogFlags registers -log-level and -log-json on the default flag set.
+// Call before flag.Parse, then Setup after it:
+//
+//	logf := obs.AddLogFlags()
+//	flag.Parse()
+//	logf.Setup(os.Stderr)
+func AddLogFlags() *LogFlags {
+	return &LogFlags{
+		Level: flag.String("log-level", "info", "event log level: debug, info, warn, error or off"),
+		JSON:  flag.Bool("log-json", false, "emit events as JSON lines instead of human-readable text"),
+	}
+}
+
+// Setup installs the process-wide logger per the parsed flags: a
+// human-readable console handler by default, slog's JSON handler under
+// -log-json, the nop logger under -log-level off. It returns the installed
+// logger and an error for an unknown level.
+func (f *LogFlags) Setup(w io.Writer) (*slog.Logger, error) {
+	if strings.EqualFold(*f.Level, "off") {
+		l := NopLogger()
+		SetLogger(l)
+		return l, nil
+	}
+	level, err := ParseLevel(*f.Level)
+	if err != nil {
+		return nil, err
+	}
+	var h slog.Handler
+	if *f.JSON {
+		h = slog.NewJSONHandler(w, &slog.HandlerOptions{Level: level})
+	} else {
+		h = NewConsoleHandler(w, level)
+	}
+	l := slog.New(h)
+	SetLogger(l)
+	return l, nil
+}
+
+// ParseLevel maps a flag string to its slog level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("obs: unknown log level %q (want debug, info, warn, error or off)", s)
+	}
+}
+
+// ConsoleHandler renders events as terse human-readable lines —
+// `msg key=value ...`, prefixed with the level only when it is not INFO —
+// so a command's default output stays as pleasant as the fmt.Printf lines
+// it replaces while remaining grep-able key=value structured.
+type ConsoleHandler struct {
+	mu    *sync.Mutex
+	w     io.Writer
+	level slog.Leveler
+	attrs []slog.Attr
+	group string
+}
+
+// NewConsoleHandler builds a console handler writing to w at the given
+// minimum level.
+func NewConsoleHandler(w io.Writer, level slog.Leveler) *ConsoleHandler {
+	return &ConsoleHandler{mu: &sync.Mutex{}, w: w, level: level}
+}
+
+// Enabled implements slog.Handler.
+func (h *ConsoleHandler) Enabled(_ context.Context, level slog.Level) bool {
+	return level >= h.level.Level()
+}
+
+// Handle implements slog.Handler.
+func (h *ConsoleHandler) Handle(_ context.Context, r slog.Record) error {
+	var b strings.Builder
+	if r.Level != slog.LevelInfo {
+		b.WriteString(r.Level.String())
+		b.WriteByte(' ')
+	}
+	b.WriteString(r.Message)
+	for _, a := range h.attrs {
+		writeAttr(&b, "", a) // pre-qualified at WithAttrs time
+	}
+	r.Attrs(func(a slog.Attr) bool {
+		writeAttr(&b, h.group, a)
+		return true
+	})
+	b.WriteByte('\n')
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	_, err := io.WriteString(h.w, b.String())
+	return err
+}
+
+func writeAttr(b *strings.Builder, group string, a slog.Attr) {
+	if a.Equal(slog.Attr{}) {
+		return
+	}
+	b.WriteByte(' ')
+	if group != "" {
+		b.WriteString(group)
+		b.WriteByte('.')
+	}
+	b.WriteString(a.Key)
+	b.WriteByte('=')
+	fmt.Fprintf(b, "%v", a.Value.Resolve().Any())
+}
+
+// WithAttrs implements slog.Handler. Attrs are qualified with the group
+// open at WithAttrs time (slog's contract: attrs added before WithGroup
+// stay outside the group).
+func (h *ConsoleHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	c := *h
+	c.attrs = append([]slog.Attr(nil), h.attrs...)
+	for _, a := range attrs {
+		if h.group != "" {
+			a.Key = h.group + "." + a.Key
+		}
+		c.attrs = append(c.attrs, a)
+	}
+	return &c
+}
+
+// WithGroup implements slog.Handler.
+func (h *ConsoleHandler) WithGroup(name string) slog.Handler {
+	c := *h
+	if c.group != "" {
+		c.group += "." + name
+	} else {
+		c.group = name
+	}
+	return &c
+}

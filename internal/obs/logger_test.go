@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+// TestDefaultLoggerIsSilent pins invariant 1 of the package doc: an
+// instrumented library importing obs emits nothing until a command
+// installs a handler.
+func TestDefaultLoggerIsSilent(t *testing.T) {
+	SetLogger(nil)
+	if Enabled(slog.LevelError) {
+		t.Error("default logger enabled at error level")
+	}
+	// Must not panic, must not write anywhere.
+	L().Error("dropped", "client", 3)
+}
+
+func TestSetLoggerRoundTrip(t *testing.T) {
+	defer SetLogger(nil)
+	var buf bytes.Buffer
+	SetLogger(slog.New(NewConsoleHandler(&buf, slog.LevelInfo)))
+	if !Enabled(slog.LevelInfo) {
+		t.Fatal("console logger not enabled at info")
+	}
+	if Enabled(slog.LevelDebug) {
+		t.Error("console logger enabled below its level")
+	}
+	L().Info("round complete", "round", 2, "ta", 85.5)
+	L().Warn("client dropped", "client", 3)
+	L().Debug("invisible")
+	out := buf.String()
+	if want := "round complete round=2 ta=85.5\n"; !strings.Contains(out, want) {
+		t.Errorf("info line %q missing from %q", want, out)
+	}
+	if want := "WARN client dropped client=3\n"; !strings.Contains(out, want) {
+		t.Errorf("warn line %q missing from %q", want, out)
+	}
+	if strings.Contains(out, "invisible") {
+		t.Errorf("debug line leaked into %q", out)
+	}
+}
+
+func TestConsoleHandlerWithAttrsAndGroup(t *testing.T) {
+	var buf bytes.Buffer
+	l := slog.New(NewConsoleHandler(&buf, slog.LevelInfo))
+	l.With("round", 7).WithGroup("fl").Info("msg", "client", 1)
+	if got, want := buf.String(), "msg round=7 fl.client=1\n"; got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+// TestLogFlagsSetup drives the flag surface the commands share.
+func TestLogFlagsSetup(t *testing.T) {
+	defer SetLogger(nil)
+	cases := []struct {
+		level   string
+		json    bool
+		wantOn  slog.Level
+		wantOff slog.Level
+	}{
+		{"debug", false, slog.LevelDebug, slog.Level(-100)},
+		{"warn", false, slog.LevelWarn, slog.LevelInfo},
+		{"error", true, slog.LevelError, slog.LevelWarn},
+	}
+	for _, c := range cases {
+		var buf bytes.Buffer
+		f := &LogFlags{Level: &c.level, JSON: &c.json}
+		if _, err := f.Setup(&buf); err != nil {
+			t.Fatalf("Setup(%s): %v", c.level, err)
+		}
+		if !Enabled(c.wantOn) {
+			t.Errorf("level %s: not enabled at %v", c.level, c.wantOn)
+		}
+		if c.wantOff > slog.Level(-100) && Enabled(c.wantOff) {
+			t.Errorf("level %s: enabled at %v", c.level, c.wantOff)
+		}
+		if c.json {
+			L().Error("boom", "k", "v")
+			var rec map[string]any
+			if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+				t.Errorf("JSON handler output not JSON: %v (%q)", err, buf.String())
+			} else if rec["msg"] != "boom" || rec["k"] != "v" {
+				t.Errorf("JSON record = %v", rec)
+			}
+		}
+	}
+
+	off := "off"
+	no := false
+	f := &LogFlags{Level: &off, JSON: &no}
+	var buf bytes.Buffer
+	if _, err := f.Setup(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if Enabled(slog.LevelError) {
+		t.Error("level off: still enabled at error")
+	}
+
+	bad := "loud"
+	f = &LogFlags{Level: &bad, JSON: &no}
+	if _, err := f.Setup(&buf); err == nil {
+		t.Error("unknown level accepted")
+	}
+}
+
+// TestAddLogFlagsRegisters checks the flag names every command exposes.
+func TestAddLogFlagsRegisters(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	old := flag.CommandLine
+	flag.CommandLine = fs
+	defer func() { flag.CommandLine = old }()
+	f := AddLogFlags()
+	if err := fs.Parse([]string{"-log-level", "warn", "-log-json"}); err != nil {
+		t.Fatal(err)
+	}
+	if *f.Level != "warn" || !*f.JSON {
+		t.Errorf("parsed flags: level=%q json=%v", *f.Level, *f.JSON)
+	}
+}

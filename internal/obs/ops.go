@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// NewOpsHandler returns the live ops surface over a registry:
+//
+//	GET /metrics        — prometheus-style text snapshot
+//	GET /metrics?format=json (or Accept: application/json) — JSON snapshot
+//	GET /healthz        — liveness probe, always "ok"
+//	GET /debug/pprof/*  — the standard runtime profiles
+//
+// File-based profiles (-cpuprofile/-memprofile) remain the job of
+// internal/profiling; this handler serves the on-demand counterparts.
+func NewOpsHandler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "json" ||
+			req.Header.Get("Accept") == "application/json" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = r.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = r.WriteText(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// OpsServer is a running ops endpoint (see ServeOps).
+type OpsServer struct {
+	server *http.Server
+	addr   string
+	errc   chan error
+}
+
+// ServeOps starts the ops endpoint for registry r on addr (":9090",
+// "127.0.0.1:0" for an ephemeral port) on a background goroutine and
+// returns once the listener is bound. The endpoint is read-only
+// diagnostics; a failure to serve never takes the process down — the
+// terminal error is delivered on Err instead.
+func ServeOps(addr string, r *Registry) (*OpsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: ops listen: %w", err)
+	}
+	srv := &http.Server{Handler: NewOpsHandler(r), ReadHeaderTimeout: 10 * time.Second}
+	o := &OpsServer{server: srv, addr: ln.Addr().String(), errc: make(chan error, 1)}
+	go func() {
+		err := srv.Serve(ln)
+		if errors.Is(err, http.ErrServerClosed) {
+			err = nil
+		}
+		o.errc <- err
+	}()
+	return o, nil
+}
+
+// Addr returns the bound listen address.
+func (o *OpsServer) Addr() string { return o.addr }
+
+// Err returns the channel delivering the terminal serve error (nil after a
+// clean Shutdown).
+func (o *OpsServer) Err() <-chan error { return o.errc }
+
+// Shutdown stops the endpoint gracefully.
+func (o *OpsServer) Shutdown(ctx context.Context) error {
+	return o.server.Shutdown(ctx)
+}

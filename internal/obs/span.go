@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"log/slog"
+	"time"
+)
+
+// Span traces one coarse stage of work — a federated round, a defense
+// pipeline phase, a remote call. It is a plain value: StartSpan stamps the
+// wall clock, End observes the elapsed seconds into the span's latency
+// histogram and, when the logger handles debug, emits paired start/end
+// events. The warm start/end pair allocates nothing (the span lives on the
+// caller's stack and the debug events are guarded by Enabled), so spans
+// are safe around paths gated by make alloc-test.
+//
+// Spans deliberately do not form a tree and carry no context: the stages
+// they cover are coarse and strictly nested by call structure, and keeping
+// them value-typed is what keeps them free.
+type Span struct {
+	name  string
+	hist  *Histogram
+	start time.Time
+}
+
+// StartSpan begins a span. hist receives the duration in seconds at End
+// and may be nil for spans that only exist for their events.
+func StartSpan(name string, hist *Histogram) Span {
+	if Enabled(slog.LevelDebug) {
+		L().Debug("span start", "span", name)
+	}
+	return Span{name: name, hist: hist, start: time.Now()}
+}
+
+// End closes the span: it observes the elapsed duration and returns it.
+// End on the zero Span is a harmless no-op returning a meaningless
+// duration, so instrumented code never needs nil checks.
+func (s Span) End() time.Duration {
+	d := time.Since(s.start)
+	if s.hist != nil {
+		s.hist.Observe(d.Seconds())
+	}
+	if s.name != "" && Enabled(slog.LevelDebug) {
+		L().Debug("span end", "span", s.name, "dur", d)
+	}
+	return d
+}

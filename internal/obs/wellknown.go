@@ -1,0 +1,78 @@
+package obs
+
+// Default is the process-wide registry. Library instrumentation records
+// into it unconditionally — recording is allocation-free and invisible
+// until something reads a snapshot — and the ops endpoint and the
+// commands' final snapshots serve it.
+var Default = NewRegistry()
+
+// DurationBuckets are the shared latency bucket bounds, in seconds. They
+// span sub-millisecond tensor stages to multi-minute federated rounds.
+var DurationBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300,
+}
+
+// M holds the well-known metrics, pre-registered on Default at package
+// initialization so every hot-path Inc/Add/Observe is a pointer chase plus
+// an atomic — never a map lookup, never an allocation. The naming scheme
+// is snake_case with a subsystem prefix (fl_, defense_, transport_,
+// parallel_), `_total` for counters and `_seconds` for latency histograms
+// (DESIGN.md §11).
+var M = struct {
+	// Federated rounds (internal/fl).
+	FLRounds         *Counter   // aggregation rounds driven (training + fine-tuning)
+	FLFineTuneRounds *Counter   // the fine-tuning subset of FLRounds
+	FLCompleted      *Counter   // client updates that arrived and aggregated
+	FLDropped        *Counter   // clients that delivered nothing (policy or wire)
+	FLQuorumFailures *Counter   // rounds discarded below quorum
+	FLRoundSeconds   *Histogram // wall time of one aggregation round
+
+	// Defense pipeline (internal/core).
+	DefensePipelines            *Counter   // RunPipeline invocations
+	DefensePrunedUnits          *Counter   // units left pruned by PruneToThreshold
+	DefenseZeroedWeights        *Counter   // weights zeroed by AdjustWeights
+	DefenseReportDropouts       *Counter   // prune/accuracy reports lost on the wire
+	DefenseReportQuorumFailures *Counter   // report collections aborted below quorum
+	DefensePipelineSeconds      *Histogram // whole Algorithm 1 runs
+	DefensePruneSweepSeconds    *Histogram // PruneToThreshold sweeps
+	DefenseFineTuneSeconds      *Histogram // FineTune phases
+	DefenseAWSweepSeconds       *Histogram // AdjustWeights Δ sweeps (per layer)
+
+	// Wire protocol (internal/transport).
+	TransportCalls        *Counter   // logical calls through RemoteClient
+	TransportCallFailures *Counter   // logical calls that exhausted their retries
+	TransportAttempts     *Counter   // individual HTTP attempts
+	TransportRetries      *Counter   // attempts after the first (each waits a backoff)
+	TransportCallSeconds  *Histogram // logical call latency including retries
+
+	// Worker pool (internal/parallel).
+	PoolTasks      *Counter // tasks submitted to parallel.Pool
+	PoolQueueDepth *Gauge   // pool tasks submitted but not yet finished
+}{
+	FLRounds:         Default.Counter("fl_rounds_total"),
+	FLFineTuneRounds: Default.Counter("fl_finetune_rounds_total"),
+	FLCompleted:      Default.Counter("fl_completed_updates_total"),
+	FLDropped:        Default.Counter("fl_dropped_total"),
+	FLQuorumFailures: Default.Counter("fl_quorum_failures_total"),
+	FLRoundSeconds:   Default.Histogram("fl_round_seconds", DurationBuckets),
+
+	DefensePipelines:            Default.Counter("defense_pipeline_runs_total"),
+	DefensePrunedUnits:          Default.Counter("defense_pruned_units_total"),
+	DefenseZeroedWeights:        Default.Counter("defense_zeroed_weights_total"),
+	DefenseReportDropouts:       Default.Counter("defense_report_dropouts_total"),
+	DefenseReportQuorumFailures: Default.Counter("defense_report_quorum_failures_total"),
+	DefensePipelineSeconds:      Default.Histogram("defense_pipeline_seconds", DurationBuckets),
+	DefensePruneSweepSeconds:    Default.Histogram("defense_prune_sweep_seconds", DurationBuckets),
+	DefenseFineTuneSeconds:      Default.Histogram("defense_finetune_seconds", DurationBuckets),
+	DefenseAWSweepSeconds:       Default.Histogram("defense_aw_sweep_seconds", DurationBuckets),
+
+	TransportCalls:        Default.Counter("transport_calls_total"),
+	TransportCallFailures: Default.Counter("transport_call_failures_total"),
+	TransportAttempts:     Default.Counter("transport_attempts_total"),
+	TransportRetries:      Default.Counter("transport_retries_total"),
+	TransportCallSeconds:  Default.Histogram("transport_call_seconds", DurationBuckets),
+
+	PoolTasks:      Default.Counter("parallel_pool_tasks_total"),
+	PoolQueueDepth: Default.Gauge("parallel_pool_queue_depth"),
+}

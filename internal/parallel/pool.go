@@ -3,6 +3,8 @@ package parallel
 import (
 	"fmt"
 	"sync"
+
+	"github.com/fedcleanse/fedcleanse/internal/obs"
 )
 
 // Pool is a reusable bounded worker pool: a fixed set of goroutines that
@@ -55,17 +57,26 @@ func (p *Pool) Close() {
 
 // Run executes every task on the pool and returns when all have finished.
 // Panics are collected and the first is re-raised in the caller.
+//
+// Each task counts into parallel_pool_tasks_total; the
+// parallel_pool_queue_depth gauge tracks tasks submitted but not yet
+// finished. The per-index For/ForBlocks fast paths are deliberately left
+// uninstrumented — they sit inside tensor kernels where even an atomic
+// add per index would be measurable.
 func (p *Pool) Run(tasks ...func()) {
 	if len(tasks) == 0 {
 		return
 	}
 	var wg sync.WaitGroup
 	var pr panicRecorder
+	obs.M.PoolTasks.Add(uint64(len(tasks)))
 	for _, task := range tasks {
 		task := task
 		wg.Add(1)
+		obs.M.PoolQueueDepth.Inc()
 		p.jobs <- func() {
 			defer wg.Done()
+			defer obs.M.PoolQueueDepth.Dec()
 			defer func() {
 				if v := recover(); v != nil {
 					pr.record(v)

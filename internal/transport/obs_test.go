@@ -1,0 +1,70 @@
+package transport
+
+import (
+	"testing"
+
+	"github.com/fedcleanse/fedcleanse/internal/core"
+	"github.com/fedcleanse/fedcleanse/internal/fl"
+	"github.com/fedcleanse/fedcleanse/internal/metrics"
+	"github.com/fedcleanse/fedcleanse/internal/obs"
+)
+
+// TestRemoteRunPopulatesMetrics is the observability acceptance test: a
+// full remote federation — training rounds with one transient wire fault,
+// then the defense pipeline over the wire — must leave non-zero round,
+// retry and stage-latency metrics in the shared registry. Metric deltas
+// are computed against a snapshot taken before the run, so the test is
+// indifferent to what other tests in the process have already recorded.
+func TestRemoteRunPopulatesMetrics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("network defense pipeline is slow")
+	}
+	before := obs.Default.Snapshot()
+
+	train, test, template, cfg := chaosSetup()
+	parts := chaosClients(train, template, cfg)
+	// One connection reset on the first update attempt: absorbed by the
+	// retry loop, visible as transport_retries_total.
+	inj := map[int]*FaultInjector{1: NewFaultInjector(Script{"/v1/update": {{Kind: FaultConnError}}})}
+	remote, shutdown := serveChaos(t, parts, template, inj, recoverRetry(), clientSide)
+	defer shutdown()
+
+	srv := fl.NewServer(template, remote, cfg, 60)
+	srv.Train(nil)
+	pcfg := core.DefaultPipelineConfig()
+	pcfg.FineTuneRounds = 1
+	m := srv.Model.Clone()
+	core.RunPipeline(m, fl.ReportClients(remote), srv, metrics.NewSuffixEvaluator(test, 0), pcfg)
+
+	after := obs.Default.Snapshot()
+	counterDelta := func(name string) uint64 {
+		return after.Counters[name] - before.Counters[name]
+	}
+	histDelta := func(name string) uint64 {
+		return after.Histograms[name].Count - before.Histograms[name].Count
+	}
+
+	if got := counterDelta("fl_rounds_total"); got < uint64(cfg.Rounds) {
+		t.Errorf("fl_rounds_total delta = %d, want >= %d", got, cfg.Rounds)
+	}
+	if got := counterDelta("transport_calls_total"); got == 0 {
+		t.Error("transport_calls_total did not move during a remote run")
+	}
+	if got := counterDelta("transport_retries_total"); got == 0 {
+		t.Error("transport_retries_total = 0 despite an injected transient fault")
+	}
+	if got := counterDelta("defense_pipeline_runs_total"); got == 0 {
+		t.Error("defense_pipeline_runs_total did not move")
+	}
+	for _, h := range []string{
+		"fl_round_seconds",
+		"transport_call_seconds",
+		"defense_pipeline_seconds",
+		"defense_prune_sweep_seconds",
+		"defense_aw_sweep_seconds",
+	} {
+		if got := histDelta(h); got == 0 {
+			t.Errorf("stage-latency histogram %s recorded no observations", h)
+		}
+	}
+}

@@ -46,6 +46,7 @@ import (
 	"github.com/fedcleanse/fedcleanse/internal/dataset"
 	"github.com/fedcleanse/fedcleanse/internal/fl"
 	"github.com/fedcleanse/fedcleanse/internal/nn"
+	"github.com/fedcleanse/fedcleanse/internal/obs"
 )
 
 // Protocol messages.
@@ -554,11 +555,22 @@ func (rc *RemoteClient) ReportAccuracy(m *nn.Sequential) float64 {
 // up to MaxAttempts HTTP attempts with capped exponential backoff between
 // them, each decoded into a fresh response value. Retries stop early on
 // context cancellation and on permanent (4xx) rejections.
+//
+// Every logical call is traced as an obs span feeding
+// transport_call_seconds; each HTTP attempt counts into
+// transport_attempts_total (retries — and therefore backoff waits — into
+// transport_retries_total), per-attempt failures log at debug with
+// client/path/attempt attributes, and a call that exhausts its budget
+// counts into transport_call_failures_total.
 func call[Resp any](rc *RemoteClient, ctx context.Context, path string, req any) (Resp, error) {
+	sp := obs.StartSpan("transport.call", obs.M.TransportCallSeconds)
+	defer sp.End()
+	obs.M.TransportCalls.Inc()
 	var zero Resp
 	var body bytes.Buffer
 	if err := gob.NewEncoder(&body).Encode(req); err != nil {
 		err = fmt.Errorf("transport: encode %s: %w", path, err)
+		obs.M.TransportCallFailures.Inc()
 		rc.noteErr(err)
 		return zero, err
 	}
@@ -567,10 +579,12 @@ func call[Resp any](rc *RemoteClient, ctx context.Context, path string, req any)
 	var lastErr error
 	for attempt := 0; attempt < pol.MaxAttempts; attempt++ {
 		if attempt > 0 {
+			obs.M.TransportRetries.Inc()
 			if err := sleepCtx(ctx, pol.backoff(attempt-1)); err != nil {
 				break
 			}
 		}
+		obs.M.TransportAttempts.Inc()
 		var resp Resp
 		err := rc.attempt(ctx, pol, path, payload, &resp)
 		if err == nil {
@@ -578,6 +592,8 @@ func call[Resp any](rc *RemoteClient, ctx context.Context, path string, req any)
 			return resp, nil
 		}
 		lastErr = err
+		obs.L().Debug("transport: attempt failed",
+			"client", rc.id, "path", path, "attempt", attempt+1, "of", pol.MaxAttempts, "err", err)
 		if permanent(err) || ctx.Err() != nil {
 			break
 		}
@@ -585,6 +601,8 @@ func call[Resp any](rc *RemoteClient, ctx context.Context, path string, req any)
 	if lastErr == nil { // context expired before the first attempt
 		lastErr = fmt.Errorf("transport: %s: %w", path, ctx.Err())
 	}
+	obs.M.TransportCallFailures.Inc()
+	obs.L().Debug("transport: call failed", "client", rc.id, "path", path, "err", lastErr)
 	rc.noteErr(lastErr)
 	return zero, lastErr
 }
