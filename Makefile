@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-json alloc-test chaos-test obs-test ops-smoke fmt vet check
+.PHONY: build test race bench bench-json alloc-test chaos-test obs-test ops-smoke load-smoke fmt vet lint check
 
 # The benchmarks joined against the PR-2 baseline capture: the matmul
 # kernel, the conv forward/backward passes, one full SGD train step and one
@@ -35,14 +35,19 @@ bench:
 ## bench-json: measure the hot-path and defense-loop benchmark sets and
 ## write BENCH_2.json / BENCH_3.json, joining the committed
 ## pre-optimization baselines (bench_baseline_pr2.txt / _pr3.txt) so time
-## and allocation ratios are machine-readable
+## and allocation ratios are machine-readable. The federated-round and
+## prune-sweep benchmarks are gated: a >25% ns/op regression against the
+## committed baselines fails the target (the JSON is still written first,
+## so the artifact survives a failing gate).
 bench-json:
 	$(GO) test -run '^$$' -bench '$(BENCH_SET)' -benchmem -benchtime 20x \
 		./internal/tensor ./internal/nn . \
-		| $(GO) run ./cmd/benchjson -baseline bench_baseline_pr2.txt -o BENCH_2.json
+		| $(GO) run ./cmd/benchjson -baseline bench_baseline_pr2.txt -o BENCH_2.json \
+			-gate 'BenchmarkFLRound16ClientsSerial' -fail-above 1.25
 	@echo wrote BENCH_2.json
 	$(GO) test -run '^$$' -bench '$(DEFENSE_BENCH_SET)' -benchmem -benchtime 10x . \
-		| $(GO) run ./cmd/benchjson -baseline bench_baseline_pr3.txt -o BENCH_3.json
+		| $(GO) run ./cmd/benchjson -baseline bench_baseline_pr3.txt -o BENCH_3.json \
+			-gate 'BenchmarkPruneSweep' -fail-above 1.25
 	@echo wrote BENCH_3.json
 
 ## alloc-test: the allocation-regression gate — warm kernels, layer passes
@@ -64,6 +69,13 @@ obs-test:
 ops-smoke:
 	./scripts/ops_smoke.sh
 
+## load-smoke: end-to-end smoke of the scale path — a fedload fleet of
+## POP (default 10000) synthetic clients driven by fedserve in streaming
+## fleet mode; asserts an applied quorum round, zero fleet handler panics
+## and cohort-bounded server memory (see scripts/load_smoke.sh)
+load-smoke:
+	./scripts/load_smoke.sh
+
 ## chaos-test: the transport fault-tolerance gate under the race detector —
 ## fault-injected federations (chaos), quorum/drop equivalence, server
 ## lifecycle and the decoder fuzz seeds. Short mode skips the slowest
@@ -84,5 +96,20 @@ fmt:
 vet:
 	$(GO) vet ./...
 
+## lint: the CI lint job locally — gofmt + vet always; staticcheck and
+## govulncheck when installed (CI installs them; offline machines skip
+## with a notice rather than failing on a missing tool)
+lint: fmt vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
+
 ## check: everything CI runs
-check: fmt vet build test race chaos-test obs-test
+check: lint build test race chaos-test obs-test

@@ -23,6 +23,7 @@ import (
 	"os"
 	"regexp"
 	"strconv"
+	"strings"
 )
 
 // Result is one parsed benchmark measurement.
@@ -61,6 +62,8 @@ func main() {
 	baseline := flag.String("baseline", "", "optional baseline bench output to join by benchmark name")
 	extra := flag.String("extra", "", "optional JSON object file (e.g. a fedbench -metrics-json snapshot) whose top-level keys are merged into the output document; keys unknown to benchjson pass through unchanged")
 	out := flag.String("o", "-", "output path (- = stdout)")
+	gate := flag.String("gate", "", "regexp of benchmark names that must be present, have a baseline and stay within -fail-above; exit 1 otherwise")
+	failAbove := flag.Float64("fail-above", 1.25, "maximum allowed time_ratio (current/baseline ns/op) for gated benchmarks")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "unexpected arguments: %v\n", flag.Args())
@@ -117,11 +120,50 @@ func main() {
 	}
 	if *out == "-" {
 		os.Stdout.Write(buf)
-		return
-	}
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+	} else if err := os.WriteFile(*out, buf, 0o644); err != nil {
 		fatal(err)
 	}
+	// The gate runs after the document is written, so a failing run still
+	// leaves the full JSON behind for the CI artifact.
+	if *gate != "" {
+		if err := gateCheck(doc, *gate, *failAbove); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: gate %q passed (time_ratio <= %.2f)\n", *gate, *failAbove)
+	}
+}
+
+// gateCheck is the perf-regression gate: every benchmark matching pattern
+// must appear in the document, carry a joined baseline, and keep its
+// time_ratio at or under failAbove. A missing gated benchmark fails — a
+// gate that silently matches nothing protects nothing.
+func gateCheck(doc Document, pattern string, failAbove float64) error {
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return fmt.Errorf("benchjson: bad -gate pattern: %w", err)
+	}
+	matched := 0
+	var violations []string
+	for _, r := range doc.Benchmarks {
+		if !re.MatchString(r.Name) {
+			continue
+		}
+		matched++
+		switch {
+		case r.Speedup == nil:
+			violations = append(violations, fmt.Sprintf("%s: no baseline to gate against", r.Name))
+		case *r.Speedup > failAbove:
+			violations = append(violations, fmt.Sprintf("%s: time_ratio %.3f exceeds %.2f (%.0f ns/op vs baseline %.0f)",
+				r.Name, *r.Speedup, failAbove, r.NsPerOp, r.Baseline.NsPerOp))
+		}
+	}
+	if matched == 0 {
+		return fmt.Errorf("benchjson: gate %q matched no benchmarks", pattern)
+	}
+	if len(violations) > 0 {
+		return fmt.Errorf("benchjson: performance gate failed:\n  %s", strings.Join(violations, "\n  "))
+	}
+	return nil
 }
 
 // renderDoc marshals the document, merging in the top-level keys of the

@@ -134,3 +134,42 @@ func TestRenderDocBadExtra(t *testing.T) {
 		t.Fatal("non-object -extra accepted")
 	}
 }
+
+// gateDoc builds a document with one gated benchmark at the given ratio
+// (nil means no baseline was joined).
+func gateDoc(name string, ratio *float64) Document {
+	r := Record{Result: Result{Name: name, NsPerOp: 100}}
+	if ratio != nil {
+		r.Baseline = &Result{Name: name, NsPerOp: 100 / *ratio}
+		r.Speedup = ratio
+	}
+	return Document{Benchmarks: []Record{r}}
+}
+
+func TestGateCheck(t *testing.T) {
+	ok, slow := 1.1, 1.6
+	cases := []struct {
+		name    string
+		doc     Document
+		pattern string
+		wantErr bool
+	}{
+		{"within threshold", gateDoc("BenchmarkPruneSweep", &ok), "BenchmarkPruneSweep", false},
+		{"regression", gateDoc("BenchmarkPruneSweep", &slow), "BenchmarkPruneSweep", true},
+		{"gated benchmark missing", gateDoc("BenchmarkOther", &ok), "BenchmarkPruneSweep", true},
+		{"no baseline joined", gateDoc("BenchmarkPruneSweep", nil), "BenchmarkPruneSweep", true},
+		{"bad pattern", gateDoc("BenchmarkPruneSweep", &ok), "(", true},
+		{"ungated benchmarks ignored", Document{Benchmarks: []Record{
+			gateDoc("BenchmarkPruneSweep", &ok).Benchmarks[0],
+			gateDoc("BenchmarkUnrelated", &slow).Benchmarks[0],
+		}}, "BenchmarkPruneSweep", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := gateCheck(tc.doc, tc.pattern, 1.25)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("gateCheck err = %v, wantErr=%v", err, tc.wantErr)
+			}
+		})
+	}
+}

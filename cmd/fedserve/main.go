@@ -33,6 +33,13 @@ func main() {
 	victim := flag.Int("victim", 9, "victim label (VL)")
 	target := flag.Int("target", 2, "attack label (AL)")
 	clients := flag.String("clients", "", "comma-separated client addresses, in participant-index order")
+	fleet := flag.String("fleet", "", "fedload fleet address (host:port); replaces -clients with a registered population of fleet-hosted clients")
+	fleetCount := flag.Int("fleet-count", 10000, "registered population size in fleet mode")
+	sel := flag.Int("select", 0, "clients sampled per round in fleet mode (0 = all)")
+	streaming := flag.Bool("streaming", false, "fold updates into a running aggregate instead of buffering the cohort")
+	shards := flag.Int("shards", 0, "streaming fold shards (0 = parallel worker count)")
+	streamWindow := flag.Int("stream-window", 0, "streaming concurrency window (0 = twice the worker count)")
+	rounds := flag.Int("rounds", 0, "override the scenario's round count (0 = scenario default)")
 	seed := flag.Int64("seed", 0, "experiment seed (0 = scenario default)")
 	defend := flag.Bool("defend", true, "run the defense pipeline after training")
 	quorum := flag.Float64("quorum", 0.5, "fraction of clients that must respond for a round to apply (0 = any)")
@@ -66,8 +73,12 @@ func main() {
 		s.Seed = *seed
 	}
 	addrs := strings.Split(*clients, ",")
-	if *clients == "" || len(addrs) == 0 {
-		fmt.Fprintln(os.Stderr, "-clients is required")
+	if *fleet == "" && (*clients == "" || len(addrs) == 0) {
+		fmt.Fprintln(os.Stderr, "one of -clients or -fleet is required")
+		os.Exit(2)
+	}
+	if *fleet != "" && *clients != "" {
+		fmt.Fprintln(os.Stderr, "-clients and -fleet are mutually exclusive")
 		os.Exit(2)
 	}
 
@@ -95,6 +106,46 @@ func main() {
 	retry := transport.DefaultRetryPolicy()
 	retry.MaxAttempts = *retries
 	retry.AttemptTimeout = *attemptTimeout
+	s.FL.Quorum = *quorum
+	s.FL.RoundTimeout = *roundTimeout
+	s.FL.Streaming = *streaming
+	s.FL.Shards = *shards
+	s.FL.StreamWindow = *streamWindow
+	if *rounds > 0 {
+		s.FL.Rounds = *rounds
+	}
+
+	if *fleet != "" {
+		// Fleet mode: a fedload process hosts *fleet-count synthetic clients
+		// behind one listener. Only the clients sampled into a round's cohort
+		// get a RemoteClient stub, built on demand through the registry
+		// factory — server memory follows the cohort, not the population.
+		// Synthetic clients serve no defense reports and their updates carry
+		// no signal to defend, so fleet mode is training-side load only.
+		fleetAddr := strings.TrimSpace(*fleet)
+		reg := fl.NewRegistry(func(id int) fl.Participant {
+			return transport.NewRemoteClient(id, transport.FleetClientAddr(fleetAddr, id),
+				transport.WithRetryPolicy(retry))
+		})
+		reg.RegisterRange(0, *fleetCount)
+		s.FL.SelectPerRound = *sel
+		server := fl.NewRegistryServer(template, reg, s.FL, s.Seed+300)
+		logger.Info("serve: fleet training start",
+			"fleet", fleetAddr, "population", reg.Len(),
+			"select", *sel, "streaming", *streaming, "rounds", server.Config().Rounds)
+		for round := 0; round < server.Config().Rounds; round++ {
+			res := server.RoundDetail(round)
+			obs.SampleProcess()
+			logger.Info("serve: round done",
+				"round", round,
+				"completed", len(res.Completed),
+				"dropped", len(res.Dropped),
+				"applied", res.Applied,
+				"peak_inflight", res.PeakInFlight)
+		}
+		return
+	}
+
 	parts := make([]fl.Participant, len(addrs))
 	for i, addr := range addrs {
 		parts[i] = transport.NewRemoteClient(i, strings.TrimSpace(addr),
@@ -102,8 +153,6 @@ func main() {
 	}
 	// The population size follows the actually connected clients.
 	s.FL.SelectPerRound = 0
-	s.FL.Quorum = *quorum
-	s.FL.RoundTimeout = *roundTimeout
 	server := fl.NewServer(template, parts, s.FL, s.Seed+300)
 
 	taEval := metrics.NewSuffixEvaluator(test, 0)

@@ -152,6 +152,33 @@ type (
 	RoundResult = fl.RoundResult
 )
 
+// Population scale (DESIGN.md §12). A Registry holds client IDs only and
+// materializes per-round cohorts through a factory; streaming rounds fold
+// each update into a coordinate-range-sharded running aggregate as it
+// arrives, bit-identical to the batch path at any shard count, with server
+// memory bounded by the streaming window rather than the cohort.
+type (
+	// Registry is an ID-only client population with O(cohort) sampling.
+	Registry = fl.Registry
+	// ClientFactory materializes a participant for a sampled client ID.
+	ClientFactory = fl.ClientFactory
+	// StreamingAggregator is an Aggregator that can fold updates one at a
+	// time into a sharded running aggregate.
+	StreamingAggregator = fl.StreamingAggregator
+	// Fold is one round's in-progress streaming aggregation.
+	Fold = fl.Fold
+	// SyntheticClient is a dataset-free load-generation participant.
+	SyntheticClient = fl.SyntheticClient
+)
+
+var (
+	// NewRegistry builds an empty client registry over a factory.
+	NewRegistry = fl.NewRegistry
+	// NewRegistryServer builds a server that samples each round's cohort
+	// from a registry instead of holding a fixed participant slice.
+	NewRegistryServer = fl.NewRegistryServer
+)
+
 // FL constructors.
 var (
 	// NewServer builds a federated server over a participant population.
@@ -233,6 +260,9 @@ type (
 	FaultKind = transport.FaultKind
 	// FaultSchedule decides which fault each exchange suffers.
 	FaultSchedule = transport.Schedule
+	// Fleet hosts many federated participants behind one HTTP listener
+	// (paths /c/<id>/v1/update), for load generation at population scale.
+	Fleet = transport.Fleet
 )
 
 // Transport constructors and options.
@@ -249,6 +279,10 @@ var (
 	WithRetryPolicy = transport.WithRetryPolicy
 	// WithTransport installs a custom http.RoundTripper on a RemoteClient.
 	WithTransport = transport.WithTransport
+	// NewFleet builds an empty participant fleet.
+	NewFleet = transport.NewFleet
+	// FleetClientAddr is the RemoteClient address of one fleet participant.
+	FleetClientAddr = transport.FleetClientAddr
 )
 
 // Experiment harness (paper scenarios).

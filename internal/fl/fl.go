@@ -45,6 +45,21 @@ type Config struct {
 	// and records the stragglers as dropouts. 0 means no deadline
 	// (in-process participants cannot be cancelled either way).
 	RoundTimeout time.Duration
+	// Streaming folds each arriving update into a running aggregate and
+	// discards it (DESIGN.md §12), holding O(StreamWindow) deltas instead
+	// of the whole cohort — bit-identical to the batch round for
+	// aggregation rules that implement StreamingAggregator; other rules
+	// silently fall back to the batch path.
+	Streaming bool
+	// Shards is the number of aggregator goroutines a streaming round
+	// folds across, each owning a contiguous slice of the parameter
+	// vector; 0 means the parallel worker count. Any value produces
+	// bit-identical aggregates.
+	Shards int
+	// StreamWindow bounds how many clients a streaming round trains
+	// concurrently (and therefore how many un-folded updates exist at
+	// once); 0 means twice the parallel worker count.
+	StreamWindow int
 }
 
 // withDefaults fills unset fields with the values used throughout the

@@ -6,10 +6,12 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync/atomic"
 
 	"github.com/fedcleanse/fedcleanse/internal/nn"
 	"github.com/fedcleanse/fedcleanse/internal/obs"
 	"github.com/fedcleanse/fedcleanse/internal/parallel"
+	"github.com/fedcleanse/fedcleanse/internal/tensor"
 )
 
 // Aggregator combines the update deltas of one round into a single global
@@ -135,8 +137,14 @@ func (d *RandomDrop) Dropped(int, int) bool {
 type Server struct {
 	// Model is the global model, updated in place each round.
 	Model *nn.Sequential
-	// Participants is the full client population.
+	// Participants is the full client population. Empty when the server
+	// draws cohorts from a Registry instead.
 	Participants []Participant
+	// Registry, when non-nil, replaces Participants as the population:
+	// each round samples cfg.SelectPerRound registered clients and
+	// materializes only those (see Registry). Required for populations too
+	// large to hold resident.
+	Registry *Registry
 	// Agg combines round deltas; nil means MeanAggregator.
 	Agg Aggregator
 	// Drop, when non-nil, injects client failures (see DropPolicy).
@@ -144,6 +152,9 @@ type Server struct {
 
 	cfg Config
 	rng *rand.Rand
+	// foldScratch backs the streaming accumulator so steady-state
+	// streaming rounds reuse one buffer (DESIGN.md §12).
+	foldScratch tensor.Arena
 }
 
 // NewServer builds a server over the given population. template provides
@@ -156,6 +167,16 @@ func NewServer(template *nn.Sequential, participants []Participant, cfg Config, 
 		cfg:          cfg.withDefaults(),
 		rng:          rand.New(rand.NewSource(seed)),
 	}
+}
+
+// NewRegistryServer builds a server that samples each round's cohort from
+// a registered population instead of a resident participant slice. The
+// server's memory then scales with the cohort (cfg.SelectPerRound), not
+// the population.
+func NewRegistryServer(template *nn.Sequential, reg *Registry, cfg Config, seed int64) *Server {
+	s := NewServer(template, nil, cfg, seed)
+	s.Registry = reg
+	return s
 }
 
 // Config returns the server's training configuration.
@@ -183,6 +204,11 @@ type RoundResult struct {
 	// Applied reports whether the aggregate was applied to the model —
 	// false when fewer than quorum updates arrived.
 	Applied bool
+	// PeakInFlight is the largest number of trained-but-not-yet-folded
+	// updates the streaming path held at once — its working-set bound,
+	// governed by Config.StreamWindow. Zero on batch rounds, which hold
+	// the whole cohort by design.
+	PeakInFlight int
 }
 
 // errNilUpdate marks an infallible participant that returned no delta
@@ -213,7 +239,11 @@ func (s *Server) RoundDetail(t int) RoundResult {
 
 // runRound drives one aggregation round over the given cohort against
 // model m (the global model for training rounds, the defense's working
-// model for fine-tuning).
+// model for fine-tuning). With cfg.Streaming set and an aggregation rule
+// that can fold incrementally, the round streams (DESIGN.md §12);
+// otherwise it runs the legacy batch path. Both paths share the drop,
+// failure-recording and quorum helpers below, so their survivor sets —
+// and therefore their aggregates — cannot drift apart.
 //
 // The round is traced as an obs span feeding the fl_round_seconds
 // histogram; every drop — policy or wire — counts into fl_dropped_total
@@ -223,17 +253,30 @@ func (s *Server) RoundDetail(t int) RoundResult {
 // outcome after the fact; it touches no model arithmetic, scheduling or
 // RNG stream, so rounds stay bit-identical with metrics enabled.
 func (s *Server) runRound(m *nn.Sequential, selected []Participant, t int) RoundResult {
-	sp := obs.StartSpan("fl.round", obs.M.FLRoundSeconds)
-	defer sp.End()
-	obs.M.FLRounds.Inc()
+	if s.cfg.Streaming {
+		if sa, ok := s.aggregator().(StreamingAggregator); ok {
+			return s.runStreamingRound(m, sa, selected, t)
+		}
+		obs.M.FLStreamFallbacks.Inc()
+		obs.L().Debug("fl: aggregator cannot stream, batch round",
+			"round", t, "agg", fmt.Sprintf("%T", s.aggregator()))
+	}
+	return s.runBatchRound(m, selected, t)
+}
+
+// beginRound opens a round's telemetry record.
+func beginRound(selected []Participant, t int) RoundResult {
 	res := RoundResult{Round: t, Selected: make([]int, 0, len(selected))}
 	for _, p := range selected {
 		res.Selected = append(res.Selected, p.ID())
 	}
-	global := m.ParamsVector()
-	// Drop decisions consume the policy's randomness stream in participant
-	// order before any concurrency, keeping failure injection deterministic
-	// under every worker count.
+	return res
+}
+
+// filterByPolicy applies the DropPolicy, consuming its randomness stream
+// in participant order before any concurrency so failure injection stays
+// deterministic under every worker count, and returns the active cohort.
+func (s *Server) filterByPolicy(selected []Participant, t int, res *RoundResult) []Participant {
 	var active []Participant
 	for _, p := range selected {
 		if s.Drop != nil && s.Drop.Dropped(p.ID(), t) {
@@ -244,12 +287,55 @@ func (s *Server) runRound(m *nn.Sequential, selected []Participant, t int) Round
 		}
 		active = append(active, p)
 	}
-	ctx := context.Background()
-	if s.cfg.RoundTimeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, s.cfg.RoundTimeout)
-		defer cancel()
+	return active
+}
+
+// noteWireFailure records one client's failed update — the single code
+// path both the batch and streaming rounds use, so a wire failure is
+// accounted identically whichever way the round ran.
+func (res *RoundResult) noteWireFailure(id, t int, err error) {
+	res.Dropped = append(res.Dropped, id)
+	if res.Errs == nil {
+		res.Errs = make(map[int]error)
 	}
+	res.Errs[id] = err
+	obs.M.FLDropped.Inc()
+	obs.L().Warn("fl: client update failed", "round", t, "client", id, "err", err)
+}
+
+// roundContext derives the round's collection deadline.
+func (s *Server) roundContext() (context.Context, context.CancelFunc) {
+	if s.cfg.RoundTimeout > 0 {
+		return context.WithTimeout(context.Background(), s.cfg.RoundTimeout)
+	}
+	return context.Background(), func() {}
+}
+
+// meetsQuorum decides whether a round with the given number of arrived
+// updates applies; a discarded round is logged and counted. Below quorum
+// the round delivers no update, as in a real deployment where the server
+// abandons the round and retries.
+func (s *Server) meetsQuorum(arrived, selected, t int) bool {
+	if arrived > 0 && arrived >= s.quorumCount(selected) {
+		return true
+	}
+	obs.M.FLQuorumFailures.Inc()
+	obs.L().Warn("fl: round below quorum, discarded",
+		"round", t, "arrived", arrived, "need", s.quorumCount(selected), "selected", selected)
+	return false
+}
+
+// runBatchRound is the legacy round: materialize every delta, compact the
+// survivors in participant order, aggregate once at round end.
+func (s *Server) runBatchRound(m *nn.Sequential, selected []Participant, t int) RoundResult {
+	sp := obs.StartSpan("fl.round", obs.M.FLRoundSeconds)
+	defer sp.End()
+	obs.M.FLRounds.Inc()
+	res := beginRound(selected, t)
+	global := m.ParamsVector()
+	active := s.filterByPolicy(selected, t, &res)
+	ctx, cancel := s.roundContext()
+	defer cancel()
 	deltas := make([][]float64, len(active))
 	errs := make([]error, len(active))
 	parallel.For(len(active), func(i int) {
@@ -262,13 +348,7 @@ func (s *Server) runRound(m *nn.Sequential, selected []Participant, t int) Round
 	var ok [][]float64
 	for i, p := range active {
 		if errs[i] != nil {
-			res.Dropped = append(res.Dropped, p.ID())
-			if res.Errs == nil {
-				res.Errs = make(map[int]error)
-			}
-			res.Errs[p.ID()] = errs[i]
-			obs.M.FLDropped.Inc()
-			obs.L().Warn("fl: client update failed", "round", t, "client", p.ID(), "err", errs[i])
+			res.noteWireFailure(p.ID(), t, errs[i])
 			continue
 		}
 		ids = append(ids, p.ID())
@@ -276,12 +356,7 @@ func (s *Server) runRound(m *nn.Sequential, selected []Participant, t int) Round
 	}
 	res.Completed = ids
 	obs.M.FLCompleted.Add(uint64(len(ids)))
-	if len(ok) == 0 || len(ok) < s.quorumCount(len(selected)) {
-		// Below quorum the round delivers no update, as in a real
-		// deployment where the server abandons the round and retries.
-		obs.M.FLQuorumFailures.Inc()
-		obs.L().Warn("fl: round below quorum, discarded",
-			"round", t, "arrived", len(ok), "need", s.quorumCount(len(selected)), "selected", len(selected))
+	if !s.meetsQuorum(len(ok), len(selected), t) {
 		return res
 	}
 	if wa, isWeighted := s.Agg.(WeightedAggregator); isWeighted {
@@ -291,6 +366,110 @@ func (s *Server) runRound(m *nn.Sequential, selected []Participant, t int) Round
 	}
 	res.Applied = true
 	return res
+}
+
+// runStreamingRound is the scale path: clients train concurrently inside
+// a bounded window, but each arriving delta is folded — in participant
+// order, through the aggregator's sharded Fold — and dropped immediately,
+// so the server's working set is O(window × dim), not O(cohort × dim).
+// The fold order and the shared drop/quorum helpers make the result
+// bit-identical to runBatchRound for every shard count, worker count and
+// dropout set (the streaming equivalence suite pins this).
+func (s *Server) runStreamingRound(m *nn.Sequential, sa StreamingAggregator, selected []Participant, t int) RoundResult {
+	sp := obs.StartSpan("fl.round", obs.M.FLRoundSeconds)
+	defer sp.End()
+	obs.M.FLRounds.Inc()
+	res := beginRound(selected, t)
+	global := m.ParamsVector()
+	active := s.filterByPolicy(selected, t, &res)
+	ctx, cancel := s.roundContext()
+	defer cancel()
+
+	fold := sa.BeginFold(len(global), s.shardCount(), &s.foldScratch)
+	window := s.windowSize(len(active))
+	type outcome struct {
+		delta []float64
+		err   error
+	}
+	results := make([]outcome, len(active))
+	ready := make([]chan struct{}, len(active))
+	for i := range ready {
+		ready[i] = make(chan struct{})
+	}
+	var inFlight, peak int64
+	// The producer admits at most window clients at a time; a slot is
+	// released only after the fold loop below has consumed that client — in
+	// participant order — so a slow early client throttles admission
+	// rather than growing the working set. At most window deltas exist at
+	// any instant, whatever the cohort size.
+	sem := make(chan struct{}, window)
+	go func() {
+		for i := range active {
+			sem <- struct{}{}
+			go func(i int) {
+				d, err := localUpdate(ctx, active[i], global, t)
+				if d != nil {
+					n := atomic.AddInt64(&inFlight, 1)
+					for {
+						p := atomic.LoadInt64(&peak)
+						if n <= p || atomic.CompareAndSwapInt64(&peak, p, n) {
+							break
+						}
+					}
+				}
+				results[i] = outcome{delta: d, err: err}
+				close(ready[i])
+			}(i)
+		}
+	}()
+	for i, p := range active {
+		<-ready[i]
+		out := results[i]
+		results[i] = outcome{} // discard: once folded, the delta is dead
+		<-sem                  // client i consumed; admit the next one
+		if out.err != nil {
+			res.noteWireFailure(p.ID(), t, out.err)
+			continue
+		}
+		res.Completed = append(res.Completed, p.ID())
+		fold.Fold(p.ID(), out.delta)
+		atomic.AddInt64(&inFlight, -1)
+	}
+	agg := fold.Finish()
+	res.PeakInFlight = int(atomic.LoadInt64(&peak))
+	obs.M.FLStreamInFlightPeak.Set(int64(res.PeakInFlight))
+	obs.M.FLCompleted.Add(uint64(len(res.Completed)))
+	if !s.meetsQuorum(len(res.Completed), len(selected), t) {
+		return res
+	}
+	m.AddDeltaVector(1, agg)
+	res.Applied = true
+	return res
+}
+
+// shardCount resolves cfg.Shards (0 = the parallel worker count).
+func (s *Server) shardCount() int {
+	if s.cfg.Shards > 0 {
+		return s.cfg.Shards
+	}
+	return parallel.Workers()
+}
+
+// windowSize resolves cfg.StreamWindow for a cohort of n (0 = twice the
+// parallel worker count, so training stays saturated while the in-order
+// fold catches up), clamped to [1, n].
+func (s *Server) windowSize(n int) int {
+	w := s.cfg.StreamWindow
+	if w <= 0 {
+		w = 2 * parallel.Workers()
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // localUpdate collects one client's update, preferring the fallible
@@ -347,7 +526,15 @@ func (s *Server) Train(onRound func(round int)) {
 // every training iteration per the paper's threat model; the random draw
 // itself is unbiased — the guarantee comes from the experiment setups
 // having attackers in the population.
+//
+// With a Registry installed, the cohort is sampled from the registered
+// population by the registry's O(k) partial shuffle and materialized
+// through its factory; the resident-participant path keeps its historical
+// rng.Perm draw, so existing seeded experiments reproduce unchanged.
 func (s *Server) selectClients() []Participant {
+	if s.Registry != nil {
+		return s.Registry.Cohort(s.cfg.SelectPerRound, s.rng)
+	}
 	k := s.cfg.SelectPerRound
 	if k <= 0 || k >= len(s.Participants) {
 		return s.Participants
@@ -367,9 +554,17 @@ func (s *Server) selectClients() []Participant {
 // Fine-tuning rounds share Round's machinery end to end: the server's
 // configured Agg rule, its Drop policy, the round timeout and the quorum
 // semantics all apply, and wire failures degrade to recorded dropouts.
+//
+// A registry-backed server cannot hold its population resident, so its
+// fine-tuning rounds sample a cohort per round exactly like training
+// rounds do.
 func (s *Server) FineTune(m *nn.Sequential, rounds int) {
 	for t := 0; t < rounds; t++ {
 		obs.M.FLFineTuneRounds.Inc()
-		s.runRound(m, s.Participants, t)
+		cohort := s.Participants
+		if s.Registry != nil {
+			cohort = s.selectClients()
+		}
+		s.runRound(m, cohort, t)
 	}
 }

@@ -1,0 +1,233 @@
+package fl
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/fedcleanse/fedcleanse/internal/obs"
+	"github.com/fedcleanse/fedcleanse/internal/parallel"
+	"github.com/fedcleanse/fedcleanse/internal/tensor"
+)
+
+// Streaming aggregation (DESIGN.md §12). The batch round materializes every
+// participant's update delta before aggregating — O(cohort × dim) memory —
+// which caps a federation at however many deltas fit in RAM. The streaming
+// round instead folds each update into a running aggregate the moment it
+// arrives and discards it, so peak memory follows the collection window
+// (a few in-flight updates), not the cohort.
+//
+// Bit-identity contract: the legacy aggregate is a per-coordinate scalar
+// recurrence in participant order (acc[j] += d_i[j] for i = 0,1,2,…, then
+// one final scale). Floating-point addition is order-sensitive, so the
+// streaming path preserves exactly that order in two ways:
+//
+//   - The round driver folds survivors strictly in participant order.
+//     Clients still *train* concurrently (a bounded window of them at a
+//     time); only the fold consumes them in order.
+//   - Shards parallelize across the parameter dimension, not across
+//     clients: shard s owns the contiguous coordinate range
+//     Partition(dim, shards)[s] and applies every fold to its range in
+//     arrival (= participant) order. Each coordinate therefore sees the
+//     identical scalar sequence for every shard count, worker count and
+//     dropout set, and merging the shard partials is the concatenation of
+//     their ranges in shard order — exact by construction.
+//
+// A cohort-sliced design (shard s folds clients [lo,hi) and partial sums
+// are added at the end) was rejected: regrouping float additions changes
+// results bitwise, which would break the repository's equivalence suites.
+// Likewise a running Welford mean (acc += (d-acc)/n) is not bit-identical
+// to sum-then-scale, so the fold keeps the legacy sum-then-scale form.
+
+// StreamingAggregator is implemented by aggregation rules that can fold
+// one arriving delta at a time into a running aggregate. MeanAggregator
+// and SampleWeightedMean stream; the Byzantine-robust rules in
+// internal/robust need every delta at once (pairwise distances, per
+// coordinate sorts) and deliberately do not, so a streaming server falls
+// back to the batch round for them.
+type StreamingAggregator interface {
+	Aggregator
+	// BeginFold opens one round's fold over parameter vectors of the
+	// given dimension, parallelized across shards aggregator goroutines
+	// (shards <= 1 folds inline on the caller's goroutine). scratch, when
+	// non-nil, backs the running accumulator so a long-lived server reuses
+	// one buffer across rounds; the slice returned by Finish then remains
+	// valid only until the next BeginFold against the same arena.
+	BeginFold(dim, shards int, scratch *tensor.Arena) Fold
+}
+
+// Fold accumulates one round's update deltas. Fold must be called from a
+// single goroutine, in participant order over the round's survivors — the
+// order the batch path compacts them in — and does not retain the delta
+// slice past the call's internal hand-off. Finish must be called exactly
+// once; it merges the shard partials and returns the aggregate (nil when
+// nothing was folded).
+type Fold interface {
+	Fold(id int, delta []float64)
+	Finish() []float64
+}
+
+// Compile-time streaming conformance of the built-in rules.
+var (
+	_ StreamingAggregator = MeanAggregator{}
+	_ StreamingAggregator = SampleWeightedMean{}
+)
+
+// BeginFold implements StreamingAggregator: the streaming form of plain
+// coordinate-wise averaging.
+func (MeanAggregator) BeginFold(dim, shards int, scratch *tensor.Arena) Fold {
+	return newShardedFold(dim, shards, scratch, nil, 0)
+}
+
+// BeginFold implements StreamingAggregator: the streaming form of
+// AggregateWeighted, weighting each fold by the client's sample count.
+func (s SampleWeightedMean) BeginFold(dim, shards int, scratch *tensor.Arena) Fold {
+	eta := s.Eta
+	if eta == 0 {
+		eta = 1
+	}
+	weightFor := func(id int) float64 {
+		if n, ok := s.Counts[id]; ok && n > 0 {
+			return float64(n)
+		}
+		return 1
+	}
+	return newShardedFold(dim, shards, scratch, weightFor, eta)
+}
+
+// foldQueueDepth is the per-shard channel buffer. A queued delta is still
+// referenced until every shard has folded its range, so the depth bounds
+// how far the fold pipeline can run ahead of the slowest shard — part of
+// the O(window) peak-memory budget, kept deliberately small.
+const foldQueueDepth = 4
+
+// foldItem is one delta in flight to the shard goroutines, with its weight
+// resolved by the caller so every shard applies the same scalar.
+type foldItem struct {
+	delta  []float64
+	weight float64
+}
+
+// shardedFold is the shared fold behind MeanAggregator and
+// SampleWeightedMean: a running per-coordinate sum (optionally weighted)
+// over coordinate-range shards, scaled once in Finish.
+type shardedFold struct {
+	acc      []float64
+	ranges   [][2]int
+	chans    []chan foldItem
+	wg       sync.WaitGroup
+	n        int
+	weighted bool
+	weightFn func(id int) float64
+	total    float64
+	eta      float64
+	finished bool
+}
+
+// newShardedFold sizes the shard plan and spins up the shard goroutines.
+// shards <= 0 resolves to the parallel worker count; it is capped at dim
+// so every shard owns at least one coordinate.
+func newShardedFold(dim, shards int, scratch *tensor.Arena, weightFn func(int) float64, eta float64) *shardedFold {
+	if shards <= 0 {
+		shards = parallel.Workers()
+	}
+	if shards > dim {
+		shards = dim
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	var acc []float64
+	if scratch != nil {
+		t := scratch.Get("fl.fold.acc", dim)
+		t.Zero()
+		acc = t.Data
+	} else {
+		acc = make([]float64, dim)
+	}
+	f := &shardedFold{acc: acc, weighted: weightFn != nil, weightFn: weightFn, eta: eta}
+	if shards > 1 {
+		f.ranges = parallel.Partition(dim, shards)
+		f.chans = make([]chan foldItem, len(f.ranges))
+		for s := range f.chans {
+			ch := make(chan foldItem, foldQueueDepth)
+			f.chans[s] = ch
+			lo, hi := f.ranges[s][0], f.ranges[s][1]
+			f.wg.Add(1)
+			go func() {
+				defer f.wg.Done()
+				for it := range ch {
+					f.foldRange(it, lo, hi)
+				}
+			}()
+		}
+	}
+	return f
+}
+
+// foldRange applies one delta to the coordinate range [lo,hi). The
+// unweighted loop is a plain add — not a multiply by 1.0 — so the scalar
+// sequence is literally the one MeanAggregator.Aggregate runs.
+func (f *shardedFold) foldRange(it foldItem, lo, hi int) {
+	d := it.delta
+	if f.weighted {
+		w := it.weight
+		for j := lo; j < hi; j++ {
+			f.acc[j] += w * d[j]
+		}
+		return
+	}
+	for j := lo; j < hi; j++ {
+		f.acc[j] += d[j]
+	}
+}
+
+// Fold implements Fold.
+func (f *shardedFold) Fold(id int, delta []float64) {
+	if f.finished {
+		panic("fl: Fold after Finish")
+	}
+	if len(delta) != len(f.acc) {
+		panic(fmt.Sprintf("fl: delta length mismatch %d vs %d", len(delta), len(f.acc)))
+	}
+	it := foldItem{delta: delta, weight: 1}
+	if f.weighted {
+		it.weight = f.weightFn(id)
+		f.total += it.weight
+	}
+	f.n++
+	if f.chans == nil {
+		f.foldRange(it, 0, len(f.acc))
+		return
+	}
+	for _, ch := range f.chans {
+		ch <- it
+	}
+}
+
+// Finish implements Fold: it drains and joins the shard goroutines —
+// merging the partial aggregates in shard order, which for coordinate
+// -range shards is the concatenation of their ranges — then applies the
+// final scale. The merge + scale is traced into fl_shard_merge_seconds.
+func (f *shardedFold) Finish() []float64 {
+	if f.finished {
+		panic("fl: Finish called twice")
+	}
+	f.finished = true
+	sp := obs.StartSpan("fl.shard_merge", obs.M.FLShardMergeSeconds)
+	defer sp.End()
+	for _, ch := range f.chans {
+		close(ch)
+	}
+	f.wg.Wait()
+	if f.n == 0 {
+		return nil
+	}
+	scale := 1.0 / float64(f.n)
+	if f.weighted {
+		scale = f.eta / f.total
+	}
+	for j := range f.acc {
+		f.acc[j] *= scale
+	}
+	return f.acc
+}

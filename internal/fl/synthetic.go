@@ -1,0 +1,62 @@
+package fl
+
+import (
+	"hash/fnv"
+	"math/rand"
+
+	"github.com/fedcleanse/fedcleanse/internal/dataset"
+)
+
+// SyntheticClient is a load-generation participant: it returns a
+// deterministic pseudo-update without training a model, so tens of
+// thousands of them fit in one process (a real Client carries a model
+// clone and an optimizer; a SyntheticClient carries three words). The
+// delta for (Seed, id, round) is a pure function of those values and the
+// global vector's length, which makes load runs reproducible and lets
+// tests compare an in-process federation bit-for-bit against the same
+// fleet served over the wire.
+type SyntheticClient struct {
+	// Id is the client's participant ID.
+	Id int
+	// Seed decorrelates whole fleets from each other.
+	Seed int64
+	// Scale bounds the delta's coordinates to [-Scale, Scale); 0 means
+	// 1e-3, small enough that synthetic rounds never blow up the model.
+	Scale float64
+}
+
+var _ Participant = (*SyntheticClient)(nil)
+
+// ID implements Participant.
+func (c *SyntheticClient) ID() int { return c.Id }
+
+// Dataset implements Participant; synthetic clients hold no data.
+func (c *SyntheticClient) Dataset() *dataset.Dataset { return nil }
+
+// LocalUpdate implements Participant: a seeded pseudo-random delta sized
+// to the incoming global vector. It is safe for concurrent use — each
+// call owns its RNG — so one synthetic client can serve overlapping
+// requests in a load test.
+func (c *SyntheticClient) LocalUpdate(global []float64, round int) []float64 {
+	scale := c.Scale
+	if scale == 0 {
+		scale = 1e-3
+	}
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := range buf {
+			buf[i] = byte(v >> (8 * i))
+		}
+		_, _ = h.Write(buf[:])
+	}
+	put(uint64(c.Seed))
+	put(uint64(c.Id))
+	put(uint64(round))
+	rng := rand.New(rand.NewSource(int64(h.Sum64())))
+	d := make([]float64, len(global))
+	for i := range d {
+		d[i] = scale * (2*rng.Float64() - 1)
+	}
+	return d
+}

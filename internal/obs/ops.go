@@ -22,6 +22,7 @@ import (
 func NewOpsHandler(r *Registry) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		SampleProcess()
 		if req.URL.Query().Get("format") == "json" ||
 			req.Header.Get("Accept") == "application/json" {
 			w.Header().Set("Content-Type", "application/json")

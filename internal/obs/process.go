@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// SampleProcess refreshes the process self-telemetry gauges: Go heap and
+// OS-level memory plus the goroutine count. Long-running servers call it
+// at natural checkpoints (once per federated round, before serving a
+// /metrics snapshot); it costs one runtime.ReadMemStats stop-the-world
+// plus one small /proc read, so it is a per-round operation, not a
+// per-update one.
+func SampleProcess() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	M.ProcessHeapAllocBytes.Set(int64(ms.HeapAlloc))
+	M.ProcessSysBytes.Set(int64(ms.Sys))
+	M.ProcessRSSBytes.Set(residentBytes())
+	M.ProcessGoroutines.Set(int64(runtime.NumGoroutine()))
+}
+
+// residentBytes reads the resident set size from /proc/self/statm (second
+// field, in pages). Platforms without procfs report 0 — the gauge stays
+// informational rather than failing the sample.
+func residentBytes() int64 {
+	raw, err := os.ReadFile("/proc/self/statm")
+	if err != nil {
+		return 0
+	}
+	fields := strings.Fields(string(raw))
+	if len(fields) < 2 {
+		return 0
+	}
+	pages, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return 0
+	}
+	return pages * int64(os.Getpagesize())
+}

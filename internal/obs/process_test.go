@@ -1,0 +1,28 @@
+package obs
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestSampleProcessSetsGauges(t *testing.T) {
+	SampleProcess()
+	if M.ProcessHeapAllocBytes.Value() <= 0 {
+		t.Fatalf("process_heap_alloc_bytes = %d, want > 0", M.ProcessHeapAllocBytes.Value())
+	}
+	if M.ProcessSysBytes.Value() <= 0 {
+		t.Fatalf("process_sys_bytes = %d, want > 0", M.ProcessSysBytes.Value())
+	}
+	if M.ProcessGoroutines.Value() <= 0 {
+		t.Fatalf("process_goroutines = %d, want > 0", M.ProcessGoroutines.Value())
+	}
+	if runtime.GOOS == "linux" && M.ProcessRSSBytes.Value() <= 0 {
+		t.Fatalf("process_rss_bytes = %d on linux, want > 0", M.ProcessRSSBytes.Value())
+	}
+}
+
+func TestResidentBytesNonNegative(t *testing.T) {
+	if rss := residentBytes(); rss < 0 {
+		t.Fatalf("residentBytes = %d, want >= 0", rss)
+	}
+}

@@ -28,6 +28,12 @@ var M = struct {
 	FLQuorumFailures *Counter   // rounds discarded below quorum
 	FLRoundSeconds   *Histogram // wall time of one aggregation round
 
+	// Streaming sharded aggregation (internal/fl, DESIGN.md §12).
+	FLRegisteredClients  *Gauge     // population size registered with fl.Registry
+	FLStreamInFlightPeak *Gauge     // last round's peak of trained-but-unfolded updates
+	FLStreamFallbacks    *Counter   // streaming rounds degraded to batch (non-streaming rule)
+	FLShardMergeSeconds  *Histogram // shard-partial merge + final scale per streaming round
+
 	// Defense pipeline (internal/core).
 	DefensePipelines            *Counter   // RunPipeline invocations
 	DefensePrunedUnits          *Counter   // units left pruned by PruneToThreshold
@@ -49,6 +55,20 @@ var M = struct {
 	// Worker pool (internal/parallel).
 	PoolTasks      *Counter // tasks submitted to parallel.Pool
 	PoolQueueDepth *Gauge   // pool tasks submitted but not yet finished
+
+	// Load generation (transport.Fleet / cmd/fedload).
+	FedloadClients       *Gauge     // synthetic clients hosted by the fleet
+	FedloadUpdates       *Counter   // update requests served
+	FedloadBytesIn       *Counter   // request bytes read by the fleet
+	FedloadBytesOut      *Counter   // response bytes written by the fleet
+	FedloadHandlerPanics *Counter   // participant panics recovered by the fleet handler
+	FedloadUpdateSeconds *Histogram // one synthetic update request, server side
+
+	// Process self-telemetry (SampleProcess).
+	ProcessHeapAllocBytes *Gauge // live Go heap (runtime.MemStats.HeapAlloc)
+	ProcessSysBytes       *Gauge // total memory obtained from the OS by the runtime
+	ProcessRSSBytes       *Gauge // resident set size from /proc/self/statm (0 off Linux)
+	ProcessGoroutines     *Gauge // runtime.NumGoroutine
 }{
 	FLRounds:         Default.Counter("fl_rounds_total"),
 	FLFineTuneRounds: Default.Counter("fl_finetune_rounds_total"),
@@ -56,6 +76,11 @@ var M = struct {
 	FLDropped:        Default.Counter("fl_dropped_total"),
 	FLQuorumFailures: Default.Counter("fl_quorum_failures_total"),
 	FLRoundSeconds:   Default.Histogram("fl_round_seconds", DurationBuckets),
+
+	FLRegisteredClients:  Default.Gauge("fl_registered_clients"),
+	FLStreamInFlightPeak: Default.Gauge("fl_stream_inflight_peak"),
+	FLStreamFallbacks:    Default.Counter("fl_stream_fallbacks_total"),
+	FLShardMergeSeconds:  Default.Histogram("fl_shard_merge_seconds", DurationBuckets),
 
 	DefensePipelines:            Default.Counter("defense_pipeline_runs_total"),
 	DefensePrunedUnits:          Default.Counter("defense_pruned_units_total"),
@@ -75,4 +100,16 @@ var M = struct {
 
 	PoolTasks:      Default.Counter("parallel_pool_tasks_total"),
 	PoolQueueDepth: Default.Gauge("parallel_pool_queue_depth"),
+
+	FedloadClients:       Default.Gauge("fedload_clients"),
+	FedloadUpdates:       Default.Counter("fedload_updates_total"),
+	FedloadBytesIn:       Default.Counter("fedload_bytes_in_total"),
+	FedloadBytesOut:      Default.Counter("fedload_bytes_out_total"),
+	FedloadHandlerPanics: Default.Counter("fedload_handler_panics_total"),
+	FedloadUpdateSeconds: Default.Histogram("fedload_update_seconds", DurationBuckets),
+
+	ProcessHeapAllocBytes: Default.Gauge("process_heap_alloc_bytes"),
+	ProcessSysBytes:       Default.Gauge("process_sys_bytes"),
+	ProcessRSSBytes:       Default.Gauge("process_rss_bytes"),
+	ProcessGoroutines:     Default.Gauge("process_goroutines"),
 }

@@ -1,0 +1,28 @@
+package robust
+
+import (
+	"testing"
+
+	"github.com/fedcleanse/fedcleanse/internal/fl"
+)
+
+// TestRobustRulesDoNotStream pins a deliberate design decision: the
+// Byzantine-robust rules need the whole round's deltas at once (pairwise
+// distances, per-coordinate sorts), so none of them may implement
+// fl.StreamingAggregator — a streaming server must fall back to the batch
+// round for them. If a rule ever grows a BeginFold, this test forces the
+// author to prove the incremental form is bit-identical first.
+func TestRobustRulesDoNotStream(t *testing.T) {
+	rules := []fl.Aggregator{
+		Krum{F: 1},
+		MultiKrum{F: 1, M: 2},
+		TrimmedMean{Trim: 1},
+		Median{},
+		Bulyan{F: 1},
+	}
+	for _, r := range rules {
+		if _, ok := r.(fl.StreamingAggregator); ok {
+			t.Errorf("%T implements fl.StreamingAggregator; robust rules must aggregate batch-wise", r)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package transport
+
+import (
+	"testing"
+
+	"github.com/fedcleanse/fedcleanse/internal/fl"
+	"github.com/fedcleanse/fedcleanse/internal/parallel"
+)
+
+// TestChaosStreamingRoundsMatchDropRun extends the chaos equivalence to
+// the streaming path: streaming training rounds in which client 2 faults
+// every exchange (resets, 500s, hangs) must leave bit-identical
+// parameters and telemetry to a fault-free in-process batch run dropping
+// the same client by policy — across shard and worker counts. Streaming,
+// sharding and wire faults all compose without moving a bit.
+func TestChaosStreamingRoundsMatchDropRun(t *testing.T) {
+	run := func(w, shards int, streaming bool, sched Schedule) ([]float64, []fl.RoundResult) {
+		prev := parallel.SetWorkers(w)
+		defer parallel.SetWorkers(prev)
+		train, _, template, cfg := chaosSetup()
+		cfg.Streaming = streaming
+		cfg.Shards = shards
+		parts := chaosClients(train, template, cfg)
+		var srv *fl.Server
+		if sched != nil {
+			remote, shutdown := serveChaos(t, parts, template,
+				map[int]*FaultInjector{2: NewFaultInjector(sched)}, chaosRetry(), clientSide)
+			defer shutdown()
+			srv = fl.NewServer(template, remote, cfg, 60)
+		} else {
+			srv = fl.NewServer(template, parts, cfg, 60)
+			srv.Drop = dropClients{2: true}
+		}
+		var rounds []fl.RoundResult
+		for r := 0; r < cfg.Rounds; r++ {
+			rounds = append(rounds, srv.RoundDetail(r))
+		}
+		return srv.Model.ParamsVector(), rounds
+	}
+
+	refParams, refRounds := run(1, 0, false, nil)
+	rotation := AlwaysFail{FaultConnError, FaultHTTP500, FaultHang}
+	for _, shards := range []int{1, 2, 8} {
+		for _, w := range []int{1, 8} {
+			params, rounds := run(w, shards, true, rotation)
+			assertSameParams(t, "streaming chaos", params, refParams)
+			for r, res := range rounds {
+				want := refRounds[r]
+				if !sameIntSlices(res.Completed, want.Completed) ||
+					!sameIntSlices(res.Dropped, want.Dropped) ||
+					res.Applied != want.Applied {
+					t.Fatalf("shards=%d workers=%d round %d: %+v, want %+v", shards, w, r, res, want)
+				}
+				if len(res.Errs) != 1 || res.Errs[2] == nil {
+					t.Fatalf("shards=%d workers=%d round %d: errs %v, want one entry for client 2",
+						shards, w, r, res.Errs)
+				}
+				if res.PeakInFlight < 1 {
+					t.Fatalf("shards=%d workers=%d round %d: PeakInFlight=%d on a streaming round",
+						shards, w, r, res.PeakInFlight)
+				}
+			}
+		}
+	}
+}

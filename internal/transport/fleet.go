@@ -1,0 +1,210 @@
+package transport
+
+import (
+	"context"
+	"encoding/gob"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"github.com/fedcleanse/fedcleanse/internal/fl"
+	"github.com/fedcleanse/fedcleanse/internal/obs"
+)
+
+// Fleet hosts many federated participants behind ONE listener, which is
+// what makes tens of thousands of wire-attached clients practical in a
+// load test: one OS process, one port, one http.Server, however many
+// participants. Each participant answers at the path prefix /c/<id>, so
+// the stub address for client 42 on a fleet bound to host:port is
+//
+//	host:port/c/42
+//
+// — exactly the addr NewRemoteClient expects (FleetClientAddr builds it),
+// meaning the aggregation server drives a fleet through completely
+// unmodified RemoteClients.
+//
+// The fleet serves only the update endpoint (POST /c/<id>/v1/update): a
+// load fleet exercises round aggregation, not the defense's report
+// protocol, and its synthetic participants hold no data to report on.
+// Every request is instrumented into the fedload_* metrics, and a
+// participant panic is recovered to an HTTP 500 plus a
+// fedload_handler_panics_total tick instead of taking down the other
+// tens of thousands of clients sharing the process.
+type Fleet struct {
+	mu      sync.RWMutex
+	slots   map[int]*fleetSlot
+	maxBody int64
+
+	life lifecycle
+}
+
+// fleetSlot pairs a participant with the mutex serializing calls into it,
+// matching ClientServer's one-call-at-a-time participant contract.
+// (fl.SyntheticClient happens to be concurrency-safe, but the fleet does
+// not assume that of an arbitrary Participant.)
+type fleetSlot struct {
+	mu   sync.Mutex
+	part fl.Participant
+}
+
+// NewFleet builds an empty fleet.
+func NewFleet() *Fleet {
+	return &Fleet{
+		slots: make(map[int]*fleetSlot),
+		// No template bounds the request size here (the fleet is
+		// architecture-agnostic), so cap bodies at a size no legitimate
+		// parameter vector in this codebase approaches.
+		maxBody: 64 << 20,
+	}
+}
+
+// SetMaxBody overrides the request-body cap (bytes).
+func (f *Fleet) SetMaxBody(n int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.maxBody = n
+}
+
+// Add registers participants under their IDs. A duplicate ID is a
+// programming error and panics.
+func (f *Fleet) Add(parts ...fl.Participant) {
+	f.mu.Lock()
+	for _, p := range parts {
+		id := p.ID()
+		if _, dup := f.slots[id]; dup {
+			f.mu.Unlock()
+			panic(fmt.Sprintf("transport: Fleet.Add: duplicate client %d", id))
+		}
+		f.slots[id] = &fleetSlot{part: p}
+	}
+	n := len(f.slots)
+	f.mu.Unlock()
+	obs.M.FedloadClients.Set(int64(n))
+}
+
+// Len reports the number of hosted participants.
+func (f *Fleet) Len() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return len(f.slots)
+}
+
+// FleetClientAddr returns the RemoteClient addr for client id on a fleet
+// bound to addr (host:port).
+func FleetClientAddr(addr string, id int) string {
+	return addr + "/c/" + strconv.Itoa(id)
+}
+
+// Handler returns the fleet's protocol handler, wrapped in the
+// panic-recovering middleware.
+func (f *Fleet) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/c/", f.route)
+	return recoverToError(mux)
+}
+
+// Serve starts listening on addr ("127.0.0.1:0" for an ephemeral port)
+// and serves until Shutdown, returning the bound address. Serving runs on
+// a background goroutine; the terminal error arrives on Err.
+func (f *Fleet) Serve(addr string) (string, error) {
+	return f.life.serve(addr, f.Handler())
+}
+
+// Err returns the channel delivering the terminal serve error (nil after
+// a clean Shutdown); nil before Serve.
+func (f *Fleet) Err() <-chan error { return f.life.errChan() }
+
+// Shutdown stops the fleet gracefully.
+func (f *Fleet) Shutdown(ctx context.Context) error {
+	return f.life.shutdown(ctx)
+}
+
+// route dispatches /c/<id>/v1/update to the participant's slot.
+func (f *Fleet) route(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/c/")
+	idStr, tail, ok := strings.Cut(rest, "/")
+	if !ok || tail != "v1/update" {
+		http.NotFound(w, r)
+		return
+	}
+	id, err := strconv.Atoi(idStr)
+	if err != nil {
+		http.NotFound(w, r)
+		return
+	}
+	f.mu.RLock()
+	slot := f.slots[id]
+	maxBody := f.maxBody
+	f.mu.RUnlock()
+	if slot == nil {
+		http.Error(w, fmt.Sprintf("unknown client %d", id), http.StatusNotFound)
+		return
+	}
+	f.handleUpdate(w, r, slot, maxBody)
+}
+
+func (f *Fleet) handleUpdate(w http.ResponseWriter, r *http.Request, slot *fleetSlot, maxBody int64) {
+	sp := obs.StartSpan("fedload.update", obs.M.FedloadUpdateSeconds)
+	defer sp.End()
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	body := &countingReader{r: http.MaxBytesReader(w, r.Body, maxBody)}
+	var req UpdateRequest
+	err := gob.NewDecoder(body).Decode(&req)
+	obs.M.FedloadBytesIn.Add(uint64(body.n))
+	if err != nil {
+		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		return
+	}
+	slot.mu.Lock()
+	delta := slot.part.LocalUpdate(req.Global, req.Round)
+	slot.mu.Unlock()
+	cw := &countingWriter{ResponseWriter: w}
+	encodeBody(cw, UpdateResponse{Delta: delta})
+	obs.M.FedloadBytesOut.Add(uint64(cw.n))
+	obs.M.FedloadUpdates.Inc()
+}
+
+// recoverToError converts a handler panic into an HTTP 500 and a
+// fedload_handler_panics_total tick, isolating one faulty participant
+// from the rest of the fleet.
+func recoverToError(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				obs.M.FedloadHandlerPanics.Inc()
+				obs.L().Error("fleet: handler panic", "path", r.URL.Path, "panic", fmt.Sprint(v))
+				http.Error(w, "internal error", http.StatusInternalServerError)
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// countingReader counts bytes read through it.
+type countingReader struct {
+	r interface{ Read([]byte) (int, error) }
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// countingWriter counts bytes written through it.
+type countingWriter struct {
+	http.ResponseWriter
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.ResponseWriter.Write(p)
+	c.n += int64(n)
+	return n, err
+}

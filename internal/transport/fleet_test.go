@@ -1,0 +1,183 @@
+package transport
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"github.com/fedcleanse/fedcleanse/internal/dataset"
+	"github.com/fedcleanse/fedcleanse/internal/fl"
+	"github.com/fedcleanse/fedcleanse/internal/nn"
+	"github.com/fedcleanse/fedcleanse/internal/obs"
+	"github.com/fedcleanse/fedcleanse/internal/parallel"
+)
+
+// fleetTemplate is a small real model for fleet rounds — synthetic
+// deltas are sized to whatever parameter vector arrives, so any
+// architecture works.
+func fleetTemplate() *nn.Sequential {
+	return nn.NewSmallCNN(nn.Input{C: 1, H: 16, W: 16}, 10, rand.New(rand.NewSource(90)))
+}
+
+// startFleet serves count synthetic clients on a loopback fleet and
+// returns the bound address plus a shutdown func.
+func startFleet(t *testing.T, count int, seed int64) (*Fleet, string, func()) {
+	t.Helper()
+	f := NewFleet()
+	for id := 0; id < count; id++ {
+		f.Add(&fl.SyntheticClient{Id: id, Seed: seed})
+	}
+	addr, err := f.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, addr, func() { _ = f.Shutdown(context.Background()) }
+}
+
+// TestFleetRoundsMatchInProcess is the fleet's bit-identity gate: a
+// registry-backed streaming federation of 50 clients driven over one
+// loopback listener must produce the same parameters and telemetry as the
+// same federation run fully in process — the wire adds failure modes, not
+// arithmetic.
+func TestFleetRoundsMatchInProcess(t *testing.T) {
+	const population, cohort, rounds = 50, 12, 3
+	cfg := fl.Config{Rounds: rounds, SelectPerRound: cohort, Quorum: 0.5, Streaming: true}
+
+	run := func(factory fl.ClientFactory) ([]float64, []fl.RoundResult) {
+		reg := fl.NewRegistry(factory)
+		reg.RegisterRange(0, population)
+		srv := fl.NewRegistryServer(fleetTemplate(), reg, cfg, 91)
+		var results []fl.RoundResult
+		for r := 0; r < rounds; r++ {
+			results = append(results, srv.RoundDetail(r))
+		}
+		return srv.Model.ParamsVector(), results
+	}
+
+	refParams, refRounds := run(func(id int) fl.Participant {
+		return &fl.SyntheticClient{Id: id, Seed: 92}
+	})
+	for _, res := range refRounds {
+		if !res.Applied || len(res.Completed) != cohort {
+			t.Fatalf("in-process reference round off: %+v", res)
+		}
+	}
+
+	_, addr, shutdown := startFleet(t, population, 92)
+	defer shutdown()
+	for _, w := range []int{1, 8} {
+		prev := parallel.SetWorkers(w)
+		params, results := run(func(id int) fl.Participant {
+			return NewRemoteClient(id, FleetClientAddr(addr, id))
+		})
+		parallel.SetWorkers(prev)
+		assertSameParams(t, "fleet", params, refParams)
+		for r, res := range results {
+			want := refRounds[r]
+			if !sameIntSlices(res.Selected, want.Selected) ||
+				!sameIntSlices(res.Completed, want.Completed) ||
+				res.Applied != want.Applied {
+				t.Fatalf("workers=%d round %d: %+v, want %+v", w, r, res, want)
+			}
+		}
+	}
+}
+
+// TestFleetServesManyClientsOneListener: every one of 200 clients answers
+// at its own path prefix on the same port, and the fedload counters move.
+func TestFleetServesManyClientsOneListener(t *testing.T) {
+	const count = 200
+	_, addr, shutdown := startFleet(t, count, 93)
+	defer shutdown()
+	updatesBefore := obs.M.FedloadUpdates.Value()
+	bytesInBefore := obs.M.FedloadBytesIn.Value()
+	bytesOutBefore := obs.M.FedloadBytesOut.Value()
+	global := make([]float64, 32)
+	for id := 0; id < count; id++ {
+		rc := NewRemoteClient(id, FleetClientAddr(addr, id))
+		d, err := rc.TryLocalUpdate(context.Background(), global, 0)
+		if err != nil {
+			t.Fatalf("client %d: %v", id, err)
+		}
+		if len(d) != len(global) {
+			t.Fatalf("client %d: delta length %d, want %d", id, len(d), len(global))
+		}
+	}
+	if got := obs.M.FedloadUpdates.Value() - updatesBefore; got != count {
+		t.Fatalf("fedload_updates_total moved by %d, want %d", got, count)
+	}
+	if obs.M.FedloadBytesIn.Value() == bytesInBefore || obs.M.FedloadBytesOut.Value() == bytesOutBefore {
+		t.Fatal("fleet byte counters did not move")
+	}
+}
+
+// panicker explodes on every update.
+type panicker struct{ id int }
+
+func (p *panicker) ID() int                              { return p.id }
+func (p *panicker) Dataset() *dataset.Dataset            { return nil }
+func (p *panicker) LocalUpdate([]float64, int) []float64 { panic("synthetic participant bug") }
+
+// TestFleetRecoversParticipantPanic: one faulty participant yields HTTP
+// 500s and a panic-counter tick; its neighbours keep serving.
+func TestFleetRecoversParticipantPanic(t *testing.T) {
+	f := NewFleet()
+	f.Add(&fl.SyntheticClient{Id: 0, Seed: 94}, &panicker{id: 1}, &fl.SyntheticClient{Id: 2, Seed: 94})
+	addr, err := f.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Shutdown(context.Background())
+
+	before := obs.M.FedloadHandlerPanics.Value()
+	global := make([]float64, 8)
+	rc := NewRemoteClient(1, FleetClientAddr(addr, 1),
+		WithRetryPolicy(RetryPolicy{MaxAttempts: 1}))
+	if _, err := rc.TryLocalUpdate(context.Background(), global, 0); err == nil {
+		t.Fatal("panicking participant answered successfully")
+	}
+	if got := obs.M.FedloadHandlerPanics.Value() - before; got != 1 {
+		t.Fatalf("fedload_handler_panics_total moved by %d, want 1", got)
+	}
+	for _, id := range []int{0, 2} {
+		rc := NewRemoteClient(id, FleetClientAddr(addr, id))
+		if _, err := rc.TryLocalUpdate(context.Background(), global, 0); err != nil {
+			t.Fatalf("client %d failed after neighbour panic: %v", id, err)
+		}
+	}
+}
+
+// TestFleetRejectsUnknownPaths: unknown clients and unknown endpoints are
+// 404s, which RemoteClient treats as permanent (no retry storm).
+func TestFleetRejectsUnknownPaths(t *testing.T) {
+	_, addr, shutdown := startFleet(t, 1, 95)
+	defer shutdown()
+	rc := NewRemoteClient(7, FleetClientAddr(addr, 7),
+		WithRetryPolicy(RetryPolicy{MaxAttempts: 3}))
+	attempts := obs.M.TransportAttempts.Value()
+	if _, err := rc.TryLocalUpdate(context.Background(), make([]float64, 4), 0); err == nil {
+		t.Fatal("unknown client id answered")
+	}
+	if got := obs.M.TransportAttempts.Value() - attempts; got != 1 {
+		t.Fatalf("404 retried: %d attempts, want 1", got)
+	}
+	// The report endpoints do not exist on a fleet.
+	rc0 := NewRemoteClient(0, FleetClientAddr(addr, 0),
+		WithRetryPolicy(RetryPolicy{MaxAttempts: 1}))
+	if _, err := rc0.TryReportAccuracy(context.Background(), fleetTemplate()); err == nil {
+		t.Fatal("fleet served an accuracy report")
+	}
+}
+
+// TestFleetDuplicateAddPanics: registering two participants under one ID
+// is a programming error.
+func TestFleetDuplicateAddPanics(t *testing.T) {
+	f := NewFleet()
+	f.Add(&fl.SyntheticClient{Id: 3})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Add did not panic")
+		}
+	}()
+	f.Add(&fl.SyntheticClient{Id: 3})
+}

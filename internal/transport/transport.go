@@ -37,7 +37,6 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"net"
 	"net/http"
 	"sync"
 	"time"
@@ -105,13 +104,6 @@ type participant interface {
 	core.AccuracyReporter
 }
 
-// ClientServer lifecycle states.
-const (
-	csIdle = iota
-	csServing
-	csClosed
-)
-
 // ClientServer exposes one federated participant over HTTP.
 type ClientServer struct {
 	part participant
@@ -123,12 +115,10 @@ type ClientServer struct {
 
 	mu sync.Mutex // serializes access to the participant
 
-	stateMu    sync.Mutex // guards the lifecycle fields below
-	state      int
-	listener   net.Listener
-	server     *http.Server
-	errc       chan error
+	mwMu       sync.Mutex
 	middleware func(http.Handler) http.Handler
+
+	life lifecycle
 }
 
 // NewClientServer wraps a participant (an fl.Client or fl.Attacker; both
@@ -148,8 +138,8 @@ func NewClientServer(part participant, template *nn.Sequential) *ClientServer {
 // mux (tests use it to inject server-side faults). It must be called
 // before Serve or Handler.
 func (cs *ClientServer) SetMiddleware(mw func(http.Handler) http.Handler) {
-	cs.stateMu.Lock()
-	defer cs.stateMu.Unlock()
+	cs.mwMu.Lock()
+	defer cs.mwMu.Unlock()
 	cs.middleware = mw
 }
 
@@ -161,9 +151,9 @@ func (cs *ClientServer) Handler() http.Handler {
 	mux.HandleFunc("/v1/ranks", cs.handleRanks)
 	mux.HandleFunc("/v1/votes", cs.handleVotes)
 	mux.HandleFunc("/v1/accuracy", cs.handleAccuracy)
-	cs.stateMu.Lock()
+	cs.mwMu.Lock()
 	mw := cs.middleware
-	cs.stateMu.Unlock()
+	cs.mwMu.Unlock()
 	if mw != nil {
 		return mw(mux)
 	}
@@ -176,54 +166,20 @@ func (cs *ClientServer) Handler() http.Handler {
 // channel (nil after a clean Shutdown). Serve can be called at most once;
 // a second call, or a call after Shutdown, returns an error.
 func (cs *ClientServer) Serve(addr string) (string, error) {
-	h := cs.Handler()
-	cs.stateMu.Lock()
-	defer cs.stateMu.Unlock()
-	switch cs.state {
-	case csServing:
-		return "", errors.New("transport: Serve called twice")
-	case csClosed:
-		return "", errors.New("transport: Serve after Shutdown")
-	}
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return "", fmt.Errorf("transport: listen: %w", err)
-	}
-	cs.listener = ln
-	cs.server = &http.Server{Handler: h, ReadHeaderTimeout: 10 * time.Second}
-	cs.errc = make(chan error, 1)
-	cs.state = csServing
-	srv, errc := cs.server, cs.errc
-	go func() {
-		err := srv.Serve(ln)
-		if errors.Is(err, http.ErrServerClosed) {
-			err = nil
-		}
-		errc <- err
-	}()
-	return ln.Addr().String(), nil
+	return cs.life.serve(addr, cs.Handler())
 }
 
 // Err returns the channel that delivers the terminal serve error: nil
 // after a clean Shutdown, the net/http failure otherwise. It returns nil
 // before Serve has been called.
 func (cs *ClientServer) Err() <-chan error {
-	cs.stateMu.Lock()
-	defer cs.stateMu.Unlock()
-	return cs.errc
+	return cs.life.errChan()
 }
 
 // Shutdown stops the server. Calling it before Serve (or twice) is safe;
 // after Shutdown the ClientServer cannot serve again.
 func (cs *ClientServer) Shutdown(ctx context.Context) error {
-	cs.stateMu.Lock()
-	srv := cs.server
-	cs.state = csClosed
-	cs.stateMu.Unlock()
-	if srv == nil {
-		return nil
-	}
-	return srv.Shutdown(ctx)
+	return cs.life.shutdown(ctx)
 }
 
 // modelFor reconstructs a model with the given parameters.

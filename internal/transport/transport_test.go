@@ -232,7 +232,7 @@ func TestServeErrorChannel(t *testing.T) {
 	if _, err := cs.Serve("127.0.0.1:0"); err != nil {
 		t.Fatal(err)
 	}
-	cs.listener.Close()
+	cs.life.listener.Close()
 	select {
 	case err := <-cs.Err():
 		if err == nil {

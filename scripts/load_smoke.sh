@@ -1,0 +1,126 @@
+#!/usr/bin/env bash
+# Load-smoke the streaming aggregation path end to end: a fedload fleet
+# hosting POP synthetic clients behind one listener, driven by fedserve in
+# fleet mode (registry sampling + streaming sharded aggregation) for
+# ROUNDS rounds of SELECT-client cohorts. Asserts:
+#
+#   - at least one round reached quorum and applied,
+#   - the fleet recovered zero handler panics and served >0 updates,
+#   - the server registered the whole population (fl_registered_clients),
+#   - server heap stayed under HEAP_BOUND — memory follows the cohort,
+#     not the population (the same bound must hold for POP=10k and 100k),
+#   - the streaming window actually bounded the in-flight working set.
+#
+# Metrics snapshots are left in OUT_DIR (default ./load-smoke-artifacts)
+# for the CI artifact upload. Shared by `make load-smoke`, the CI
+# load-smoke job (POP=10000) and the nightly 100k variant.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+POP=${POP:-10000}
+SELECT=${SELECT:-256}
+ROUNDS=${ROUNDS:-3}
+HEAP_BOUND=${HEAP_BOUND:-268435456} # 256 MiB
+TIMEOUT=${TIMEOUT:-120}
+OUT_DIR=${OUT_DIR:-load-smoke-artifacts}
+
+workdir=$(mktemp -d)
+mkdir -p "$OUT_DIR"
+pids=()
+cleanup() {
+	for p in "${pids[@]:-}"; do kill "$p" 2>/dev/null || true; done
+	rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+	echo "load smoke: $1" >&2
+	exit 1
+}
+
+go build -o "$workdir" ./cmd/fedload ./cmd/fedserve
+
+"$workdir/fedload" -clients "$POP" -listen 127.0.0.1:0 -ops-addr 127.0.0.1:0 \
+	>"$workdir/fedload.log" 2>&1 &
+pids+=($!)
+
+fleet=
+for _ in $(seq 1 240); do
+	fleet=$(sed -n 's/.*serving on \(.*\)/\1/p' "$workdir/fedload.log" | head -1)
+	[ -n "$fleet" ] && break
+	sleep 0.5
+done
+[ -n "$fleet" ] || { cat "$workdir/fedload.log" >&2; fail "fedload never announced its address"; }
+fleet_ops=
+for _ in $(seq 1 240); do
+	fleet_ops=$(sed -n 's/.*ops endpoint up addr=\(.*\)/\1/p' "$workdir/fedload.log" | head -1)
+	[ -n "$fleet_ops" ] && break
+	sleep 0.5
+done
+[ -n "$fleet_ops" ] || fail "fedload never announced its ops endpoint"
+
+"$workdir/fedserve" -fleet "$fleet" -fleet-count "$POP" -select "$SELECT" \
+	-streaming -rounds "$ROUNDS" -quorum 0.9 -ops-addr 127.0.0.1:0 \
+	>"$workdir/serve.log" 2>&1 &
+serve_pid=$!
+pids+=($serve_pid)
+
+serve_ops=
+for _ in $(seq 1 240); do
+	serve_ops=$(sed -n 's/.*ops endpoint up addr=\(.*\)/\1/p' "$workdir/serve.log" | head -1)
+	[ -n "$serve_ops" ] && break
+	kill -0 "$serve_pid" 2>/dev/null || break
+	sleep 0.5
+done
+
+# Poll the server's JSON snapshot while it runs; the last capture before
+# exit is the artifact. The text snapshot fedserve prints on exit backs
+# the assertions below.
+deadline=$((SECONDS + TIMEOUT))
+while kill -0 "$serve_pid" 2>/dev/null; do
+	if [ "$SECONDS" -ge "$deadline" ]; then
+		cat "$workdir/serve.log" >&2
+		fail "fedserve did not finish $ROUNDS rounds within ${TIMEOUT}s"
+	fi
+	if [ -n "$serve_ops" ]; then
+		curl -fsS "http://$serve_ops/metrics?format=json" \
+			>"$OUT_DIR/server_metrics.json.tmp" 2>/dev/null &&
+			mv "$OUT_DIR/server_metrics.json.tmp" "$OUT_DIR/server_metrics.json" || true
+	fi
+	sleep 1
+done
+wait "$serve_pid" || { cat "$workdir/serve.log" >&2; fail "fedserve exited non-zero"; }
+cp "$workdir/serve.log" "$OUT_DIR/serve.log"
+
+# The fleet is still up: snapshot its metrics for the artifact and gates.
+curl -fsS "http://$fleet_ops/metrics?format=json" >"$OUT_DIR/fedload_metrics.json" ||
+	fail "could not snapshot fedload metrics"
+fleet_metrics=$(curl -fsS "http://$fleet_ops/metrics")
+
+metric() { # metric <text> <name> -> value (0 when absent)
+	echo "$1" | sed -n "s/^$2 //p" | head -1
+}
+
+applied=$(grep -c 'applied=true' "$workdir/serve.log" || true)
+[ "$applied" -ge 1 ] || { cat "$workdir/serve.log" >&2; fail "no round reached quorum and applied"; }
+
+panics=$(metric "$fleet_metrics" fedload_handler_panics_total)
+[ "${panics:-0}" = "0" ] || fail "fleet recovered $panics handler panics, want 0"
+updates=$(metric "$fleet_metrics" fedload_updates_total)
+[ "${updates:-0}" -ge "$SELECT" ] || fail "fleet served ${updates:-0} updates, want >= $SELECT"
+hosted=$(metric "$fleet_metrics" fedload_clients)
+[ "${hosted:-0}" = "$POP" ] || fail "fleet hosts ${hosted:-0} clients, want $POP"
+
+# fedserve's exit snapshot (text format) carries the server-side gauges.
+server_metrics=$(sed -n '/final metrics snapshot:/,$p' "$workdir/serve.log")
+registered=$(metric "$server_metrics" fl_registered_clients)
+[ "${registered:-0}" = "$POP" ] || fail "server registered ${registered:-0} clients, want $POP"
+heap=$(metric "$server_metrics" process_heap_alloc_bytes)
+[ -n "${heap:-}" ] && [ "$heap" -gt 0 ] || fail "server heap gauge missing from exit snapshot"
+[ "$heap" -lt "$HEAP_BOUND" ] ||
+	fail "server heap $heap bytes >= bound $HEAP_BOUND — memory is scaling with the population"
+peak=$(metric "$server_metrics" fl_stream_inflight_peak)
+[ "${peak:-0}" -ge 1 ] || fail "fl_stream_inflight_peak is ${peak:-0}; streaming path did not run"
+
+echo "load smoke: OK (population=$POP cohort=$SELECT rounds=$applied applied," \
+	"fleet updates=$updates, server heap=$heap bytes, peak in-flight=$peak)"
