@@ -15,6 +15,12 @@ BENCH_SET = BenchmarkMatMul16x144x64$$|BenchmarkConv2DForward$$|BenchmarkConv2DB
 # the end-to-end pipeline, all with workers pinned to 1 by their fixture.
 DEFENSE_BENCH_SET = BenchmarkPruneSweep$$|BenchmarkAWSweep$$|BenchmarkDefendPipeline$$
 
+# The numeric-backend benchmarks joined against the PR-7 baseline capture
+# (taken before the cache-blocked tiles, float64 only; the Float32 names in
+# the baseline carry the float64 numbers, so their time_ratio reads the
+# cross-precision speedup directly).
+BACKEND_BENCH_SET = ^BenchmarkMatMulInto$$|^BenchmarkTrainStep$$|BenchmarkTrainStepFloat32$$|BenchmarkFLRound16ClientsSerial$$|BenchmarkFLRound16ClientsSerialFloat32$$
+
 ## build: compile every package
 build:
 	$(GO) build ./...
@@ -32,13 +38,14 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/tensor ./internal/nn
 
-## bench-json: measure the hot-path and defense-loop benchmark sets and
-## write BENCH_2.json / BENCH_3.json, joining the committed
-## pre-optimization baselines (bench_baseline_pr2.txt / _pr3.txt) so time
-## and allocation ratios are machine-readable. The federated-round and
-## prune-sweep benchmarks are gated: a >25% ns/op regression against the
-## committed baselines fails the target (the JSON is still written first,
-## so the artifact survives a failing gate).
+## bench-json: measure the hot-path, defense-loop and numeric-backend
+## benchmark sets and write BENCH_2.json / BENCH_3.json / BENCH_7.json,
+## joining the committed pre-optimization baselines (bench_baseline_pr2.txt
+## / _pr3.txt / _pr7.txt) so time and allocation ratios are
+## machine-readable. The federated-round, prune-sweep and tiled-matmul
+## benchmarks are gated: a >25% ns/op regression against the committed
+## baselines fails the target (the JSON is still written first, so the
+## artifact survives a failing gate).
 bench-json:
 	$(GO) test -run '^$$' -bench '$(BENCH_SET)' -benchmem -benchtime 20x \
 		./internal/tensor ./internal/nn . \
@@ -49,6 +56,11 @@ bench-json:
 		| $(GO) run ./cmd/benchjson -baseline bench_baseline_pr3.txt -o BENCH_3.json \
 			-gate 'BenchmarkPruneSweep' -fail-above 1.25
 	@echo wrote BENCH_3.json
+	$(GO) test -run '^$$' -bench '$(BACKEND_BENCH_SET)' -benchmem -benchtime 20x \
+		./internal/tensor ./internal/nn . \
+		| $(GO) run ./cmd/benchjson -baseline bench_baseline_pr7.txt -o BENCH_7.json \
+			-gate '^BenchmarkMatMulInto$$' -fail-above 1.25
+	@echo wrote BENCH_7.json
 
 ## alloc-test: the allocation-regression gate — warm kernels, layer passes
 ## and whole train steps must not allocate (see internal/*/alloc_test.go;

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"github.com/fedcleanse/fedcleanse/internal/eval"
+	"github.com/fedcleanse/fedcleanse/internal/nn"
 	"github.com/fedcleanse/fedcleanse/internal/obs"
 	"github.com/fedcleanse/fedcleanse/internal/parallel"
 	"github.com/fedcleanse/fedcleanse/internal/profiling"
@@ -27,6 +28,7 @@ func main() {
 	expFlag := flag.String("exp", "all", "experiment id: table1..table7, fig3, fig5..fig10, ablation-mask, ablation-rate, ablation-aw, adaptive, or all")
 	full := flag.Bool("full", false, "run the paper's full sweeps instead of the reduced defaults")
 	workers := flag.Int("workers", 0, "worker goroutines for the parallel simulation paths (0 = FEDCLEANSE_WORKERS or GOMAXPROCS; 1 reproduces the serial path)")
+	backendFlag := flag.String("backend", "float64", "numeric backend for model arithmetic in every experiment: float64 (reference) or float32 (faster; aggregation and checkpoints stay float64)")
 	metricsJSON := flag.String("metrics-json", "", "write the final obs metrics snapshot as a JSON object to this file (join into the benchmark document via benchjson -extra)")
 	prof := profiling.AddFlags()
 	logf := obs.AddLogFlags()
@@ -39,6 +41,12 @@ func main() {
 	if *workers > 0 {
 		parallel.SetWorkers(*workers)
 	}
+	backend, err := nn.ParseBackend(*backendFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	eval.SetDefaultBackend(backend)
 
 	pairs := eval.QuickPairs()
 	ninePairs := eval.QuickPairs()

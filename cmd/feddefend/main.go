@@ -14,6 +14,7 @@ import (
 
 	"github.com/fedcleanse/fedcleanse/internal/core"
 	"github.com/fedcleanse/fedcleanse/internal/eval"
+	"github.com/fedcleanse/fedcleanse/internal/nn"
 	"github.com/fedcleanse/fedcleanse/internal/obs"
 )
 
@@ -25,9 +26,15 @@ func main() {
 	method := flag.String("method", "mvp", "pruning method: rap or mvp")
 	voteRate := flag.Float64("rate", 0.5, "MVP pruning rate p")
 	seed := flag.Int64("seed", 0, "experiment seed (0 = scenario default)")
+	backendFlag := flag.String("backend", "float64", "numeric backend for model arithmetic: float64 (reference) or float32 (faster; aggregation and checkpoints stay float64)")
 	logf := obs.AddLogFlags()
 	flag.Parse()
 	logger, err := logf.Setup(os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	backend, err := nn.ParseBackend(*backendFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -48,6 +55,7 @@ func main() {
 	if *seed != 0 {
 		s.Seed = *seed
 	}
+	s.Backend = backend
 
 	logger.Info("defend: training start", "scenario", s.Name)
 	t := eval.Run(s)

@@ -1,0 +1,56 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"github.com/fedcleanse/fedcleanse/internal/nn"
+)
+
+// TestFloat32BackendMNISTParity is the end-to-end accuracy gate for the
+// float32 backend: the paper's MNIST scenario trained entirely on float32
+// arithmetic must land within 0.5 percentage points of the float64
+// reference on both benign test accuracy (TA) and attack success rate
+// (ASR). Per-step rounding differences act as tiny parameter noise; the
+// float64 aggregation and optimizer state keep the two runs on the same
+// trajectory, so the final metrics agree to well under a point.
+func TestFloat32BackendMNISTParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end federated training is slow")
+	}
+	run := func(b nn.Backend) (ta, aa float64) {
+		s := MNISTScenario(9, 2)
+		s.Backend = b
+		tr := Run(s)
+		return tr.TA(), tr.AA()
+	}
+	ta64, aa64 := run(nn.Float64)
+	ta32, aa32 := run(nn.Float32)
+	t.Logf("float64: TA=%.2f AA=%.2f; float32: TA=%.2f AA=%.2f", ta64, aa64, ta32, aa32)
+	if d := math.Abs(ta64 - ta32); d > 0.5 {
+		t.Errorf("TA differs by %.2f pp across backends (float64 %.2f, float32 %.2f), want <= 0.5", d, ta64, ta32)
+	}
+	if d := math.Abs(aa64 - aa32); d > 0.5 {
+		t.Errorf("ASR differs by %.2f pp across backends (float64 %.2f, float32 %.2f), want <= 0.5", d, aa64, aa32)
+	}
+}
+
+// SetDefaultBackend stamps the backend onto every scenario constructor
+// (the cmd/fedbench -backend plumbing).
+func TestSetDefaultBackend(t *testing.T) {
+	prev := SetDefaultBackend(nn.Float32)
+	defer SetDefaultBackend(prev)
+	if b := MNISTScenario(9, 2).Backend; b != nn.Float32 {
+		t.Fatalf("MNISTScenario backend %v, want Float32", b)
+	}
+	if b := FashionScenario(9, 2).Backend; b != nn.Float32 {
+		t.Fatalf("FashionScenario backend %v, want Float32", b)
+	}
+	if b := CIFARScenario(9, 2).Backend; b != nn.Float32 {
+		t.Fatalf("CIFARScenario backend %v, want Float32", b)
+	}
+	SetDefaultBackend(prev)
+	if b := MNISTScenario(9, 2).Backend; b != prev {
+		t.Fatalf("MNISTScenario backend %v after restore, want %v", b, prev)
+	}
+}

@@ -192,7 +192,9 @@ func (t *Trainer) Train(m *nn.Sequential, data *dataset.Dataset, rng *rand.Rand)
 			logits := m.Forward(x, true)
 			dlogits := t.scratch.GetLike("dlogits", logits)
 			nn.SoftmaxXentInto(dlogits, logits, t.labels)
-			m.Backward(dlogits)
+			// BackwardParams: same parameter gradients as Backward, minus
+			// the first layer's input gradient, which SGD never reads.
+			m.BackwardParams(dlogits)
 			t.opt.Step(m)
 		}
 	}

@@ -84,3 +84,42 @@ func TestGuardedPruneStepWarmAllocFree(t *testing.T) {
 		t.Errorf("warm guarded prune step: %v allocs/op, want 0", allocs)
 	}
 }
+
+// The plain metric loops (Accuracy, MeanLoss, LocalActivations) now run
+// their batches on the model's reusable eval buffers (ISSUE 7): per call
+// they still allocate their small batch/label/result buffers, but the
+// per-batch cost must be zero — evaluating 4× as many batches may not
+// allocate a single byte more. Measured against a warm model so the layer
+// arenas are sized.
+func TestMetricLoopsBatchesAllocFree(t *testing.T) {
+	prev := parallel.SetWorkers(1)
+	defer parallel.SetWorkers(prev)
+	_, testAll := dataset.GenSynthMNIST(dataset.GenConfig{TrainPerClass: 1, TestPerClass: 13, Seed: 80})
+	rng := rand.New(rand.NewSource(81))
+	m := nn.NewSmallCNN(nn.Input{C: 1, H: 16, W: 16}, 10, rng)
+	// Exact batch multiples, so the comparison isolates the per-batch cost
+	// (a ragged tail batch legitimately resizes the input buffers once).
+	const batch = 32
+	test := &dataset.Dataset{Shape: testAll.Shape, Classes: testAll.Classes, Samples: testAll.Samples[:4*batch]}
+	one := &dataset.Dataset{Shape: testAll.Shape, Classes: testAll.Classes, Samples: testAll.Samples[:batch]}
+	li := m.LastConvIndex()
+
+	cases := []struct {
+		name string
+		eval func(ds *dataset.Dataset)
+	}{
+		{"Accuracy", func(ds *dataset.Dataset) { Accuracy(m, ds, batch) }},
+		{"MeanLoss", func(ds *dataset.Dataset) { MeanLoss(m, ds, batch) }},
+		{"LocalActivations", func(ds *dataset.Dataset) { LocalActivations(m, li, ds, batch) }},
+	}
+	for _, c := range cases {
+		c.eval(test) // warm the model's eval arenas at full batch size
+		c.eval(one)
+		perCallOne := testing.AllocsPerRun(10, func() { c.eval(one) })
+		perCallAll := testing.AllocsPerRun(10, func() { c.eval(test) })
+		if perCallAll > perCallOne {
+			t.Errorf("%s: %v allocs over %d batches vs %v over 1 batch; extra batches must be allocation-free",
+				c.name, perCallAll, (test.Len()+batch-1)/batch, perCallOne)
+		}
+	}
+}

@@ -40,7 +40,7 @@ func benchTrainStep(b *testing.B, build ModelBuilder, in Input) {
 		m.ZeroGrads()
 		logits := m.Forward(x, true)
 		_, d := SoftmaxXent(logits, labels)
-		m.Backward(d)
+		m.BackwardParams(d)
 		opt.Step(m)
 	}
 }
@@ -65,7 +65,7 @@ func BenchmarkTrainStep(b *testing.B) {
 		m.ZeroGrads()
 		logits := m.Forward(x, true)
 		_, d := SoftmaxXent(logits, labels)
-		m.Backward(d)
+		m.BackwardParams(d)
 		opt.Step(m)
 	}
 }

@@ -50,6 +50,17 @@ type Conv2D struct {
 	blockRes []*tensor.Tensor
 	blockCol []*tensor.Tensor
 	doutMat  *tensor.Tensor
+
+	// Float32-backend equivalents of the caches above (layers32.go): the
+	// per-sample im2col views, per-block forward scratch, backward dout
+	// header and the arena holding the float32 shadow weights.
+	cols32     []*tensor.T32
+	colsHdr32  []*tensor.T32
+	colsFor32  *tensor.T32
+	scratch32  tensor.Arena32
+	blockRes32 []*tensor.T32
+	blockCol32 []*tensor.T32
+	doutMat32  *tensor.T32
 }
 
 var _ Prunable = (*Conv2D)(nil)
@@ -242,6 +253,17 @@ func (l *Conv2D) forwardSample(x, out, col, res *tensor.Tensor, s, sampleIn, spa
 // dW and dcol scratch) and the returned dx live in reusable buffers, so a
 // warm step allocates nothing.
 func (l *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	return l.backwardImpl(dout, true)
+}
+
+// backwardParams is Backward without materializing dx: the parameter
+// gradients are identical, but the Wᵀ·dout products and the Col2Im
+// scatter — about a third of the layer's backward arithmetic — are
+// skipped. Sequential.BackwardParams uses it for the network's first
+// layer, whose input gradient nothing consumes.
+func (l *Conv2D) backwardParams(dout *tensor.Tensor) { l.backwardImpl(dout, false) }
+
+func (l *Conv2D) backwardImpl(dout *tensor.Tensor, needDX bool) *tensor.Tensor {
 	if l.cols == nil {
 		panic(fmt.Sprintf("nn: %s: Backward without training Forward", l.name))
 	}
@@ -250,10 +272,13 @@ func (l *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	spatial := d.OutH() * d.OutW()
 	sampleIn := d.C * d.H * d.W
 	fanIn := d.C * d.K * d.K
-	dx := l.scratch.Get("dx", l.inShape...)
-	dx.Zero() // Col2Im accumulates
+	var dx, dcol *tensor.Tensor
+	if needDX {
+		dx = l.scratch.Get("dx", l.inShape...)
+		dx.Zero() // Col2Im accumulates
+		dcol = l.scratch.Get("dcol", fanIn, spatial)
+	}
 	dW := l.scratch.Get("dW", l.filters, fanIn)
-	dcol := l.scratch.Get("dcol", fanIn, spatial)
 	if l.doutMat == nil {
 		l.doutMat = tensor.FromSlice(dout.Data[:l.filters*spatial], l.filters, spatial)
 	}
@@ -272,9 +297,11 @@ func (l *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
 			}
 			l.B.Grad.Data[f] += s0
 		}
-		// dx = col2im(Wᵀ · dout)
-		tensor.MatMulTransAInto(dcol, l.W.Value, doutMat)
-		tensor.Col2Im(dcol.Data, d, dx.Data[s*sampleIn:(s+1)*sampleIn])
+		if needDX {
+			// dx = col2im(Wᵀ · dout)
+			tensor.MatMulTransAInto(dcol, l.W.Value, doutMat)
+			tensor.Col2Im(dcol.Data, d, dx.Data[s*sampleIn:(s+1)*sampleIn])
+		}
 	}
 	// Gradients of pruned channels are discarded so masked units stay dead.
 	l.maskGrads()

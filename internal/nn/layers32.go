@@ -1,0 +1,581 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/fedcleanse/fedcleanse/internal/parallel"
+	"github.com/fedcleanse/fedcleanse/internal/tensor"
+)
+
+// Native float32 forward/backward paths for every shipped layer (the
+// layer32 interface, see backend.go). Structure mirrors the float64
+// methods line for line: same scratch-arena slots, same parallel blocking,
+// same prune-mask handling. The deliberate differences:
+//
+//   - Weights are float32 shadows, re-narrowed from the float64
+//     Param.Value at the top of each forward pass. The narrowing is O(P)
+//     against the O(N·P) matmul it feeds, and it means optimizer steps,
+//     FedAvg updates and prune masks (all float64 mutations) are picked up
+//     with no explicit sync. A masked weight is exactly 0.0 in float64 and
+//     narrows to exactly 0.0 in float32, so pruning semantics carry over
+//     bit-exactly.
+//   - Parameter gradients are accumulated into the float64 Param.Grad
+//     (addGrad32), keeping the optimizer, aggregation and checkpoint state
+//     in canonical precision.
+//   - float32 activations never leave the Sequential (the boundary widens
+//     them), so eval outputs always live in layer scratch — there is no
+//     caller-retention hazard and no fresh-allocation eval path.
+//   - BatchNorm derives its per-channel batch statistics in float64
+//     accumulators (summing thousands of float32 values in float32 loses
+//     digits the tolerance harness would have to absorb) and updates the
+//     float64 running statistics directly.
+
+var (
+	_ layer32 = (*Dense)(nil)
+	_ layer32 = (*Conv2D)(nil)
+	_ layer32 = (*BatchNorm2D)(nil)
+	_ layer32 = (*ReLU)(nil)
+	_ layer32 = (*Flatten)(nil)
+	_ layer32 = (*MaxPool2D)(nil)
+)
+
+// shadowW32/shadowB32 return the layer's float32 weight and bias, freshly
+// narrowed from the float64 parameters. The buffers live in the layer's
+// float32 arena under fixed slots, so Backward32 can fetch the same
+// (already synced) weights without re-narrowing.
+func (l *Dense) shadowW32() *tensor.T32 {
+	w := l.scratch32.Get("W", l.in, l.out)
+	w.From64(l.W.Value)
+	return w
+}
+
+func (l *Dense) shadowB32() *tensor.T32 {
+	b := l.scratch32.Get("B", l.out)
+	b.From64(l.B.Value)
+	return b
+}
+
+// Forward32 implements layer32 for x of shape (N, In).
+func (l *Dense) Forward32(x *tensor.T32, train bool) *tensor.T32 {
+	if x.Rank() != 2 || x.Dim(1) != l.in {
+		panic(fmt.Sprintf("nn: %s: input shape %v, want [N %d]", l.name, x.Shape(), l.in))
+	}
+	n := x.Dim(0)
+	w := l.shadowW32()
+	b := l.shadowB32()
+	var out *tensor.T32
+	if train {
+		l.x32 = x
+		out = l.scratch32.Get("out", n, l.out)
+	} else {
+		l.x32 = nil
+		out = l.scratch32.Get("eout", n, l.out)
+	}
+	tensor.MatMulInto32(out, x, w)
+	for s := 0; s < n; s++ {
+		row := out.Data[s*l.out : (s+1)*l.out]
+		for j := range row {
+			row[j] += b.Data[j]
+		}
+	}
+	return out
+}
+
+// Backward32 implements layer32.
+func (l *Dense) Backward32(dout *tensor.T32) *tensor.T32 {
+	if l.x32 == nil {
+		panic(fmt.Sprintf("nn: %s: Backward32 without training Forward32", l.name))
+	}
+	// dW = x32ᵀ · dout, accumulated into the float64 gradient.
+	dW := l.scratch32.Get("dW", l.in, l.out)
+	tensor.MatMulTransAInto32(dW, l.x32, dout)
+	addGrad32(l.W.Grad.Data, dW.Data)
+	n := dout.Dim(0)
+	for s := 0; s < n; s++ {
+		row := dout.Data[s*l.out : (s+1)*l.out]
+		for j, v := range row {
+			l.B.Grad.Data[j] += float64(v)
+		}
+	}
+	l.maskGrads()
+	// dx = dout · Wᵀ, against the shadow weights Forward32 synced.
+	dx := l.scratch32.Get("dx", n, l.in)
+	w := l.scratch32.Get("W", l.in, l.out)
+	tensor.MatMulTransBInto32(dx, dout, w)
+	return dx
+}
+
+func (l *Conv2D) shadowW32() *tensor.T32 {
+	fanIn := l.dims.C * l.dims.K * l.dims.K
+	w := l.scratch32.Get("W", l.filters, fanIn)
+	w.From64(l.W.Value)
+	return w
+}
+
+func (l *Conv2D) shadowB32() *tensor.T32 {
+	b := l.scratch32.Get("B", l.filters)
+	b.From64(l.B.Value)
+	return b
+}
+
+// ensureCols32 mirrors ensureCols for the float32 im2col backing.
+func (l *Conv2D) ensureCols32(n, fanIn, spatial int) {
+	backing := l.scratch32.Get("cols", n, fanIn, spatial)
+	for len(l.colsHdr32) < n {
+		l.colsHdr32 = append(l.colsHdr32, nil)
+	}
+	per := fanIn * spatial
+	for s := 0; s < n; s++ {
+		if l.colsHdr32[s] == nil {
+			l.colsHdr32[s] = tensor.FromSlice32(backing.Data[s*per:(s+1)*per], fanIn, spatial)
+		} else if l.colsFor32 != backing {
+			l.colsHdr32[s].Data = backing.Data[s*per : (s+1)*per]
+		}
+	}
+	l.colsFor32 = backing
+	l.cols32 = l.colsHdr32[:n]
+}
+
+// setInShape32 caches the input batch shape without allocating when the
+// rank is unchanged.
+func (l *Conv2D) setInShape32(x *tensor.T32) {
+	if len(l.inShape) != x.Rank() {
+		l.inShape = make([]int, x.Rank())
+	}
+	for i := range l.inShape {
+		l.inShape[i] = x.Dim(i)
+	}
+}
+
+// Forward32 implements layer32 for x of shape (N, C, H, W), with the same
+// sample-parallel blocking as Forward.
+func (l *Conv2D) Forward32(x *tensor.T32, train bool) *tensor.T32 {
+	n := x.Dim(0)
+	d := l.dims
+	if x.Rank() != 4 || x.Dim(1) != d.C || x.Dim(2) != d.H || x.Dim(3) != d.W {
+		panic(fmt.Sprintf("nn: %s: input shape %v, want [N %d %d %d]", l.name, x.Shape(), d.C, d.H, d.W))
+	}
+	outH, outW := d.OutH(), d.OutW()
+	spatial := outH * outW
+	fanIn := d.C * d.K * d.K
+	w := l.shadowW32()
+	b := l.shadowB32()
+	var out *tensor.T32
+	if train {
+		out = l.scratch32.Get("out", n, l.filters, outH, outW)
+		l.ensureCols32(n, fanIn, spatial)
+		l.setInShape32(x)
+	} else {
+		out = l.scratch32.Get("eout", n, l.filters, outH, outW)
+		l.cols32 = nil
+	}
+	sampleIn := d.C * d.H * d.W
+	work := n * l.filters * spatial * fanIn
+	if parallel.Workers() > 1 && n > 1 && work >= convParallelCutoff {
+		nb := parallel.NumBlocks(n)
+		for len(l.blockRes32) < nb {
+			l.blockRes32 = append(l.blockRes32, nil)
+			l.blockCol32 = append(l.blockCol32, nil)
+		}
+		parallel.ForBlocksIndexed(n, func(blk, lo, hi int) {
+			res, col := l.blockScratch32(blk, fanIn, spatial)
+			for s := lo; s < hi; s++ {
+				l.forwardSample32(x, out, l.sampleCol32(col, s, train), res, w, b, s, sampleIn, spatial)
+			}
+		})
+		return out
+	}
+	res := l.scratch32.Get("res", l.filters, spatial)
+	var col *tensor.T32
+	if !train {
+		col = l.scratch32.Get("col", fanIn, spatial)
+	}
+	for s := 0; s < n; s++ {
+		l.forwardSample32(x, out, l.sampleCol32(col, s, train), res, w, b, s, sampleIn, spatial)
+	}
+	return out
+}
+
+// blockScratch32 mirrors blockScratch for the float32 sample-parallel
+// forward.
+func (l *Conv2D) blockScratch32(blk, fanIn, spatial int) (res, col *tensor.T32) {
+	if blk >= len(l.blockRes32) {
+		return tensor.New32(l.filters, spatial), tensor.New32(fanIn, spatial)
+	}
+	if l.blockRes32[blk] == nil {
+		l.blockRes32[blk] = tensor.New32(l.filters, spatial)
+		l.blockCol32[blk] = tensor.New32(fanIn, spatial)
+	}
+	return l.blockRes32[blk], l.blockCol32[blk]
+}
+
+// sampleCol32 mirrors sampleCol.
+func (l *Conv2D) sampleCol32(scratch *tensor.T32, s int, train bool) *tensor.T32 {
+	if train {
+		return l.cols32[s]
+	}
+	return scratch
+}
+
+// forwardSample32 convolves sample s, the float32 twin of forwardSample.
+// The shadow weights w/b are read-only here, so concurrent sample blocks
+// share them safely.
+func (l *Conv2D) forwardSample32(x, out, col, res, w, b *tensor.T32, s, sampleIn, spatial int) {
+	img := x.Data[s*sampleIn : (s+1)*sampleIn]
+	tensor.Im2Col32(img, l.dims, col.Data)
+	tensor.MatMulInto32(res, w, col)
+	dst := out.Data[s*l.filters*spatial : (s+1)*l.filters*spatial]
+	for f := 0; f < l.filters; f++ {
+		bv := b.Data[f]
+		row := res.Data[f*spatial : (f+1)*spatial]
+		drow := dst[f*spatial : (f+1)*spatial]
+		for j, v := range row {
+			drow[j] = v + bv
+		}
+	}
+}
+
+// Backward32 implements layer32.
+func (l *Conv2D) Backward32(dout *tensor.T32) *tensor.T32 {
+	return l.backwardImpl32(dout, true)
+}
+
+// backwardParams32 mirrors backwardParams for the float32 backend.
+func (l *Conv2D) backwardParams32(dout *tensor.T32) { l.backwardImpl32(dout, false) }
+
+func (l *Conv2D) backwardImpl32(dout *tensor.T32, needDX bool) *tensor.T32 {
+	if l.cols32 == nil {
+		panic(fmt.Sprintf("nn: %s: Backward32 without training Forward32", l.name))
+	}
+	n := len(l.cols32)
+	d := l.dims
+	spatial := d.OutH() * d.OutW()
+	sampleIn := d.C * d.H * d.W
+	fanIn := d.C * d.K * d.K
+	var dx, dcol, w *tensor.T32
+	if needDX {
+		dx = l.scratch32.Get("dx", l.inShape...)
+		dx.Zero() // Col2Im accumulates
+		dcol = l.scratch32.Get("dcol", fanIn, spatial)
+		w = l.scratch32.Get("W", l.filters, fanIn) // synced by Forward32
+	}
+	dW := l.scratch32.Get("dW", l.filters, fanIn)
+	if l.doutMat32 == nil {
+		l.doutMat32 = tensor.FromSlice32(dout.Data[:l.filters*spatial], l.filters, spatial)
+	}
+	doutMat := l.doutMat32
+	for s := 0; s < n; s++ {
+		doutMat.Data = dout.Data[s*l.filters*spatial : (s+1)*l.filters*spatial]
+		// dW += dout · colᵀ, accumulated into the float64 gradient.
+		tensor.MatMulTransBInto32(dW, doutMat, l.cols32[s])
+		addGrad32(l.W.Grad.Data, dW.Data)
+		// db += row sums of dout
+		for f := 0; f < l.filters; f++ {
+			row := doutMat.Data[f*spatial : (f+1)*spatial]
+			var s0 float32
+			for _, v := range row {
+				s0 += v
+			}
+			l.B.Grad.Data[f] += float64(s0)
+		}
+		if needDX {
+			// dx = col2im(Wᵀ · dout)
+			tensor.MatMulTransAInto32(dcol, w, doutMat)
+			tensor.Col2Im32(dcol.Data, d, dx.Data[s*sampleIn:(s+1)*sampleIn])
+		}
+	}
+	l.maskGrads()
+	return dx
+}
+
+// Forward32 implements layer32 for x of shape (N, C, H, W). Per-channel
+// batch statistics are accumulated in float64 (see the file comment) and
+// the float64 running statistics are updated in place, so inference-time
+// behaviour and checkpoint state match the canonical path up to the
+// element-wise float32 rounding.
+func (l *BatchNorm2D) Forward32(x *tensor.T32, train bool) *tensor.T32 {
+	if x.Rank() != 4 || x.Dim(1) != l.channels {
+		panic(fmt.Sprintf("nn: %s: input shape %v, want [N %d H W]", l.name, x.Shape(), l.channels))
+	}
+	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+	hw := h * w
+	var out *tensor.T32
+	if train {
+		out = l.scratch32.GetLike("out", x)
+		l.xhat32 = l.scratch32.GetLike("xhat", x)
+		if len(l.invStd) != l.channels {
+			l.invStd = make([]float64, l.channels)
+		}
+		l.n, l.hw = n, hw
+		l.frozenPass = l.frozen
+	} else {
+		out = l.scratch32.GetLike("eout", x)
+	}
+	cnt := float64(n * hw)
+	for c := 0; c < l.channels; c++ {
+		var mean, variance float64
+		if train && !l.frozen {
+			sum := 0.0
+			for s := 0; s < n; s++ {
+				base := (s*l.channels + c) * hw
+				for i := 0; i < hw; i++ {
+					sum += float64(x.Data[base+i])
+				}
+			}
+			mean = sum / cnt
+			ss := 0.0
+			for s := 0; s < n; s++ {
+				base := (s*l.channels + c) * hw
+				for i := 0; i < hw; i++ {
+					d := float64(x.Data[base+i]) - mean
+					ss += d * d
+				}
+			}
+			variance = ss / cnt
+			l.RunMean.Value.Data[c] = l.momentum*l.RunMean.Value.Data[c] + (1-l.momentum)*mean
+			l.RunVar.Value.Data[c] = l.momentum*l.RunVar.Value.Data[c] + (1-l.momentum)*variance
+		} else {
+			mean, variance = l.RunMean.Value.Data[c], l.RunVar.Value.Data[c]
+			if variance < 0 {
+				variance = 0
+			}
+		}
+		inv := 1 / math.Sqrt(variance+l.eps)
+		mean32, inv32 := float32(mean), float32(inv)
+		g, b := float32(l.Gamma.Value.Data[c]), float32(l.Beta.Value.Data[c])
+		for s := 0; s < n; s++ {
+			base := (s*l.channels + c) * hw
+			for i := 0; i < hw; i++ {
+				xh := (x.Data[base+i] - mean32) * inv32
+				if train {
+					l.xhat32.Data[base+i] = xh
+				}
+				out.Data[base+i] = g*xh + b
+			}
+		}
+		if train {
+			l.invStd[c] = inv
+		}
+	}
+	return out
+}
+
+// Backward32 implements layer32 with the same gradient as Backward; the
+// per-channel reductions accumulate in float64.
+func (l *BatchNorm2D) Backward32(dout *tensor.T32) *tensor.T32 {
+	if l.xhat32 == nil {
+		panic(fmt.Sprintf("nn: %s: Backward32 without training Forward32", l.name))
+	}
+	n, hw := l.n, l.hw
+	cnt := float64(n * hw)
+	dx := l.scratch32.GetLike("dx", dout)
+	if l.frozenPass {
+		for c := 0; c < l.channels; c++ {
+			g := float32(l.Gamma.Value.Data[c] * l.invStd[c])
+			for s := 0; s < n; s++ {
+				base := (s*l.channels + c) * hw
+				for i := 0; i < hw; i++ {
+					dx.Data[base+i] = dout.Data[base+i] * g
+				}
+			}
+		}
+		return dx
+	}
+	for c := 0; c < l.channels; c++ {
+		var dg, db float64
+		for s := 0; s < n; s++ {
+			base := (s*l.channels + c) * hw
+			for i := 0; i < hw; i++ {
+				d := float64(dout.Data[base+i])
+				xh := float64(l.xhat32.Data[base+i])
+				dg += d * xh
+				db += d
+			}
+		}
+		l.Gamma.Grad.Data[c] += dg
+		l.Beta.Grad.Data[c] += db
+		g := l.Gamma.Value.Data[c]
+		sumDxh := db * g
+		sumDxhXh := dg * g
+		inv := l.invStd[c]
+		g32 := float32(g)
+		scale := float32(inv / cnt)
+		cnt32 := float32(cnt)
+		sumDxh32, sumDxhXh32 := float32(sumDxh), float32(sumDxhXh)
+		for s := 0; s < n; s++ {
+			base := (s*l.channels + c) * hw
+			for i := 0; i < hw; i++ {
+				dxh := dout.Data[base+i] * g32
+				xh := l.xhat32.Data[base+i]
+				dx.Data[base+i] = scale * (cnt32*dxh - sumDxh32 - xh*sumDxhXh32)
+			}
+		}
+	}
+	l.maskGrads()
+	return dx
+}
+
+// Forward32 implements layer32. The positive-mask cache is shared with the
+// float64 path (only one precision is active per model). Branch-free form
+// for the same reason as the float64 Forward: an if/else select costs a
+// mispredicting data-dependent branch per element.
+func (l *ReLU) Forward32(x *tensor.T32, train bool) *tensor.T32 {
+	if !train {
+		out := l.scratch32.GetLike("eout", x)
+		for i, v := range x.Data {
+			out.Data[i] = max(v, 0)
+		}
+		l.mask = nil
+		return out
+	}
+	out := l.scratch32.GetLike("out", x)
+	if cap(l.mask) < len(out.Data) {
+		l.mask = make([]bool, len(out.Data))
+	}
+	l.mask = l.mask[:len(out.Data)]
+	for i, v := range x.Data {
+		out.Data[i] = max(v, 0)
+		l.mask[i] = v > 0
+	}
+	return out
+}
+
+// Backward32 implements layer32, gating dout by the sign of the cached
+// training output exactly as the float64 Backward does (branch-free; the
+// bool mask stays the trained-state marker).
+func (l *ReLU) Backward32(dout *tensor.T32) *tensor.T32 {
+	if l.mask == nil {
+		panic(fmt.Sprintf("nn: %s: Backward32 without training Forward32", l.name))
+	}
+	out := l.scratch32.GetLike("out", dout)
+	dx := l.scratch32.GetLike("dx", dout)
+	for i, v := range dout.Data {
+		ob := math.Float32bits(out.Data[i])
+		keep := uint32(int32(ob|-ob) >> 31)
+		dx.Data[i] = math.Float32frombits(math.Float32bits(v) & keep)
+	}
+	return dx
+}
+
+// flattenHdrs32 is the float32 twin of flattenHdrs.
+type flattenHdrs32 struct {
+	out, dx, eout *tensor.T32
+}
+
+// headers32 mirrors headers for the float32 path.
+func (l *Flatten) headers32(n int) *flattenHdrs32 {
+	if h, ok := l.hdrs32[n]; ok {
+		return h
+	}
+	if l.hdrs32 == nil {
+		l.hdrs32 = make(map[int]*flattenHdrs32)
+	}
+	h := &flattenHdrs32{}
+	l.hdrs32[n] = h
+	return h
+}
+
+// Forward32 implements layer32. Unlike the float64 eval path, the reshape
+// header is always persistent: float32 activations never escape the
+// Sequential, so there is no retention hazard to guard against.
+func (l *Flatten) Forward32(x *tensor.T32, train bool) *tensor.T32 {
+	n := x.Dim(0)
+	d := x.Len() / n
+	h := l.headers32(n)
+	if !train {
+		if h.eout == nil || h.eout.Dim(1) != d {
+			h.eout = x.Reshape(n, d)
+		} else {
+			h.eout.Data = x.Data
+		}
+		return h.eout
+	}
+	if len(l.inShape) != x.Rank() {
+		l.inShape = make([]int, x.Rank())
+	}
+	for i := range l.inShape {
+		l.inShape[i] = x.Dim(i)
+	}
+	if h.out == nil || h.out.Dim(1) != d {
+		h.out = x.Reshape(n, d)
+	} else {
+		h.out.Data = x.Data
+	}
+	return h.out
+}
+
+// Backward32 implements layer32.
+func (l *Flatten) Backward32(dout *tensor.T32) *tensor.T32 {
+	if l.inShape == nil {
+		panic(fmt.Sprintf("nn: %s: Backward32 without training Forward32", l.name))
+	}
+	h := l.headers32(l.inShape[0])
+	if h.dx == nil || !sameShape32(h.dx, l.inShape) {
+		h.dx = dout.Reshape(l.inShape...)
+	} else {
+		h.dx.Data = dout.Data
+	}
+	return h.dx
+}
+
+// sameShape32 reports whether t's shape equals shape.
+func sameShape32(t *tensor.T32, shape []int) bool {
+	if t.Rank() != len(shape) {
+		return false
+	}
+	for i, d := range shape {
+		if t.Dim(i) != d {
+			return false
+		}
+	}
+	return true
+}
+
+// Forward32 implements layer32 for x of shape (N, C, H, W); the argmax
+// cache is shared with the float64 path.
+func (l *MaxPool2D) Forward32(x *tensor.T32, train bool) *tensor.T32 {
+	if x.Rank() != 4 {
+		panic(fmt.Sprintf("nn: %s: input rank %d, want 4", l.name, x.Rank()))
+	}
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	outH := (h-l.size)/l.stride + 1
+	outW := (w-l.size)/l.stride + 1
+	if outH <= 0 || outW <= 0 {
+		panic(fmt.Sprintf("nn: %s: window %d too large for %d×%d input", l.name, l.size, h, w))
+	}
+	var out *tensor.T32
+	if train {
+		out = l.scratch32.Get("out", n, c, outH, outW)
+		if len(l.inShape) != 4 {
+			l.inShape = make([]int, 4)
+		}
+		l.inShape[0], l.inShape[1], l.inShape[2], l.inShape[3] = n, c, h, w
+		if cap(l.argmax) < out.Len() {
+			l.argmax = make([]int, out.Len())
+		}
+		l.argmax = l.argmax[:out.Len()]
+	} else {
+		out = l.scratch32.Get("eout", n, c, outH, outW)
+		l.argmax = nil
+	}
+	if l.size == 2 && l.stride == 2 {
+		pool2x2(x.Data, out.Data, l.argmax, n*c, h, w, outH, outW)
+		return out
+	}
+	poolWindow(x.Data, out.Data, l.argmax, n*c, h, w, outH, outW, l.size, l.stride)
+	return out
+}
+
+// Backward32 implements layer32.
+func (l *MaxPool2D) Backward32(dout *tensor.T32) *tensor.T32 {
+	if l.argmax == nil {
+		panic(fmt.Sprintf("nn: %s: Backward32 without training Forward32", l.name))
+	}
+	dx := l.scratch32.Get("dx", l.inShape...)
+	dx.Zero()
+	for oi, v := range dout.Data {
+		dx.Data[l.argmax[oi]] += v
+	}
+	return dx
+}

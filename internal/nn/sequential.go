@@ -14,6 +14,25 @@ type Sequential struct {
 	// lose parameters after construction, so the cache is invalidated only
 	// when the layer slice itself changes (RestoreFrom).
 	params []*Param
+
+	// backend selects the arithmetic precision of forward/backward passes
+	// (backend.go). Clones inherit it; parameters stay float64 either way.
+	backend Backend
+
+	// evalReuse mirrors the layers' eval-reuse state (SetEvalReuse) so the
+	// float32 boundary conversions know whether their widened outputs may
+	// live in the arena or must be fresh.
+	evalReuse bool
+
+	// scr32/scr64 hold the model-level precision-boundary staging buffers
+	// of the Float32 backend (input narrowing, output/boundary widening).
+	// Single-goroutine, not cloned or serialized, like layer scratch.
+	scr32 tensor.Arena32
+	scr64 tensor.Arena
+
+	// actsBuf is the reused ForwardActivations result slice under eval
+	// reuse (actsSlice).
+	actsBuf []*tensor.Tensor
 }
 
 // NewSequential builds a network from the given layers.
@@ -33,6 +52,9 @@ func (m *Sequential) NumLayers() int { return len(m.layers) }
 // Forward runs the network on a batch. train selects whether layers cache
 // state for Backward.
 func (m *Sequential) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if m.backend == Float32 {
+		return m.forward32(x, train)
+	}
 	for _, l := range m.layers {
 		x = l.Forward(x, train)
 	}
@@ -49,6 +71,9 @@ func (m *Sequential) ForwardTo(hi int, x *tensor.Tensor) *tensor.Tensor {
 	if hi < 0 || hi > len(m.layers) {
 		panic(fmt.Sprintf("nn: ForwardTo boundary %d outside [0,%d]", hi, len(m.layers)))
 	}
+	if m.backend == Float32 {
+		return m.forwardTo32(hi, x)
+	}
 	for _, l := range m.layers[:hi] {
 		x = l.Forward(x, false)
 	}
@@ -62,6 +87,9 @@ func (m *Sequential) ForwardTo(hi int, x *tensor.Tensor) *tensor.Tensor {
 func (m *Sequential) ForwardFrom(li int, x *tensor.Tensor) *tensor.Tensor {
 	if li < 0 || li > len(m.layers) {
 		panic(fmt.Sprintf("nn: ForwardFrom boundary %d outside [0,%d]", li, len(m.layers)))
+	}
+	if m.backend == Float32 {
+		return m.forwardFrom32(li, x)
 	}
 	for _, l := range m.layers[li:] {
 		x = l.Forward(x, false)
@@ -83,6 +111,7 @@ type evalReuser interface {
 // where every output is consumed before the next batch, making the warm
 // suffix path allocation-free. Clones always start with reuse off.
 func (m *Sequential) SetEvalReuse(on bool) {
+	m.evalReuse = on
 	for _, l := range m.layers {
 		if r, ok := l.(evalReuser); ok {
 			r.setEvalReuse(on)
@@ -93,8 +122,13 @@ func (m *Sequential) SetEvalReuse(on bool) {
 // ForwardActivations runs inference and returns the output of every layer.
 // acts[i] is the output of layer i; the final element is the network output.
 // The federated pruning step uses this to record per-neuron activations.
+// With eval reuse on, the returned slice itself is also reused — valid until
+// the next ForwardActivations call, like the tensors it holds.
 func (m *Sequential) ForwardActivations(x *tensor.Tensor) (acts []*tensor.Tensor) {
-	acts = make([]*tensor.Tensor, len(m.layers))
+	if m.backend == Float32 {
+		return m.forwardActivations32(x)
+	}
+	acts = m.actsSlice()
 	for i, l := range m.layers {
 		x = l.Forward(x, false)
 		acts[i] = x
@@ -102,14 +136,62 @@ func (m *Sequential) ForwardActivations(x *tensor.Tensor) (acts []*tensor.Tensor
 	return acts
 }
 
+// actsSlice returns the per-layer activation slice for ForwardActivations:
+// a reused buffer under eval reuse, fresh otherwise.
+func (m *Sequential) actsSlice() []*tensor.Tensor {
+	if !m.evalReuse {
+		return make([]*tensor.Tensor, len(m.layers))
+	}
+	if len(m.actsBuf) != len(m.layers) {
+		m.actsBuf = make([]*tensor.Tensor, len(m.layers))
+	}
+	return m.actsBuf
+}
+
 // Backward propagates dout (gradient w.r.t. the network output) through all
 // layers in reverse, accumulating parameter gradients, and returns the
 // gradient with respect to the network input.
 func (m *Sequential) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	if m.backend == Float32 {
+		return m.backward32(dout)
+	}
 	for i := len(m.layers) - 1; i >= 0; i-- {
 		dout = m.layers[i].Backward(dout)
 	}
 	return dout
+}
+
+// paramBackward is implemented by layers whose backward pass can skip
+// materializing the input gradient while producing bit-identical parameter
+// gradients. Only useful for the network's first layer, whose dx nothing
+// consumes.
+type paramBackward interface {
+	backwardParams(dout *tensor.Tensor)
+}
+
+// paramBackward32 is the float32-backend twin of paramBackward.
+type paramBackward32 interface {
+	backwardParams32(dout *tensor.T32)
+}
+
+// BackwardParams is Backward for training loops: parameter gradients are
+// bit-identical to Backward's, but the input gradient of the first layer —
+// which SGD never consumes — is skipped when the layer supports it (for a
+// Conv2D first layer that drops a full Wᵀ·dout matmul and Col2Im scatter
+// per sample). Use Backward when the returned input gradient is needed.
+func (m *Sequential) BackwardParams(dout *tensor.Tensor) {
+	if m.backend == Float32 {
+		m.backwardParams32(dout)
+		return
+	}
+	for i := len(m.layers) - 1; i > 0; i-- {
+		dout = m.layers[i].Backward(dout)
+	}
+	if pb, ok := m.layers[0].(paramBackward); ok {
+		pb.backwardParams(dout)
+		return
+	}
+	m.layers[0].Backward(dout)
 }
 
 // Params returns all learnable parameters in layer order. The returned
@@ -146,7 +228,7 @@ func (m *Sequential) Clone() *Sequential {
 	for i, l := range m.layers {
 		ls[i] = l.CloneLayer()
 	}
-	return &Sequential{layers: ls}
+	return &Sequential{layers: ls, backend: m.backend}
 }
 
 // ParamsVector flattens all parameter values into a single new slice, in

@@ -37,6 +37,13 @@ func benchMatWorkers(b *testing.B, m, k, n, workers int) {
 	benchMat(b, m, k, n)
 }
 
+// BenchmarkMatMulInto is the canonical gated matmul benchmark (Makefile
+// bench-json joins it against bench_baseline_pr7.txt and fails a >25%
+// ns/op regression): one serial dense product big enough to cross the
+// cache-tile boundaries, pinned to one worker so the gate measures the
+// kernel, not the machine's core count.
+func BenchmarkMatMulInto(b *testing.B) { benchMatWorkers(b, 128, 256, 128, 1) }
+
 // The 256³ pair is the headline serial-vs-parallel comparison: ~16.7M
 // multiply-adds, far above parallelFlopCutoff, so the Parallel variant
 // row-blocks across all available cores while Serial pins one worker.

@@ -21,9 +21,8 @@ func parallelRows(m, work int) bool {
 }
 
 // MatMul returns a·b for 2-D tensors a (m×k) and b (k×n). The result is a
-// freshly allocated m×n tensor. The inner loops are ordered i-k-j so the
-// innermost traversal is contiguous in both b and the destination, which is
-// the standard cache-friendly layout for row-major matrices.
+// freshly allocated m×n tensor, computed by the cache-blocked tiled kernel
+// (kernels.go) — bit-identical to the pre-tile reference for finite inputs.
 func MatMul(a, b *Tensor) *Tensor {
 	m, k, n := checkMatMul(a, b)
 	out := New(m, n)
@@ -54,33 +53,17 @@ func checkMatMul(a, b *Tensor) (m, k, n int) {
 
 // matmulInto accumulates a (m×k) times b (k×n) into dst (m×n). dst must be
 // zeroed by the caller (New returns zeroed storage). Large products are
-// split over contiguous row blocks; each block runs the identical serial
-// kernel, so the parallel result matches the serial one bit for bit.
-func matmulInto(dst, a, b []float64, m, k, n int) {
+// split over contiguous row blocks; each block runs the identical tiled
+// kernel, so the parallel result matches the serial one bit for bit. Both
+// precisions dispatch through this one body.
+func matmulInto[E Elem](dst, a, b []E, m, k, n int) {
 	if parallelRows(m, m*k*n) {
 		parallel.ForBlocks(m, func(lo, hi int) {
-			matmulRows(dst, a, b, lo, hi, k, n)
+			matmulTiled(dst, a, b, lo, hi, k, n)
 		})
 		return
 	}
-	matmulRows(dst, a, b, 0, m, k, n)
-}
-
-// matmulRows computes output rows [lo,hi) of the m×n product.
-func matmulRows(dst, a, b []float64, lo, hi, k, n int) {
-	for i := lo; i < hi; i++ {
-		arow := a[i*k : (i+1)*k]
-		drow := dst[i*n : (i+1)*n]
-		for p, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b[p*n : (p+1)*n]
-			for j, bv := range brow {
-				drow[j] += av * bv
-			}
-		}
-	}
+	matmulTiled(dst, a, b, 0, m, k, n)
 }
 
 // MatMulTransB returns a·bᵀ for a (m×k) and b (n×k). Used by the dense and
@@ -101,13 +84,19 @@ func MatMulTransBInto(dst, a, b *Tensor) {
 	if dst.Rank() != 2 || dst.Dim(0) != m || dst.Dim(1) != n {
 		panic(fmt.Sprintf("tensor: MatMulTransBInto dst shape %v, want [%d %d]", dst.shape, m, n))
 	}
+	matmulTransBInto(dst.Data, a.Data, b.Data, m, k, n)
+}
+
+// matmulTransBInto overwrites dst (m×n) with a·bᵀ, row-blocking large
+// products across workers.
+func matmulTransBInto[E Elem](dst, a, b []E, m, k, n int) {
 	if parallelRows(m, m*k*n) {
 		parallel.ForBlocks(m, func(lo, hi int) {
-			matmulTransBRows(dst.Data, a.Data, b.Data, lo, hi, k, n)
+			matmulTransBTiled(dst, a, b, lo, hi, k, n)
 		})
 		return
 	}
-	matmulTransBRows(dst.Data, a.Data, b.Data, 0, m, k, n)
+	matmulTransBTiled(dst, a, b, 0, m, k, n)
 }
 
 func checkMatMulTransB(a, b *Tensor) (m, k, n int) {
@@ -122,28 +111,12 @@ func checkMatMulTransB(a, b *Tensor) (m, k, n int) {
 	return m, k, n
 }
 
-// matmulTransBRows computes output rows [lo,hi) of a·bᵀ.
-func matmulTransBRows(dst, a, b []float64, lo, hi, k, n int) {
-	for i := lo; i < hi; i++ {
-		arow := a[i*k : (i+1)*k]
-		orow := dst[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			brow := b[j*k : (j+1)*k]
-			s := 0.0
-			for p, av := range arow {
-				s += av * brow[p]
-			}
-			orow[j] = s
-		}
-	}
-}
-
 // MatMulTransA returns aᵀ·b for a (k×m) and b (k×n). Used to compute weight
 // gradients without materializing the transpose.
 func MatMulTransA(a, b *Tensor) *Tensor {
-	m, _, n := checkMatMulTransA(a, b)
+	m, k, n := checkMatMulTransA(a, b)
 	out := New(m, n)
-	matMulTransAAccum(out, a, b)
+	matmulTransAInto(out.Data, a.Data, b.Data, k, m, n)
 	return out
 }
 
@@ -152,12 +125,12 @@ func MatMulTransA(a, b *Tensor) *Tensor {
 // accumulates. Accumulation order matches MatMulTransA exactly, so the
 // result is bit-identical to the allocating variant at any worker count.
 func MatMulTransAInto(dst, a, b *Tensor) {
-	m, _, n := checkMatMulTransA(a, b)
+	m, k, n := checkMatMulTransA(a, b)
 	if dst.Rank() != 2 || dst.Dim(0) != m || dst.Dim(1) != n {
 		panic(fmt.Sprintf("tensor: MatMulTransAInto dst shape %v, want [%d %d]", dst.shape, m, n))
 	}
 	dst.Zero()
-	matMulTransAAccum(dst, a, b)
+	matmulTransAInto(dst.Data, a.Data, b.Data, k, m, n)
 }
 
 func checkMatMulTransA(a, b *Tensor) (m, k, n int) {
@@ -171,38 +144,15 @@ func checkMatMulTransA(a, b *Tensor) (m, k, n int) {
 	return m, k, b.Dim(1)
 }
 
-// matMulTransAAccum accumulates aᵀ·b into dst, which the caller has zeroed.
-func matMulTransAAccum(dst, a, b *Tensor) {
-	k, m := a.Dim(0), a.Dim(1)
-	n := b.Dim(1)
+// matmulTransAInto accumulates aᵀ·b into dst, which the caller has zeroed.
+func matmulTransAInto[E Elem](dst, a, b []E, k, m, n int) {
 	if parallelRows(m, m*k*n) {
 		parallel.ForBlocks(m, func(lo, hi int) {
-			matmulTransARows(dst.Data, a.Data, b.Data, lo, hi, k, m, n)
+			matmulTransATiled(dst, a, b, lo, hi, k, m, n)
 		})
 		return
 	}
-	matmulTransARows(dst.Data, a.Data, b.Data, 0, m, k, m, n)
-}
-
-// matmulTransARows accumulates output rows [lo,hi) of aᵀ·b. For every
-// output cell the contributions are added in ascending p order — the same
-// order as the serial kernel — so block boundaries cannot perturb the
-// floating-point result.
-func matmulTransARows(dst, a, b []float64, lo, hi, k, m, n int) {
-	for p := 0; p < k; p++ {
-		arow := a[p*m : (p+1)*m]
-		brow := b[p*n : (p+1)*n]
-		for i := lo; i < hi; i++ {
-			av := arow[i]
-			if av == 0 {
-				continue
-			}
-			orow := dst[i*n : (i+1)*n]
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
-	}
+	matmulTransATiled(dst, a, b, 0, m, k, m, n)
 }
 
 // Transpose returns the transpose of a 2-D tensor as a new tensor.
