@@ -21,6 +21,10 @@ DEFENSE_BENCH_SET = BenchmarkPruneSweep$$|BenchmarkAWSweep$$|BenchmarkDefendPipe
 # cross-precision speedup directly).
 BACKEND_BENCH_SET = ^BenchmarkMatMulInto$$|^BenchmarkTrainStep$$|BenchmarkTrainStepFloat32$$|BenchmarkFLRound16ClientsSerial$$|BenchmarkFLRound16ClientsSerialFloat32$$
 
+# The report wire set (ISSUE 8): encoded bytes and encode+decode cost of
+# one rank+vote defense report per wire mode at a 512-unit layer.
+REPORT_BENCH_SET = ^BenchmarkReportBytes$$|^BenchmarkReportRoundtrip$$
+
 ## build: compile every package
 build:
 	$(GO) build ./...
@@ -38,14 +42,16 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/tensor ./internal/nn
 
-## bench-json: measure the hot-path, defense-loop and numeric-backend
-## benchmark sets and write BENCH_2.json / BENCH_3.json / BENCH_7.json,
-## joining the committed pre-optimization baselines (bench_baseline_pr2.txt
-## / _pr3.txt / _pr7.txt) so time and allocation ratios are
-## machine-readable. The federated-round, prune-sweep and tiled-matmul
-## benchmarks are gated: a >25% ns/op regression against the committed
-## baselines fails the target (the JSON is still written first, so the
-## artifact survives a failing gate).
+## bench-json: measure the hot-path, defense-loop, numeric-backend and
+## report-wire benchmark sets and write BENCH_2.json / BENCH_3.json /
+## BENCH_7.json / BENCH_8.json, joining the committed pre-optimization
+## baselines (bench_baseline_pr2.txt / _pr3.txt / _pr7.txt / _pr8.txt) so
+## time and allocation ratios are machine-readable. The federated-round,
+## prune-sweep, tiled-matmul and report-roundtrip benchmarks are gated on
+## ns/op against the committed baselines, and the report-byte budgets are
+## gated absolutely (-metric-gate: int8 rank+vote report <= 700 B and
+## >= 6x smaller than the float64 activation report). The JSON is always
+## written first, so the artifact survives a failing gate.
 bench-json:
 	$(GO) test -run '^$$' -bench '$(BENCH_SET)' -benchmem -benchtime 20x \
 		./internal/tensor ./internal/nn . \
@@ -61,12 +67,19 @@ bench-json:
 		| $(GO) run ./cmd/benchjson -baseline bench_baseline_pr7.txt -o BENCH_7.json \
 			-gate '^BenchmarkMatMulInto$$' -fail-above 1.25
 	@echo wrote BENCH_7.json
+	$(GO) test -run '^$$' -bench '$(REPORT_BENCH_SET)' -benchmem -benchtime 2000x \
+		./internal/transport \
+		| $(GO) run ./cmd/benchjson -baseline bench_baseline_pr8.txt -o BENCH_8.json \
+			-gate 'BenchmarkReportRoundtrip/(float64|int8)' -fail-above 1.0 \
+			-metric-gate 'report-bytes/op:BenchmarkReportBytes/int8:max:700' \
+			-metric-gate 'shrink-vs-float64:BenchmarkReportBytes/int8:min:6'
+	@echo wrote BENCH_8.json
 
 ## alloc-test: the allocation-regression gate — warm kernels, layer passes
 ## and whole train steps must not allocate (see internal/*/alloc_test.go;
 ## these files are excluded under -race, so the race job cannot cover them)
 alloc-test:
-	$(GO) test -run 'AllocFree' -v ./internal/tensor ./internal/nn ./internal/fl ./internal/metrics ./internal/obs
+	$(GO) test -run 'AllocFree' -v ./internal/tensor ./internal/nn ./internal/fl ./internal/metrics ./internal/obs ./internal/transport
 
 ## obs-test: the observability gate — registry/logger/span/ops-endpoint
 ## unit tests (DESIGN.md §11) plus the remote-run metrics integration

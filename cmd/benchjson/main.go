@@ -8,10 +8,15 @@
 //	go test -run '^$' -bench . -benchmem ./... | benchjson -o BENCH.json
 //	benchjson -in current.txt -baseline bench_baseline_pr2.txt -o BENCH.json
 //
-// Every benchmark line becomes one record with ns/op, B/op and allocs/op.
+// Every benchmark line becomes one record with ns/op, B/op and allocs/op;
+// custom b.ReportMetric units (e.g. report-bytes/op) land in "extra".
 // With -baseline, records carry the baseline numbers plus the ratios
 // current/baseline (speedup < 1 means faster, alloc_ratio < 1 means fewer
 // allocations). CI uploads the document next to the bench smoke log.
+//
+// Two gates guard regressions: -gate bounds time_ratio against the joined
+// baseline, and the repeatable -metric-gate bounds any absolute metric,
+// e.g. -metric-gate 'report-bytes/op:ReportBytes/int8:max:700'.
 package main
 
 import (
@@ -26,14 +31,16 @@ import (
 	"strings"
 )
 
-// Result is one parsed benchmark measurement.
+// Result is one parsed benchmark measurement. Extra holds custom
+// b.ReportMetric units keyed by unit string.
 type Result struct {
-	Name        string   `json:"name"`
-	Procs       int      `json:"procs,omitempty"`
-	Runs        int      `json:"runs"`
-	NsPerOp     float64  `json:"ns_per_op"`
-	BytesPerOp  float64  `json:"bytes_per_op,omitempty"`
-	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	Name        string             `json:"name"`
+	Procs       int                `json:"procs,omitempty"`
+	Runs        int                `json:"runs"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
 // Record is one output entry: the current measurement, optionally joined
@@ -51,12 +58,6 @@ type Document struct {
 	Benchmarks []Record `json:"benchmarks"`
 }
 
-// benchLine matches one `go test -bench -benchmem` result line, e.g.
-//
-//	BenchmarkTrainStep-8   20   11695956 ns/op   8063226 B/op   1009 allocs/op
-var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
-
 func main() {
 	in := flag.String("in", "-", "bench output to parse (- = stdin)")
 	baseline := flag.String("baseline", "", "optional baseline bench output to join by benchmark name")
@@ -64,6 +65,8 @@ func main() {
 	out := flag.String("o", "-", "output path (- = stdout)")
 	gate := flag.String("gate", "", "regexp of benchmark names that must be present, have a baseline and stay within -fail-above; exit 1 otherwise")
 	failAbove := flag.Float64("fail-above", 1.25, "maximum allowed time_ratio (current/baseline ns/op) for gated benchmarks")
+	var metricGates gateList
+	flag.Var(&metricGates, "metric-gate", "absolute metric gate 'unit:name-regexp:op:bound' with op min|max, e.g. 'report-bytes/op:ReportBytes/int8:max:700'; repeatable, every match must satisfy the bound and at least one benchmark must match")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "unexpected arguments: %v\n", flag.Args())
@@ -131,6 +134,116 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "benchjson: gate %q passed (time_ratio <= %.2f)\n", *gate, *failAbove)
 	}
+	for _, spec := range metricGates {
+		g, err := parseMetricGate(spec)
+		if err != nil {
+			fatal(err)
+		}
+		if err := metricGateCheck(doc, g); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: metric gate %q passed\n", spec)
+	}
+}
+
+// gateList collects repeated -metric-gate flags.
+type gateList []string
+
+func (g *gateList) String() string     { return strings.Join(*g, ",") }
+func (g *gateList) Set(s string) error { *g = append(*g, s); return nil }
+
+// metricGate bounds an absolute metric value on matching benchmarks:
+// op "max" caps it (byte budgets), op "min" floors it (shrink factors).
+type metricGate struct {
+	unit    string
+	pattern *regexp.Regexp
+	op      string
+	bound   float64
+}
+
+// parseMetricGate parses 'unit:name-regexp:op:bound'. The unit ends at
+// the first colon and op:bound are the last two segments, so the name
+// regexp in between may itself contain colons.
+func parseMetricGate(spec string) (metricGate, error) {
+	bad := func(msg string) (metricGate, error) {
+		return metricGate{}, fmt.Errorf("benchjson: -metric-gate %q: %s (want 'unit:name-regexp:op:bound')", spec, msg)
+	}
+	unit, rest, ok := strings.Cut(spec, ":")
+	if !ok || unit == "" {
+		return bad("missing unit")
+	}
+	iBound := strings.LastIndex(rest, ":")
+	if iBound <= 0 {
+		return bad("missing op and bound")
+	}
+	iOp := strings.LastIndex(rest[:iBound], ":")
+	if iOp <= 0 {
+		return bad("missing op")
+	}
+	g := metricGate{unit: unit, op: rest[iOp+1 : iBound]}
+	if g.op != "min" && g.op != "max" {
+		return bad(fmt.Sprintf("op %q is not min or max", g.op))
+	}
+	bound, err := strconv.ParseFloat(rest[iBound+1:], 64)
+	if err != nil {
+		return bad("bound is not a number")
+	}
+	g.bound = bound
+	re, err := regexp.Compile(rest[:iOp])
+	if err != nil {
+		return bad(err.Error())
+	}
+	g.pattern = re
+	return g, nil
+}
+
+// metric returns the named measurement of one benchmark record: the three
+// standard units by field, anything else from Extra.
+func (r Result) metric(unit string) (float64, bool) {
+	switch unit {
+	case "ns/op":
+		return r.NsPerOp, true
+	case "B/op":
+		return r.BytesPerOp, true
+	case "allocs/op":
+		if r.AllocsPerOp == nil {
+			return 0, false
+		}
+		return *r.AllocsPerOp, true
+	default:
+		v, ok := r.Extra[unit]
+		return v, ok
+	}
+}
+
+// metricGateCheck enforces one absolute metric gate. Like gateCheck, a
+// gate that matches no benchmark — or matches one that never reported the
+// metric — fails, so a renamed benchmark cannot silently disarm it.
+func metricGateCheck(doc Document, g metricGate) error {
+	matched := 0
+	var violations []string
+	for _, r := range doc.Benchmarks {
+		if !g.pattern.MatchString(r.Name) {
+			continue
+		}
+		matched++
+		v, ok := r.metric(g.unit)
+		switch {
+		case !ok:
+			violations = append(violations, fmt.Sprintf("%s: did not report %s", r.Name, g.unit))
+		case g.op == "max" && v > g.bound:
+			violations = append(violations, fmt.Sprintf("%s: %s = %g exceeds max %g", r.Name, g.unit, v, g.bound))
+		case g.op == "min" && v < g.bound:
+			violations = append(violations, fmt.Sprintf("%s: %s = %g below min %g", r.Name, g.unit, v, g.bound))
+		}
+	}
+	if matched == 0 {
+		return fmt.Errorf("benchjson: metric gate %q matched no benchmarks", g.pattern)
+	}
+	if len(violations) > 0 {
+		return fmt.Errorf("benchjson: metric gate failed:\n  %s", strings.Join(violations, "\n  "))
+	}
+	return nil
 }
 
 // gateCheck is the perf-regression gate: every benchmark matching pattern
@@ -209,40 +322,70 @@ func parseFile(path string) ([]Result, error) {
 	return Parse(r)
 }
 
-// Parse extracts benchmark results from go test -bench output.
+// Parse extracts benchmark results from go test -bench output. The
+// measurement fields of a result line come in (value, unit) pairs after
+// the name and run count — ns/op, MB/s, B/op, allocs/op and any custom
+// b.ReportMetric unit, in whatever order the testing package emits them —
+// so the parser tokenizes pairwise instead of pattern-matching a fixed
+// column layout. Unknown units are preserved under Extra.
 func Parse(r io.Reader) ([]Result, error) {
 	var out []Result
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
-		m := benchLine.FindStringSubmatch(sc.Text())
-		if m == nil {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
 			continue
 		}
-		res := Result{Name: m[1]}
-		res.Procs = atoi(m[2])
-		res.Runs = atoi(m[3])
-		res.NsPerOp = atof(m[4])
-		if m[5] != "" {
-			res.BytesPerOp = atof(m[5])
+		runs, err := strconv.Atoi(fields[1])
+		if err != nil {
+			continue
 		}
-		if m[6] != "" {
-			a := atof(m[6])
-			res.AllocsPerOp = &a
+		res := Result{Runs: runs}
+		res.Name, res.Procs = splitProcs(fields[0])
+		sawNs := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break // not a measurement pair; rest of line is noise
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				res.NsPerOp = v
+				sawNs = true
+			case "B/op":
+				res.BytesPerOp = v
+			case "allocs/op":
+				a := v
+				res.AllocsPerOp = &a
+			default:
+				if res.Extra == nil {
+					res.Extra = make(map[string]float64)
+				}
+				res.Extra[unit] = v
+			}
+		}
+		if !sawNs {
+			continue
 		}
 		out = append(out, res)
 	}
 	return out, sc.Err()
 }
 
-func atoi(s string) int {
-	n, _ := strconv.Atoi(s)
-	return n
-}
-
-func atof(s string) float64 {
-	v, _ := strconv.ParseFloat(s, 64)
-	return v
+// splitProcs strips the trailing -GOMAXPROCS suffix the testing package
+// appends to benchmark names. Benchmark names must not themselves end in
+// -<digits>, or the suffix is ambiguous — ours don't.
+func splitProcs(name string) (string, int) {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name, 0
+	}
+	procs, err := strconv.Atoi(name[i+1:])
+	if err != nil || procs <= 0 {
+		return name, 0
+	}
+	return name[:i], procs
 }
 
 func fatal(err error) {

@@ -43,6 +43,35 @@ func TestParse(t *testing.T) {
 	}
 }
 
+// Custom b.ReportMetric units land in Extra regardless of where the
+// testing package places them on the line, and MB/s is preserved too.
+func TestParseCustomMetrics(t *testing.T) {
+	const line = "BenchmarkReportBytes/int8-8  \t     100\t      1183 ns/op\t 505.40 MB/s\t       598.0 report-bytes/op\t         6.967 shrink-vs-float64\t       0 B/op\t       0 allocs/op\n"
+	rs, err := Parse(strings.NewReader(line))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 {
+		t.Fatalf("parsed %d results, want 1", len(rs))
+	}
+	r := rs[0]
+	if r.Name != "BenchmarkReportBytes/int8" || r.Procs != 8 || r.Runs != 100 {
+		t.Fatalf("header parsed as %+v", r)
+	}
+	if r.NsPerOp != 1183 || r.BytesPerOp != 0 || r.AllocsPerOp == nil || *r.AllocsPerOp != 0 {
+		t.Fatalf("standard units parsed as %+v", r)
+	}
+	want := map[string]float64{"MB/s": 505.40, "report-bytes/op": 598, "shrink-vs-float64": 6.967}
+	for unit, v := range want {
+		if r.Extra[unit] != v {
+			t.Errorf("Extra[%q] = %v, want %v", unit, r.Extra[unit], v)
+		}
+	}
+	if len(r.Extra) != len(want) {
+		t.Errorf("Extra = %v, want exactly %v", r.Extra, want)
+	}
+}
+
 func TestParseIgnoresNoise(t *testing.T) {
 	rs, err := Parse(strings.NewReader("PASS\nok\ttoto 1s\n--- BENCH: x\n"))
 	if err != nil {
@@ -169,6 +198,71 @@ func TestGateCheck(t *testing.T) {
 			err := gateCheck(tc.doc, tc.pattern, 1.25)
 			if (err != nil) != tc.wantErr {
 				t.Fatalf("gateCheck err = %v, wantErr=%v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestParseMetricGate(t *testing.T) {
+	g, err := parseMetricGate("report-bytes/op:ReportBytes/int8:max:700")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.unit != "report-bytes/op" || g.op != "max" || g.bound != 700 ||
+		!g.pattern.MatchString("BenchmarkReportBytes/int8") {
+		t.Fatalf("parsed as %+v", g)
+	}
+	// The name regexp may itself contain colons: unit stops at the first
+	// colon, op and bound are the last two segments.
+	g, err = parseMetricGate("x:a[0:2]b:min:1.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.unit != "x" || g.pattern.String() != "a[0:2]b" || g.op != "min" || g.bound != 1.5 {
+		t.Fatalf("colon-bearing regexp parsed as %+v", g)
+	}
+	for _, bad := range []string{
+		"", "no-colons", "unit:pattern", "unit:pattern:max",
+		"unit:pattern:between:7", "unit:pattern:max:tall", "unit:(:max:7",
+	} {
+		if _, err := parseMetricGate(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+func TestMetricGateCheck(t *testing.T) {
+	alloc := 3.0
+	doc := Document{Benchmarks: []Record{
+		{Result: Result{Name: "BenchmarkReportBytes/int8", NsPerOp: 1183, AllocsPerOp: &alloc,
+			Extra: map[string]float64{"report-bytes/op": 598, "shrink-vs-float64": 6.967}}},
+		{Result: Result{Name: "BenchmarkReportBytes/gob", NsPerOp: 19665,
+			Extra: map[string]float64{"report-bytes/op": 1994}}},
+	}}
+	cases := []struct {
+		name    string
+		spec    string
+		wantErr bool
+	}{
+		{"max within bound", "report-bytes/op:ReportBytes/int8:max:700", false},
+		{"max exceeded", "report-bytes/op:ReportBytes/gob:max:700", true},
+		{"min satisfied", "shrink-vs-float64:ReportBytes/int8:min:6", false},
+		{"min violated", "shrink-vs-float64:ReportBytes/int8:min:8", true},
+		{"standard unit", "ns/op:ReportBytes/int8:max:2000", false},
+		{"allocs unit", "allocs/op:ReportBytes/int8:max:3", false},
+		{"metric missing on match", "allocs/op:ReportBytes/gob:max:3", true},
+		{"no benchmark matches", "report-bytes/op:NoSuchBench:max:700", true},
+		{"every match must pass", "report-bytes/op:ReportBytes:max:700", true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g, err := parseMetricGate(tc.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = metricGateCheck(doc, g)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("metricGateCheck err = %v, wantErr=%v", err, tc.wantErr)
 			}
 		})
 	}

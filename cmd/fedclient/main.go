@@ -24,6 +24,7 @@ import (
 	"github.com/fedcleanse/fedcleanse/internal/core"
 	"github.com/fedcleanse/fedcleanse/internal/eval"
 	"github.com/fedcleanse/fedcleanse/internal/fl"
+	"github.com/fedcleanse/fedcleanse/internal/metrics"
 	"github.com/fedcleanse/fedcleanse/internal/obs"
 	"github.com/fedcleanse/fedcleanse/internal/transport"
 )
@@ -35,9 +36,15 @@ func main() {
 	index := flag.Int("index", 0, "this participant's index in the population")
 	listen := flag.String("listen", "127.0.0.1:0", "listen address")
 	seed := flag.Int64("seed", 0, "experiment seed (0 = scenario default)")
+	quantFlag := flag.String("report-quant", "float64", "activation report precision: float64 (reference) or int8 (quantized recording; ships Acts8 payloads)")
 	logf := obs.AddLogFlags()
 	flag.Parse()
 	if _, err := logf.Setup(os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	quant, err := metrics.ParseReportQuant(*quantFlag)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
@@ -50,6 +57,7 @@ func main() {
 	if *seed != 0 {
 		s.Seed = *seed
 	}
+	s.ReportQuant = quant
 	if *index < 0 || *index >= s.Clients {
 		fmt.Fprintf(os.Stderr, "index %d outside population of %d\n", *index, s.Clients)
 		os.Exit(2)
@@ -67,6 +75,7 @@ func main() {
 		os.Exit(1)
 	}
 	cs := transport.NewClientServer(full, template)
+	cs.SetReportQuant(quant)
 	addr, err := cs.Serve(*listen)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

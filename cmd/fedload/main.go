@@ -2,8 +2,9 @@
 // listener, for load-testing the aggregation server at population scales
 // no real per-process clients could reach. Each client is an
 // fl.SyntheticClient — a deterministic pseudo-update generator a few
-// words wide — served at /c/<id>/v1/update by a transport.Fleet, so
-// fedserve drives it through ordinary RemoteClients:
+// words wide — served at /c/<id>/v1/{update,ranks,votes,accuracy} by a
+// transport.Fleet, so fedserve drives the whole protocol, defense
+// reports included, through ordinary RemoteClients:
 //
 //	fedload  -clients 10000 -listen 127.0.0.1:7100 -ops-addr 127.0.0.1:7101 &
 //	fedserve -fleet 127.0.0.1:7100 -fleet-count 10000 -select 256 -streaming
@@ -22,6 +23,7 @@ import (
 	"time"
 
 	"github.com/fedcleanse/fedcleanse/internal/fl"
+	"github.com/fedcleanse/fedcleanse/internal/metrics"
 	"github.com/fedcleanse/fedcleanse/internal/obs"
 	"github.com/fedcleanse/fedcleanse/internal/transport"
 )
@@ -32,9 +34,15 @@ func main() {
 	opsAddr := flag.String("ops-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (empty = off)")
 	seed := flag.Int64("seed", 1, "fleet seed (decorrelates whole fleets)")
 	scale := flag.Float64("scale", 0, "synthetic delta coordinate bound (0 = 1e-3)")
+	quantFlag := flag.String("report-quant", "float64", "report-endpoint precision: float64 (varint ranks + vote bitmaps) or int8 (quantized Acts8 payloads)")
 	logf := obs.AddLogFlags()
 	flag.Parse()
 	logger, err := logf.Setup(os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	quant, err := metrics.ParseReportQuant(*quantFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -45,6 +53,7 @@ func main() {
 	}
 
 	fleet := transport.NewFleet()
+	fleet.SetReportQuant(quant)
 	for id := 0; id < *clients; id++ {
 		fleet.Add(&fl.SyntheticClient{Id: id, Seed: *seed, Scale: *scale})
 	}

@@ -14,6 +14,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"strings"
 	"time"
@@ -47,6 +48,7 @@ func main() {
 	retries := flag.Int("retries", 3, "attempts per remote call")
 	attemptTimeout := flag.Duration("attempt-timeout", time.Minute, "deadline per remote call attempt")
 	opsAddr := flag.String("ops-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (empty = off)")
+	quantFlag := flag.String("report-quant", "float64", "activation report precision the federation runs at: float64 (reference) or int8 (quantized recording; compact wire) — start fedclient/fedload with the same value")
 	logf := obs.AddLogFlags()
 	prof := profiling.AddFlags()
 	flag.Parse()
@@ -56,6 +58,11 @@ func main() {
 		os.Exit(2)
 	}
 	defer prof.Start()()
+	quant, err := metrics.ParseReportQuant(*quantFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	var s eval.Scenario
 	switch *ds {
@@ -72,6 +79,7 @@ func main() {
 	if *seed != 0 {
 		s.Seed = *seed
 	}
+	s.ReportQuant = quant
 	addrs := strings.Split(*clients, ",")
 	if *fleet == "" && (*clients == "" || len(addrs) == 0) {
 		fmt.Fprintln(os.Stderr, "one of -clients or -fleet is required")
@@ -120,8 +128,10 @@ func main() {
 		// behind one listener. Only the clients sampled into a round's cohort
 		// get a RemoteClient stub, built on demand through the registry
 		// factory — server memory follows the cohort, not the population.
-		// Synthetic clients serve no defense reports and their updates carry
-		// no signal to defend, so fleet mode is training-side load only.
+		// Synthetic updates carry no signal to defend, so instead of the full
+		// pipeline the run closes with a report-collection phase: one RAP and
+		// one MVP sweep over a sampled cohort, exercising the report wire at
+		// scale and logging its measured per-report cost.
 		fleetAddr := strings.TrimSpace(*fleet)
 		reg := fl.NewRegistry(func(id int) fl.Participant {
 			return transport.NewRemoteClient(id, transport.FleetClientAddr(fleetAddr, id),
@@ -143,6 +153,36 @@ func main() {
 				"applied", res.Applied,
 				"peak_inflight", res.PeakInFlight)
 		}
+		if !*defend {
+			return
+		}
+		cohort := *sel
+		if cohort <= 0 || cohort > reg.Len() {
+			cohort = min(64, reg.Len())
+		}
+		parts := reg.Cohort(cohort, rand.New(rand.NewSource(s.Seed+400)))
+		reporters := fl.ReportClients(parts)
+		li := template.LastConvIndex()
+		recvBefore := obs.M.TransportReportBytesRecv.Value()
+		for _, method := range []core.PruneMethod{core.RAP, core.MVP} {
+			cfg := core.DefaultPipelineConfig()
+			cfg.Method = method
+			cfg.ReportQuorum = *quorum
+			cfg.ReportTimeout = *roundTimeout
+			res := core.GlobalPruneOrderDetail(server.Model, reporters, li, cfg)
+			logger.Info("serve: fleet report collection done",
+				"method", method.String(),
+				"responded", len(res.Responded),
+				"dropped", len(res.Dropped),
+				"order_len", len(res.Order))
+		}
+		recv := obs.M.TransportReportBytesRecv.Value() - recvBefore
+		reports := uint64(2 * len(reporters))
+		logger.Info("serve: fleet report bandwidth",
+			"report_quant", quant.String(),
+			"reports", reports,
+			"recv_bytes", recv,
+			"bytes_per_report", recv/reports)
 		return
 	}
 

@@ -105,6 +105,37 @@ const (
 // ParseBackend parses a -backend flag spelling ("float64" or "float32").
 var ParseBackend = nn.ParseBackend
 
+// Report precision (DESIGN.md §14). Clients can record defense-report
+// activations as affine-quantized int8 instead of float64; quantization
+// is monotonic, so prune ordering — all the defense consumes — is
+// preserved exactly (pinned by the MNIST parity test).
+type (
+	// ReportQuant selects the activation-recording precision of defense
+	// reports (Scenario.ReportQuant, -report-quant); the zero value is
+	// the float64 reference.
+	ReportQuant = metrics.ReportQuant
+	// QuantActs is an affine (scale, zero-point) int8 encoding of a
+	// per-unit activation vector.
+	QuantActs = metrics.QuantActs
+)
+
+// Report precisions and their flag parser.
+const (
+	// ReportFloat64 records report activations at full precision.
+	ReportFloat64 = metrics.ReportFloat64
+	// ReportInt8 records report activations as affine-quantized int8,
+	// shrinking report payloads and wire traffic.
+	ReportInt8 = metrics.ReportInt8
+)
+
+var (
+	// ParseReportQuant parses a -report-quant flag spelling ("float64"
+	// or "int8").
+	ParseReportQuant = metrics.ParseReportQuant
+	// QuantizeActivations quantizes an activation vector to int8.
+	QuantizeActivations = metrics.QuantizeActivations
+)
+
 // Model constructors (the paper's architectures).
 var (
 	// NewSmallCNN is the paper's 8/16-channel two-conv MNIST network.
@@ -299,6 +330,29 @@ var (
 	NewFleet = transport.NewFleet
 	// FleetClientAddr is the RemoteClient address of one fleet participant.
 	FleetClientAddr = transport.FleetClientAddr
+)
+
+// Compact report wire codecs (DESIGN.md §14). Lossless, canonical
+// (encode(decode(p)) == p), self-describing by a 1-byte tag; the report
+// endpoints fall back to gob on the first payload byte, so mixed-version
+// federations interoperate.
+var (
+	// AppendRanksDelta appends a varint delta-encoded rank vector.
+	AppendRanksDelta = transport.AppendRanksDelta
+	// DecodeRanksDelta decodes a RanksDelta payload.
+	DecodeRanksDelta = transport.DecodeRanksDelta
+	// AppendVoteBitmap appends a bit-packed prune-vote bitmap.
+	AppendVoteBitmap = transport.AppendVoteBitmap
+	// DecodeVoteBitmap decodes a VoteBitmap payload.
+	DecodeVoteBitmap = transport.DecodeVoteBitmap
+	// AppendActs8 appends a quantized int8 activation payload.
+	AppendActs8 = transport.AppendActs8
+	// DecodeActs8 decodes an Acts8 payload.
+	DecodeActs8 = transport.DecodeActs8
+	// AppendActs64 appends a float64 activation payload.
+	AppendActs64 = transport.AppendActs64
+	// DecodeActs64 decodes an Acts64 payload.
+	DecodeActs64 = transport.DecodeActs64
 )
 
 // Experiment harness (paper scenarios).

@@ -55,6 +55,12 @@ type Scenario struct {
 	// checkpoints stay float64 (DESIGN.md §13).
 	Backend nn.Backend
 
+	// ReportQuant selects the precision every participant records its
+	// activation report at (DESIGN.md §14). The zero value is the float64
+	// reference; metrics.ReportInt8 ranks and votes on affine-quantized
+	// int8 codes, the representation the compact wire ships.
+	ReportQuant metrics.ReportQuant
+
 	// Seed drives every stochastic choice in the scenario.
 	Seed int64
 }
@@ -189,7 +195,9 @@ func Components(s Scenario) (template *nn.Sequential, shards []*dataset.Dataset,
 // calling it with equal arguments build equivalent participants.
 func ParticipantFor(s Scenario, i int, template *nn.Sequential, shard *dataset.Dataset) fl.Participant {
 	if i >= s.Attackers {
-		return fl.NewClient(i, shard, template, s.FL, s.Seed+200+int64(i))
+		c := fl.NewClient(i, shard, template, s.FL, s.Seed+200+int64(i))
+		c.SetReportQuant(s.ReportQuant)
+		return c
 	}
 	poison := s.Poison
 	if s.DBA {
@@ -197,6 +205,7 @@ func ParticipantFor(s Scenario, i int, template *nn.Sequential, shard *dataset.D
 	}
 	a := fl.NewAttacker(i, shard, template, s.FL, poison, s.Gamma, s.Seed+100+int64(i))
 	a.ScaleFromRound = s.FL.Rounds / 2
+	a.SetReportQuant(s.ReportQuant)
 	return a
 }
 

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"github.com/fedcleanse/fedcleanse/internal/dataset"
+	"github.com/fedcleanse/fedcleanse/internal/metrics"
 	"github.com/fedcleanse/fedcleanse/internal/nn"
 )
 
@@ -50,6 +51,8 @@ type Attacker struct {
 
 	// defense holds the adaptive reporting behavior (see reports.go).
 	defense AttackerDefenseBehavior
+	// quant selects the activation report precision (see reports.go).
+	quant metrics.ReportQuant
 }
 
 var _ Participant = (*Attacker)(nil)

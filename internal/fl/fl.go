@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"github.com/fedcleanse/fedcleanse/internal/dataset"
+	"github.com/fedcleanse/fedcleanse/internal/metrics"
 	"github.com/fedcleanse/fedcleanse/internal/nn"
 	"github.com/fedcleanse/fedcleanse/internal/tensor"
 )
@@ -113,6 +114,7 @@ type Client struct {
 	cfg     Config
 	rng     *rand.Rand
 	trainer *Trainer
+	quant   metrics.ReportQuant
 }
 
 var _ Participant = (*Client)(nil)

@@ -10,23 +10,61 @@ import (
 // Honest defense participation: clients record true average activations on
 // their local shard and derive rank/vote reports from them (§IV-A). The
 // raw activations never leave the client.
+//
+// With SetReportQuant(metrics.ReportInt8) the recorded vector passes
+// through the affine int8 quantizer before ranking or voting, so the
+// in-process report matches bit-for-bit what a remote peer reconstructs
+// from the compact Acts8 wire payload (DESIGN.md §14).
 
 var (
-	_ core.ReportClient     = (*Client)(nil)
-	_ core.AccuracyReporter = (*Client)(nil)
-	_ core.ReportClient     = (*Attacker)(nil)
-	_ core.AccuracyReporter = (*Attacker)(nil)
+	_ core.ReportClient       = (*Client)(nil)
+	_ core.AccuracyReporter   = (*Client)(nil)
+	_ core.ActivationReporter = (*Client)(nil)
+	_ core.ReportClient       = (*Attacker)(nil)
+	_ core.AccuracyReporter   = (*Attacker)(nil)
+	_ core.ActivationReporter = (*Attacker)(nil)
 )
+
+// SetReportQuant selects the precision of the client's activation reports.
+func (c *Client) SetReportQuant(q metrics.ReportQuant) { c.quant = q }
+
+// ReportQuant returns the client's report precision.
+func (c *Client) ReportQuant() metrics.ReportQuant { return c.quant }
+
+// ActivationReport implements core.ActivationReporter: the recorded mean
+// activation per unit of the layer, always at float64 precision (the
+// consumer quantizes at its configured boundary).
+func (c *Client) ActivationReport(m *nn.Sequential, layerIdx int) []float64 {
+	return metrics.LocalActivations(m, layerIdx, c.data, 0)
+}
 
 // RankReport implements core.ReportClient.
 func (c *Client) RankReport(m *nn.Sequential, layerIdx int) []int {
 	acts := metrics.LocalActivations(m, layerIdx, c.data, 0)
-	return core.RanksFromActivations(acts)
+	return ranksAt(acts, c.quant)
 }
 
 // VoteReport implements core.ReportClient.
 func (c *Client) VoteReport(m *nn.Sequential, layerIdx int, p float64) []bool {
 	acts := metrics.LocalActivations(m, layerIdx, c.data, 0)
+	return votesAt(acts, p, c.quant)
+}
+
+// ranksAt derives a rank report from recorded activations at the given
+// precision.
+func ranksAt(acts []float64, q metrics.ReportQuant) []int {
+	if q == metrics.ReportInt8 {
+		return core.RanksFromQuantized(metrics.QuantizeActivations(acts).Q)
+	}
+	return core.RanksFromActivations(acts)
+}
+
+// votesAt derives a vote report from recorded activations at the given
+// precision.
+func votesAt(acts []float64, p float64, q metrics.ReportQuant) []bool {
+	if q == metrics.ReportInt8 {
+		return core.VotesFromQuantized(metrics.QuantizeActivations(acts).Q, p)
+	}
 	return core.VotesFromActivations(acts, p)
 }
 
@@ -77,20 +115,27 @@ func (a *Attacker) attackActivations(m *nn.Sequential, layerIdx int) []float64 {
 	return out
 }
 
+// SetReportQuant selects the precision of the attacker's reports.
+func (a *Attacker) SetReportQuant(q metrics.ReportQuant) { a.quant = q }
+
+// ActivationReport implements core.ActivationReporter for the attacker:
+// manipulated activations when the adaptive attack is on, honest clean-
+// shard activations otherwise.
+func (a *Attacker) ActivationReport(m *nn.Sequential, layerIdx int) []float64 {
+	if a.defense.ManipulateRanks {
+		return a.attackActivations(m, layerIdx)
+	}
+	return metrics.LocalActivations(m, layerIdx, a.clean, 0)
+}
+
 // RankReport implements core.ReportClient for the attacker.
 func (a *Attacker) RankReport(m *nn.Sequential, layerIdx int) []int {
-	if a.defense.ManipulateRanks {
-		return core.RanksFromActivations(a.attackActivations(m, layerIdx))
-	}
-	return core.RanksFromActivations(metrics.LocalActivations(m, layerIdx, a.clean, 0))
+	return ranksAt(a.ActivationReport(m, layerIdx), a.quant)
 }
 
 // VoteReport implements core.ReportClient for the attacker.
 func (a *Attacker) VoteReport(m *nn.Sequential, layerIdx int, p float64) []bool {
-	if a.defense.ManipulateRanks {
-		return core.VotesFromActivations(a.attackActivations(m, layerIdx), p)
-	}
-	return core.VotesFromActivations(metrics.LocalActivations(m, layerIdx, a.clean, 0), p)
+	return votesAt(a.ActivationReport(m, layerIdx), p, a.quant)
 }
 
 // ReportAccuracy implements core.AccuracyReporter for the attacker.

@@ -4,7 +4,9 @@ import (
 	"hash/fnv"
 	"math/rand"
 
+	"github.com/fedcleanse/fedcleanse/internal/core"
 	"github.com/fedcleanse/fedcleanse/internal/dataset"
+	"github.com/fedcleanse/fedcleanse/internal/nn"
 )
 
 // SyntheticClient is a load-generation participant: it returns a
@@ -23,9 +25,17 @@ type SyntheticClient struct {
 	// Scale bounds the delta's coordinates to [-Scale, Scale); 0 means
 	// 1e-3, small enough that synthetic rounds never blow up the model.
 	Scale float64
+	// Units is the length of the client's canned activation reports; 0
+	// means 64 (the last-conv width of the MNIST-scale models).
+	Units int
 }
 
-var _ Participant = (*SyntheticClient)(nil)
+var (
+	_ Participant             = (*SyntheticClient)(nil)
+	_ core.ReportClient       = (*SyntheticClient)(nil)
+	_ core.AccuracyReporter   = (*SyntheticClient)(nil)
+	_ core.ActivationReporter = (*SyntheticClient)(nil)
+)
 
 // ID implements Participant.
 func (c *SyntheticClient) ID() int { return c.Id }
@@ -42,21 +52,69 @@ func (c *SyntheticClient) LocalUpdate(global []float64, round int) []float64 {
 	if scale == 0 {
 		scale = 1e-3
 	}
-	h := fnv.New64a()
-	var buf [8]byte
-	put := func(v uint64) {
-		for i := range buf {
-			buf[i] = byte(v >> (8 * i))
-		}
-		_, _ = h.Write(buf[:])
-	}
-	put(uint64(c.Seed))
-	put(uint64(c.Id))
-	put(uint64(round))
-	rng := rand.New(rand.NewSource(int64(h.Sum64())))
+	rng := syntheticRNG(uint64(c.Seed), uint64(c.Id), uint64(round))
 	d := make([]float64, len(global))
 	for i := range d {
 		d[i] = scale * (2*rng.Float64() - 1)
 	}
 	return d
+}
+
+// syntheticDomain* separate the report streams from the update stream (and
+// from each other), so e.g. asking for ranks never perturbs the deltas a
+// load test compares bit-for-bit.
+const (
+	syntheticDomainActs = 0x5f_ac75
+	syntheticDomainAcc  = 0x5f_acc0
+)
+
+// syntheticRNG derives a deterministic RNG from the hashed values.
+func syntheticRNG(vals ...uint64) *rand.Rand {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, v := range vals {
+		for i := range buf {
+			buf[i] = byte(v >> (8 * i))
+		}
+		_, _ = h.Write(buf[:])
+	}
+	return rand.New(rand.NewSource(int64(h.Sum64())))
+}
+
+// units returns the canned report width.
+func (c *SyntheticClient) units() int {
+	if c.Units > 0 {
+		return c.Units
+	}
+	return 64
+}
+
+// ActivationReport implements core.ActivationReporter with a canned
+// activation vector — a pure function of (Seed, Id, layerIdx) — so a fleet
+// of synthetic clients exercises the defense's report path without models.
+// The model argument is ignored and may be nil.
+func (c *SyntheticClient) ActivationReport(_ *nn.Sequential, layerIdx int) []float64 {
+	rng := syntheticRNG(syntheticDomainActs, uint64(c.Seed), uint64(c.Id), uint64(layerIdx))
+	acts := make([]float64, c.units())
+	for i := range acts {
+		acts[i] = rng.Float64()
+	}
+	return acts
+}
+
+// RankReport implements core.ReportClient from the canned activations.
+func (c *SyntheticClient) RankReport(m *nn.Sequential, layerIdx int) []int {
+	return core.RanksFromActivations(c.ActivationReport(m, layerIdx))
+}
+
+// VoteReport implements core.ReportClient from the canned activations.
+func (c *SyntheticClient) VoteReport(m *nn.Sequential, layerIdx int, p float64) []bool {
+	return core.VotesFromActivations(c.ActivationReport(m, layerIdx), p)
+}
+
+// ReportAccuracy implements core.AccuracyReporter with a deterministic
+// pseudo-accuracy in (0.5, 1); the model is ignored and may be nil.
+func (c *SyntheticClient) ReportAccuracy(*nn.Sequential) float64 {
+	rng := syntheticRNG(syntheticDomainAcc, uint64(c.Seed), uint64(c.Id))
+	return 0.5 + rng.Float64()/2
 }

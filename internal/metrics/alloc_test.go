@@ -85,6 +85,42 @@ func TestGuardedPruneStepWarmAllocFree(t *testing.T) {
 	}
 }
 
+// The int8 report path (ISSUE 8): once the code buffer is sized, warm
+// requantization and dequantization move no memory at all, and recording
+// through the quantizer costs exactly what the float64 recorder costs.
+func TestQuantizeWarmAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	acts := make([]float64, 512)
+	for i := range acts {
+		acts[i] = rng.NormFloat64()
+	}
+	var q QuantActs
+	q.Quantize(acts)
+	if allocs := testing.AllocsPerRun(10, func() { q.Quantize(acts) }); allocs != 0 {
+		t.Errorf("warm Quantize: %v allocs/op, want 0", allocs)
+	}
+	dst := q.Dequantize()
+	if allocs := testing.AllocsPerRun(10, func() { dst = q.DequantizeInto(dst) }); allocs != 0 {
+		t.Errorf("warm DequantizeInto: %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestRecordQuantActivationsAllocFree(t *testing.T) {
+	prev := parallel.SetWorkers(1)
+	defer parallel.SetWorkers(prev)
+	m, ds := allocFixture()
+	li := m.LastConvIndex()
+	var q QuantActs
+	RecordQuantActivations(&q, m, li, ds, 32)
+	RecordQuantActivations(&q, m, li, ds, 32)
+	float64Path := testing.AllocsPerRun(10, func() { LocalActivations(m, li, ds, 32) })
+	int8Path := testing.AllocsPerRun(10, func() { RecordQuantActivations(&q, m, li, ds, 32) })
+	if int8Path > float64Path {
+		t.Errorf("warm int8 recording: %v allocs/op vs %v for float64; quantization must add none",
+			int8Path, float64Path)
+	}
+}
+
 // The plain metric loops (Accuracy, MeanLoss, LocalActivations) now run
 // their batches on the model's reusable eval buffers (ISSUE 7): per call
 // they still allocate their small batch/label/result buffers, but the

@@ -51,6 +51,11 @@ var M = struct {
 	TransportAttempts     *Counter   // individual HTTP attempts
 	TransportRetries      *Counter   // attempts after the first (each waits a backoff)
 	TransportCallSeconds  *Histogram // logical call latency including retries
+	// Report-path bandwidth (DESIGN.md §14): payload bytes of report
+	// responses (ranks/votes) as sent by servers and as successfully
+	// decoded by RemoteClient, any encoding.
+	TransportReportBytesSent *Counter
+	TransportReportBytesRecv *Counter
 
 	// Worker pool (internal/parallel).
 	PoolTasks      *Counter // tasks submitted to parallel.Pool
@@ -59,6 +64,7 @@ var M = struct {
 	// Load generation (transport.Fleet / cmd/fedload).
 	FedloadClients       *Gauge     // synthetic clients hosted by the fleet
 	FedloadUpdates       *Counter   // update requests served
+	FedloadReports       *Counter   // report requests served (ranks/votes/accuracy)
 	FedloadBytesIn       *Counter   // request bytes read by the fleet
 	FedloadBytesOut      *Counter   // response bytes written by the fleet
 	FedloadHandlerPanics *Counter   // participant panics recovered by the fleet handler
@@ -92,17 +98,20 @@ var M = struct {
 	DefenseFineTuneSeconds:      Default.Histogram("defense_finetune_seconds", DurationBuckets),
 	DefenseAWSweepSeconds:       Default.Histogram("defense_aw_sweep_seconds", DurationBuckets),
 
-	TransportCalls:        Default.Counter("transport_calls_total"),
-	TransportCallFailures: Default.Counter("transport_call_failures_total"),
-	TransportAttempts:     Default.Counter("transport_attempts_total"),
-	TransportRetries:      Default.Counter("transport_retries_total"),
-	TransportCallSeconds:  Default.Histogram("transport_call_seconds", DurationBuckets),
+	TransportCalls:           Default.Counter("transport_calls_total"),
+	TransportCallFailures:    Default.Counter("transport_call_failures_total"),
+	TransportAttempts:        Default.Counter("transport_attempts_total"),
+	TransportRetries:         Default.Counter("transport_retries_total"),
+	TransportCallSeconds:     Default.Histogram("transport_call_seconds", DurationBuckets),
+	TransportReportBytesSent: Default.Counter("transport_report_bytes_sent_total"),
+	TransportReportBytesRecv: Default.Counter("transport_report_bytes_recv_total"),
 
 	PoolTasks:      Default.Counter("parallel_pool_tasks_total"),
 	PoolQueueDepth: Default.Gauge("parallel_pool_queue_depth"),
 
 	FedloadClients:       Default.Gauge("fedload_clients"),
 	FedloadUpdates:       Default.Counter("fedload_updates_total"),
+	FedloadReports:       Default.Counter("fedload_reports_total"),
 	FedloadBytesIn:       Default.Counter("fedload_bytes_in_total"),
 	FedloadBytesOut:      Default.Counter("fedload_bytes_out_total"),
 	FedloadHandlerPanics: Default.Counter("fedload_handler_panics_total"),

@@ -1,0 +1,45 @@
+//go:build !race
+
+package transport
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/fedcleanse/fedcleanse/internal/metrics"
+)
+
+// Allocation-regression gates for the compact report codec encode paths
+// (ISSUE 8): a report server re-encoding into a reused buffer must not
+// allocate once the buffer has grown to payload size. Excluded under the
+// race detector, whose instrumentation allocates.
+
+func TestCodecEncodeWarmAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	ranks := rng.Perm(512)
+	votes := make([]bool, 512)
+	acts := make([]float64, 512)
+	for i := range ranks {
+		ranks[i]++
+		votes[i] = rng.Intn(2) == 1
+		acts[i] = rng.NormFloat64()
+	}
+	q := metrics.QuantizeActivations(acts)
+
+	cases := []struct {
+		name   string
+		encode func(dst []byte) []byte
+	}{
+		{"RanksDelta", func(dst []byte) []byte { return AppendRanksDelta(dst, ranks) }},
+		{"VoteBitmap", func(dst []byte) []byte { return AppendVoteBitmap(dst, votes) }},
+		{"Acts8", func(dst []byte) []byte { return AppendActs8(dst, q) }},
+		{"Acts64", func(dst []byte) []byte { return AppendActs64(dst, acts) }},
+	}
+	for _, c := range cases {
+		buf := c.encode(nil)
+		buf = c.encode(buf[:0])
+		if allocs := testing.AllocsPerRun(10, func() { buf = c.encode(buf[:0]) }); allocs != 0 {
+			t.Errorf("warm Append%s: %v allocs/op, want 0", c.name, allocs)
+		}
+	}
+}

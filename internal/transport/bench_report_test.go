@@ -1,0 +1,139 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math/rand"
+	"testing"
+
+	"github.com/fedcleanse/fedcleanse/internal/metrics"
+)
+
+// benchReport is one client's full defense report at a 512-unit layer:
+// the rank permutation, the vote bitmap and the mean activations they
+// were derived from.
+type benchReport struct {
+	acts  []float64
+	q     metrics.QuantActs
+	ranks []int
+	votes []bool
+}
+
+func makeBenchReport(units int) benchReport {
+	rng := rand.New(rand.NewSource(8))
+	acts := make([]float64, units)
+	for i := range acts {
+		acts[i] = rng.NormFloat64()
+	}
+	ranks := rng.Perm(units)
+	votes := make([]bool, units)
+	for i := range ranks {
+		ranks[i]++
+		votes[i] = rng.Intn(2) == 1
+	}
+	return benchReport{acts: acts, q: metrics.QuantizeActivations(acts), ranks: ranks, votes: votes}
+}
+
+// BenchmarkReportBytes measures the encoded size of one rank+vote report
+// per wire mode and exports it as report-bytes/op (gated by `make
+// bench-json`). The int8 case also exports shrink-vs-float64: how much
+// smaller the quantized activation report is than the float64 activation
+// report of identical structure — the bandwidth claim of DESIGN.md §14.
+func BenchmarkReportBytes(b *testing.B) {
+	rep := makeBenchReport(512)
+	bench := func(name string, encode func(dst []byte) []byte) {
+		var p []byte
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p = encode(p[:0])
+			}
+			b.ReportMetric(float64(len(p)), "report-bytes/op")
+			b.SetBytes(int64(len(p)))
+		})
+	}
+
+	bench("gob", func(dst []byte) []byte {
+		buf := bytes.NewBuffer(dst)
+		enc := gob.NewEncoder(buf)
+		if err := enc.Encode(RankResponse{Ranks: rep.ranks}); err != nil {
+			b.Fatal(err)
+		}
+		if err := enc.Encode(VoteResponse{Votes: rep.votes}); err != nil {
+			b.Fatal(err)
+		}
+		return buf.Bytes()
+	})
+	bench("float64", func(dst []byte) []byte {
+		return AppendVoteBitmap(AppendRanksDelta(dst, rep.ranks), rep.votes)
+	})
+
+	// float64-fidelity activation report vs its int8 twin: same
+	// information path (activations + votes), two precisions.
+	actsF64 := float64(len(AppendVoteBitmap(AppendActs64(nil, rep.acts), rep.votes)))
+	b.Run("int8", func(b *testing.B) {
+		var p []byte
+		for i := 0; i < b.N; i++ {
+			p = AppendVoteBitmap(AppendActs8(p[:0], rep.q), rep.votes)
+		}
+		b.ReportMetric(float64(len(p)), "report-bytes/op")
+		b.ReportMetric(actsF64/float64(len(p)), "shrink-vs-float64")
+		b.SetBytes(int64(len(p)))
+	})
+}
+
+// BenchmarkReportRoundtrip measures encode+decode of one rank+vote report
+// per wire mode — construction of the report values is excluded.
+func BenchmarkReportRoundtrip(b *testing.B) {
+	rep := makeBenchReport(512)
+
+	b.Run("gob", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var buf bytes.Buffer
+			enc := gob.NewEncoder(&buf)
+			if err := enc.Encode(RankResponse{Ranks: rep.ranks}); err != nil {
+				b.Fatal(err)
+			}
+			if err := enc.Encode(VoteResponse{Votes: rep.votes}); err != nil {
+				b.Fatal(err)
+			}
+			dec := gob.NewDecoder(&buf)
+			var rr RankResponse
+			var vr VoteResponse
+			if err := dec.Decode(&rr); err != nil {
+				b.Fatal(err)
+			}
+			if err := dec.Decode(&vr); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("float64", func(b *testing.B) {
+		b.ReportAllocs()
+		var p []byte
+		for i := 0; i < b.N; i++ {
+			p = AppendRanksDelta(p[:0], rep.ranks)
+			if _, err := DecodeRanksDelta(p); err != nil {
+				b.Fatal(err)
+			}
+			p = AppendVoteBitmap(p[:0], rep.votes)
+			if _, err := DecodeVoteBitmap(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("int8", func(b *testing.B) {
+		b.ReportAllocs()
+		var p []byte
+		for i := 0; i < b.N; i++ {
+			p = AppendActs8(p[:0], rep.q)
+			if _, err := DecodeActs8(p); err != nil {
+				b.Fatal(err)
+			}
+			p = AppendVoteBitmap(p[:0], rep.votes)
+			if _, err := DecodeVoteBitmap(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,236 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math"
+	"math/rand"
+
+	"testing"
+
+	"github.com/fedcleanse/fedcleanse/internal/metrics"
+)
+
+func TestRanksDeltaRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := [][]int{
+		nil,
+		{},
+		{1},
+		{1, 2, 3, 4, 5},
+		{5, 4, 3, 2, 1},
+		{math.MaxInt32, math.MinInt32, 0},
+	}
+	for trial := 0; trial < 20; trial++ {
+		n := rng.Intn(600)
+		perm := rng.Perm(n)
+		for i := range perm {
+			perm[i]++ // rank vectors are 1-based
+		}
+		cases = append(cases, perm)
+	}
+	for _, ranks := range cases {
+		p := AppendRanksDelta(nil, ranks)
+		got, err := DecodeRanksDelta(p)
+		if err != nil {
+			t.Fatalf("decode(%v): %v", ranks, err)
+		}
+		if len(got) != len(ranks) {
+			t.Fatalf("roundtrip length %d, want %d", len(got), len(ranks))
+		}
+		for i := range got {
+			if got[i] != ranks[i] {
+				t.Fatalf("roundtrip[%d] = %d, want %d", i, got[i], ranks[i])
+			}
+		}
+		// Canonical: re-encoding the decode reproduces the bytes.
+		if !bytes.Equal(AppendRanksDelta(nil, got), p) {
+			t.Fatalf("encoding not canonical for %v", ranks)
+		}
+	}
+}
+
+func TestRanksDeltaCompactness(t *testing.T) {
+	// A 512-unit rank permutation must encode well below its gob size
+	// (~1.4 KB) — deltas of a permutation of 1..512 fit 1-2 varint bytes.
+	perm := rand.New(rand.NewSource(2)).Perm(512)
+	for i := range perm {
+		perm[i]++
+	}
+	p := AppendRanksDelta(nil, perm)
+	if len(p) > 1100 {
+		t.Fatalf("512-rank payload is %d bytes, want ≤ 1100", len(p))
+	}
+}
+
+func TestVoteBitmapRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cases := [][]bool{nil, {}, {true}, {false}, {true, false, true}}
+	for _, n := range []int{7, 8, 9, 64, 65, 512} {
+		v := make([]bool, n)
+		for i := range v {
+			v[i] = rng.Intn(2) == 1
+		}
+		cases = append(cases, v)
+	}
+	for _, votes := range cases {
+		p := AppendVoteBitmap(nil, votes)
+		if want := 1 + uvarintLen(len(votes)) + (len(votes)+7)/8; len(p) != want {
+			t.Fatalf("bitmap for %d votes is %d bytes, want %d", len(votes), len(p), want)
+		}
+		got, err := DecodeVoteBitmap(p)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if len(got) != len(votes) {
+			t.Fatalf("roundtrip length %d, want %d", len(got), len(votes))
+		}
+		for i := range got {
+			if got[i] != votes[i] {
+				t.Fatalf("roundtrip[%d] = %v, want %v", i, got[i], votes[i])
+			}
+		}
+		if !bytes.Equal(AppendVoteBitmap(nil, got), p) {
+			t.Fatal("encoding not canonical")
+		}
+	}
+}
+
+func uvarintLen(n int) int {
+	l := 1
+	for n >= 0x80 {
+		n >>= 7
+		l++
+	}
+	return l
+}
+
+func TestActs8Roundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{0, 1, 5, 64, 512} {
+		acts := make([]float64, n)
+		for i := range acts {
+			acts[i] = rng.NormFloat64()
+		}
+		q := metrics.QuantizeActivations(acts)
+		p := AppendActs8(nil, q)
+		if want := 1 + uvarintLen(n) + 16 + n; len(p) != want {
+			t.Fatalf("Acts8 for %d units is %d bytes, want %d", n, len(p), want)
+		}
+		got, err := DecodeActs8(p)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if got.Scale != q.Scale || got.Zero != q.Zero || len(got.Q) != len(q.Q) {
+			t.Fatalf("roundtrip mismatch:\n got %+v\nwant %+v", got, q)
+		}
+		for i := range got.Q {
+			if got.Q[i] != q.Q[i] {
+				t.Fatalf("roundtrip Q[%d] = %d, want %d", i, got.Q[i], q.Q[i])
+			}
+		}
+		if !bytes.Equal(AppendActs8(nil, got), p) {
+			t.Fatal("encoding not canonical")
+		}
+	}
+}
+
+func TestActs64Roundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{0, 1, 64, 512} {
+		acts := make([]float64, n)
+		for i := range acts {
+			acts[i] = rng.NormFloat64() * 1e3
+		}
+		p := AppendActs64(nil, acts)
+		got, err := DecodeActs64(p)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if len(got) != n {
+			t.Fatalf("roundtrip length %d, want %d", len(got), n)
+		}
+		for i := range got {
+			if math.Float64bits(got[i]) != math.Float64bits(acts[i]) {
+				t.Fatalf("roundtrip[%d] = %g, want %g", i, got[i], acts[i])
+			}
+		}
+		if !bytes.Equal(AppendActs64(nil, got), p) {
+			t.Fatal("encoding not canonical")
+		}
+	}
+}
+
+func TestCodecsRejectMalformedInput(t *testing.T) {
+	valid := map[string][]byte{
+		"ranks":  AppendRanksDelta(nil, []int{3, 1, 2}),
+		"votes":  AppendVoteBitmap(nil, []bool{true, false, true}),
+		"acts8":  AppendActs8(nil, metrics.QuantizeActivations([]float64{1, 2, 3})),
+		"acts64": AppendActs64(nil, []float64{1, 2, 3}),
+	}
+	decode := map[string]func([]byte) error{
+		"ranks":  func(p []byte) error { _, err := DecodeRanksDelta(p); return err },
+		"votes":  func(p []byte) error { _, err := DecodeVoteBitmap(p); return err },
+		"acts8":  func(p []byte) error { _, err := DecodeActs8(p); return err },
+		"acts64": func(p []byte) error { _, err := DecodeActs64(p); return err },
+	}
+	for name, p := range valid {
+		dec := decode[name]
+		if err := dec(nil); err == nil {
+			t.Fatalf("%s: empty input accepted", name)
+		}
+		if err := dec([]byte{0x7f}); err == nil {
+			t.Fatalf("%s: wrong tag accepted", name)
+		}
+		for cut := 1; cut < len(p); cut++ {
+			if err := dec(p[:cut]); err == nil {
+				t.Fatalf("%s: truncation at %d accepted", name, cut)
+			}
+		}
+		if err := dec(append(append([]byte{}, p...), 0)); err == nil {
+			t.Fatalf("%s: trailing garbage accepted", name)
+		}
+		// A huge claimed length must be rejected before any allocation.
+		huge := append([]byte{p[0]}, 0xff, 0xff, 0xff, 0xff, 0x7f)
+		if err := dec(huge); err == nil {
+			t.Fatalf("%s: huge length accepted", name)
+		}
+		// A non-minimal length varint (0x80 0x00 encodes 0 in two
+		// bytes) would make the encoding non-canonical.
+		if err := dec([]byte{p[0], 0x80, 0x00}); err == nil {
+			t.Fatalf("%s: non-minimal length varint accepted", name)
+		}
+	}
+	// Same for the delta stream inside a rank vector: zigzag(0) padded
+	// to two bytes must be rejected.
+	if _, err := DecodeRanksDelta([]byte{TagRanksDelta, 0x01, 0x80, 0x00}); err == nil {
+		t.Fatal("ranks: non-minimal delta varint accepted")
+	}
+	// Nonzero padding bits in a vote bitmap are non-canonical.
+	p := AppendVoteBitmap(nil, []bool{true, false, true})
+	p[len(p)-1] |= 0x80
+	if _, err := DecodeVoteBitmap(p); err == nil {
+		t.Fatal("votes: nonzero pad bits accepted")
+	}
+}
+
+// TestCodecTagsDodgeGob pins the backward-compatibility argument: a gob
+// stream's first byte is the length of its leading type-descriptor
+// message, which is always far above the codec tag range, so tag sniffing
+// can never mistake a legacy body for a compact payload.
+func TestCodecTagsDodgeGob(t *testing.T) {
+	for _, v := range []any{
+		RankResponse{Ranks: []int{1, 2, 3}},
+		VoteResponse{Votes: []bool{true}},
+		AccuracyResponse{Accuracy: 0.5},
+		UpdateResponse{Delta: []float64{1}},
+	} {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+			t.Fatal(err)
+		}
+		if first := buf.Bytes()[0]; first <= TagActs64 {
+			t.Fatalf("gob %T starts with byte 0x%02x, colliding with codec tags", v, first)
+		}
+	}
+}

@@ -9,7 +9,9 @@ import (
 	"strings"
 	"sync"
 
+	"github.com/fedcleanse/fedcleanse/internal/core"
 	"github.com/fedcleanse/fedcleanse/internal/fl"
+	"github.com/fedcleanse/fedcleanse/internal/metrics"
 	"github.com/fedcleanse/fedcleanse/internal/obs"
 )
 
@@ -25,17 +27,22 @@ import (
 // meaning the aggregation server drives a fleet through completely
 // unmodified RemoteClients.
 //
-// The fleet serves only the update endpoint (POST /c/<id>/v1/update): a
-// load fleet exercises round aggregation, not the defense's report
-// protocol, and its synthetic participants hold no data to report on.
-// Every request is instrumented into the fedload_* metrics, and a
-// participant panic is recovered to an HTTP 500 plus a
-// fedload_handler_panics_total tick instead of taking down the other
-// tens of thousands of clients sharing the process.
+// The fleet serves the full protocol: the update endpoint
+// (POST /c/<id>/v1/update) plus the defense's report endpoints
+// (/v1/ranks, /v1/votes, /v1/accuracy) for participants that implement
+// the reporting interfaces — fl.SyntheticClient answers them with canned
+// deterministic reports, so a load run exercises the report wire path
+// end to end. Report responses use the compact codecs of codec.go at the
+// fleet's configured quantization (SetReportQuant). Every request is
+// instrumented into the fedload_* metrics, and a participant panic is
+// recovered to an HTTP 500 plus a fedload_handler_panics_total tick
+// instead of taking down the other tens of thousands of clients sharing
+// the process.
 type Fleet struct {
 	mu      sync.RWMutex
 	slots   map[int]*fleetSlot
 	maxBody int64
+	quant   metrics.ReportQuant
 
 	life lifecycle
 }
@@ -65,6 +72,14 @@ func (f *Fleet) SetMaxBody(n int64) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.maxBody = n
+}
+
+// SetReportQuant selects the precision of the fleet's report responses
+// (see ClientServer.SetReportQuant).
+func (f *Fleet) SetReportQuant(q metrics.ReportQuant) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.quant = q
 }
 
 // Add registers participants under their IDs. A duplicate ID is a
@@ -121,11 +136,11 @@ func (f *Fleet) Shutdown(ctx context.Context) error {
 	return f.life.shutdown(ctx)
 }
 
-// route dispatches /c/<id>/v1/update to the participant's slot.
+// route dispatches /c/<id>/v1/* to the participant's slot.
 func (f *Fleet) route(w http.ResponseWriter, r *http.Request) {
 	rest := strings.TrimPrefix(r.URL.Path, "/c/")
 	idStr, tail, ok := strings.Cut(rest, "/")
-	if !ok || tail != "v1/update" {
+	if !ok {
 		http.NotFound(w, r)
 		return
 	}
@@ -137,27 +152,125 @@ func (f *Fleet) route(w http.ResponseWriter, r *http.Request) {
 	f.mu.RLock()
 	slot := f.slots[id]
 	maxBody := f.maxBody
+	quant := f.quant
 	f.mu.RUnlock()
 	if slot == nil {
 		http.Error(w, fmt.Sprintf("unknown client %d", id), http.StatusNotFound)
 		return
 	}
-	f.handleUpdate(w, r, slot, maxBody)
+	switch tail {
+	case "v1/update":
+		f.handleUpdate(w, r, slot, maxBody)
+	case "v1/ranks":
+		f.handleRanks(w, r, slot, maxBody, quant)
+	case "v1/votes":
+		f.handleVotes(w, r, slot, maxBody, quant)
+	case "v1/accuracy":
+		f.handleAccuracy(w, r, slot, maxBody)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// decodeFleetBody decodes one gob request under the fleet's body cap,
+// counting the bytes into fedload_bytes_in_total.
+func decodeFleetBody(w http.ResponseWriter, r *http.Request, maxBody int64, dst any) bool {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return false
+	}
+	body := &countingReader{r: http.MaxBytesReader(w, r.Body, maxBody)}
+	err := gob.NewDecoder(body).Decode(dst)
+	obs.M.FedloadBytesIn.Add(uint64(body.n))
+	if err != nil {
+		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+// reportClient extracts the slot's reporting surface, answering 404 when
+// the participant does not report (the status is 4xx on purpose:
+// RemoteClient treats it as permanent and does not retry).
+func reportClient(w http.ResponseWriter, slot *fleetSlot) (core.ReportClient, bool) {
+	rc, ok := slot.part.(core.ReportClient)
+	if !ok {
+		http.Error(w, fmt.Sprintf("client %d serves no reports", slot.part.ID()), http.StatusNotFound)
+	}
+	return rc, ok
+}
+
+// handleRanks serves /c/<id>/v1/ranks from the participant's canned
+// reports. The fleet is architecture-agnostic — it holds no model — so
+// unlike ClientServer it validates neither the parameter vector nor the
+// layer index; synthetic participants ignore both.
+func (f *Fleet) handleRanks(w http.ResponseWriter, r *http.Request, slot *fleetSlot, maxBody int64, quant metrics.ReportQuant) {
+	var req RankRequest
+	if !decodeFleetBody(w, r, maxBody, &req) {
+		return
+	}
+	rc, ok := reportClient(w, slot)
+	if !ok {
+		return
+	}
+	slot.mu.Lock()
+	payload := appendRankReport(nil, rc, nil, req.Layer, quant)
+	slot.mu.Unlock()
+	cw := &countingWriter{ResponseWriter: w}
+	writeReport(cw, payload)
+	obs.M.FedloadBytesOut.Add(uint64(cw.n))
+	obs.M.FedloadReports.Inc()
+}
+
+// handleVotes serves /c/<id>/v1/votes from the participant's canned
+// reports.
+func (f *Fleet) handleVotes(w http.ResponseWriter, r *http.Request, slot *fleetSlot, maxBody int64, quant metrics.ReportQuant) {
+	var req VoteRequest
+	if !decodeFleetBody(w, r, maxBody, &req) {
+		return
+	}
+	if !(req.Rate >= 0 && req.Rate <= 1) { // also rejects NaN
+		http.Error(w, fmt.Sprintf("bad request: rate %g outside [0,1]", req.Rate), http.StatusBadRequest)
+		return
+	}
+	rc, ok := reportClient(w, slot)
+	if !ok {
+		return
+	}
+	slot.mu.Lock()
+	payload := appendVoteReport(nil, rc, nil, req.Layer, req.Rate, quant)
+	slot.mu.Unlock()
+	cw := &countingWriter{ResponseWriter: w}
+	writeReport(cw, payload)
+	obs.M.FedloadBytesOut.Add(uint64(cw.n))
+	obs.M.FedloadReports.Inc()
+}
+
+// handleAccuracy serves /c/<id>/v1/accuracy.
+func (f *Fleet) handleAccuracy(w http.ResponseWriter, r *http.Request, slot *fleetSlot, maxBody int64) {
+	var req AccuracyRequest
+	if !decodeFleetBody(w, r, maxBody, &req) {
+		return
+	}
+	ar, ok := slot.part.(core.AccuracyReporter)
+	if !ok {
+		http.Error(w, fmt.Sprintf("client %d serves no reports", slot.part.ID()), http.StatusNotFound)
+		return
+	}
+	slot.mu.Lock()
+	acc := ar.ReportAccuracy(nil)
+	slot.mu.Unlock()
+	cw := &countingWriter{ResponseWriter: w}
+	encodeBody(cw, AccuracyResponse{Accuracy: acc})
+	obs.M.FedloadBytesOut.Add(uint64(cw.n))
+	obs.M.FedloadReports.Inc()
 }
 
 func (f *Fleet) handleUpdate(w http.ResponseWriter, r *http.Request, slot *fleetSlot, maxBody int64) {
 	sp := obs.StartSpan("fedload.update", obs.M.FedloadUpdateSeconds)
 	defer sp.End()
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST required", http.StatusMethodNotAllowed)
-		return
-	}
-	body := &countingReader{r: http.MaxBytesReader(w, r.Body, maxBody)}
 	var req UpdateRequest
-	err := gob.NewDecoder(body).Decode(&req)
-	obs.M.FedloadBytesIn.Add(uint64(body.n))
-	if err != nil {
-		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+	if !decodeFleetBody(w, r, maxBody, &req) {
 		return
 	}
 	slot.mu.Lock()

@@ -1,12 +1,16 @@
 package transport
 
 import (
+	"bytes"
 	"context"
 	"math/rand"
+	"net/http"
 	"testing"
 
+	"github.com/fedcleanse/fedcleanse/internal/core"
 	"github.com/fedcleanse/fedcleanse/internal/dataset"
 	"github.com/fedcleanse/fedcleanse/internal/fl"
+	"github.com/fedcleanse/fedcleanse/internal/metrics"
 	"github.com/fedcleanse/fedcleanse/internal/nn"
 	"github.com/fedcleanse/fedcleanse/internal/obs"
 	"github.com/fedcleanse/fedcleanse/internal/parallel"
@@ -161,11 +165,20 @@ func TestFleetRejectsUnknownPaths(t *testing.T) {
 	if got := obs.M.TransportAttempts.Value() - attempts; got != 1 {
 		t.Fatalf("404 retried: %d attempts, want 1", got)
 	}
-	// The report endpoints do not exist on a fleet.
+	// Unknown endpoints under a known client are 404s too.
 	rc0 := NewRemoteClient(0, FleetClientAddr(addr, 0),
 		WithRetryPolicy(RetryPolicy{MaxAttempts: 1}))
-	if _, err := rc0.TryReportAccuracy(context.Background(), fleetTemplate()); err == nil {
-		t.Fatal("fleet served an accuracy report")
+	req, err := http.NewRequest(http.MethodPost, rc0.baseURL+"/v1/nonsense", bytes.NewReader(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown endpoint: HTTP %d, want 404", resp.StatusCode)
 	}
 }
 
@@ -180,4 +193,78 @@ func TestFleetDuplicateAddPanics(t *testing.T) {
 		}
 	}()
 	f.Add(&fl.SyntheticClient{Id: 3})
+}
+
+// TestFleetServesReports: the fleet's report endpoints answer with the
+// synthetic clients' canned reports through completely unmodified
+// RemoteClients, at both report precisions, and the int8 responses are an
+// order of magnitude smaller than the request-independent float64 vector
+// would be.
+func TestFleetServesReports(t *testing.T) {
+	f, addr, shutdown := startFleet(t, 3, 77)
+	defer shutdown()
+	tmpl := fleetTemplate()
+	syn := &fl.SyntheticClient{Id: 1, Seed: 77}
+
+	rc := NewRemoteClient(1, FleetClientAddr(addr, 1))
+	ranks, err := rc.TryRankReport(context.Background(), tmpl, 0)
+	if err != nil {
+		t.Fatalf("TryRankReport: %v", err)
+	}
+	wantRanks := syn.RankReport(nil, 0)
+	if len(ranks) != len(wantRanks) {
+		t.Fatalf("rank report length %d, want %d", len(ranks), len(wantRanks))
+	}
+	for i := range ranks {
+		if ranks[i] != wantRanks[i] {
+			t.Fatalf("rank[%d] = %d, want %d", i, ranks[i], wantRanks[i])
+		}
+	}
+	votes, err := rc.TryVoteReport(context.Background(), tmpl, 0, 0.5)
+	if err != nil {
+		t.Fatalf("TryVoteReport: %v", err)
+	}
+	wantVotes := syn.VoteReport(nil, 0, 0.5)
+	for i := range votes {
+		if votes[i] != wantVotes[i] {
+			t.Fatalf("vote[%d] = %v, want %v", i, votes[i], wantVotes[i])
+		}
+	}
+	acc, err := rc.TryReportAccuracy(context.Background(), tmpl)
+	if err != nil {
+		t.Fatalf("TryReportAccuracy: %v", err)
+	}
+	if want := syn.ReportAccuracy(nil); acc != want {
+		t.Fatalf("accuracy = %g, want %g", acc, want)
+	}
+
+	// int8 mode: same wire, quantized payloads, identical vote/rank shape.
+	f.SetReportQuant(metrics.ReportInt8)
+	recvBefore := obs.M.TransportReportBytesRecv.Value()
+	ranks8, err := rc.TryRankReport(context.Background(), tmpl, 0)
+	if err != nil {
+		t.Fatalf("TryRankReport (int8): %v", err)
+	}
+	recvRank := obs.M.TransportReportBytesRecv.Value() - recvBefore
+	q := metrics.QuantizeActivations(syn.ActivationReport(nil, 0))
+	want8 := core.RanksFromQuantized(q.Q)
+	for i := range ranks8 {
+		if ranks8[i] != want8[i] {
+			t.Fatalf("int8 rank[%d] = %d, want %d", i, ranks8[i], want8[i])
+		}
+	}
+	// 64 canned units: Acts8 is ~82 bytes vs ~525 for the float64 vector.
+	if recvRank == 0 || recvRank > 128 {
+		t.Fatalf("int8 rank payload %d bytes, want (0,128]", recvRank)
+	}
+	votes8, err := rc.TryVoteReport(context.Background(), tmpl, 0, 0.5)
+	if err != nil {
+		t.Fatalf("TryVoteReport (int8): %v", err)
+	}
+	wantV8 := core.VotesFromQuantized(q.Q, 0.5)
+	for i := range votes8 {
+		if votes8[i] != wantV8[i] {
+			t.Fatalf("int8 vote[%d] = %v, want %v", i, votes8[i], wantV8[i])
+		}
+	}
 }

@@ -1,0 +1,105 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"github.com/fedcleanse/fedcleanse/internal/metrics"
+)
+
+// Fuzz targets for the compact report codecs (codec.go). Two invariants:
+//
+//  1. Decoding arbitrary bytes never panics and never allocates more than
+//     O(len(input)) — it either fails or yields a well-formed value.
+//  2. The codecs are canonical: any input that decodes successfully
+//     re-encodes to exactly the same bytes, and any value produced by an
+//     encoder decodes back to an equal value (round-trip identity).
+//
+// Seed corpora live in testdata/fuzz/.
+
+func FuzzDecodeRanksDelta(f *testing.F) {
+	f.Add(AppendRanksDelta(nil, []int{3, 1, 2, 4}))
+	f.Add(AppendRanksDelta(nil, nil))
+	f.Add([]byte{TagRanksDelta, 0xff, 0xff, 0xff, 0xff, 0x7f})
+	f.Fuzz(func(t *testing.T, p []byte) {
+		ranks, err := DecodeRanksDelta(p)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(AppendRanksDelta(nil, ranks), p) {
+			t.Fatalf("accepted non-canonical RanksDelta %q", p)
+		}
+	})
+}
+
+func FuzzDecodeVoteBitmap(f *testing.F) {
+	f.Add(AppendVoteBitmap(nil, []bool{true, false, true}))
+	f.Add(AppendVoteBitmap(nil, nil))
+	f.Add([]byte{TagVoteBitmap, 0x03, 0xff})
+	f.Fuzz(func(t *testing.T, p []byte) {
+		votes, err := DecodeVoteBitmap(p)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(AppendVoteBitmap(nil, votes), p) {
+			t.Fatalf("accepted non-canonical VoteBitmap %q", p)
+		}
+	})
+}
+
+func FuzzDecodeActs8(f *testing.F) {
+	f.Add(AppendActs8(nil, metrics.QuantizeActivations([]float64{1, 2, 3})))
+	f.Add(AppendActs8(nil, metrics.QuantActs{}))
+	f.Add([]byte{TagActs8, 0x04, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, p []byte) {
+		q, err := DecodeActs8(p)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(AppendActs8(nil, q), p) {
+			t.Fatalf("accepted non-canonical Acts8 %q", p)
+		}
+	})
+}
+
+func FuzzDecodeActs64(f *testing.F) {
+	f.Add(AppendActs64(nil, []float64{0.25, -1, math.Inf(1)}))
+	f.Add(AppendActs64(nil, nil))
+	f.Add([]byte{TagActs64, 0x02, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, p []byte) {
+		acts, err := DecodeActs64(p)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(AppendActs64(nil, acts), p) {
+			t.Fatalf("accepted non-canonical Acts64 %q", p)
+		}
+	})
+}
+
+// FuzzRanksDeltaValueRoundtrip drives the encode side with fuzzer-chosen
+// values: every int32 sequence must survive encode → decode unchanged.
+func FuzzRanksDeltaValueRoundtrip(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 1, 255, 255, 255, 255})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		ranks := make([]int, 0, len(raw)/4)
+		for i := 0; i+4 <= len(raw); i += 4 {
+			ranks = append(ranks, int(int32(binary.LittleEndian.Uint32(raw[i:]))))
+		}
+		got, err := DecodeRanksDelta(AppendRanksDelta(nil, ranks))
+		if err != nil {
+			t.Fatalf("own encoding rejected: %v", err)
+		}
+		if len(got) != len(ranks) {
+			t.Fatalf("roundtrip length %d, want %d", len(got), len(ranks))
+		}
+		for i := range got {
+			if got[i] != ranks[i] {
+				t.Fatalf("roundtrip[%d] = %d, want %d", i, got[i], ranks[i])
+			}
+		}
+	})
+}

@@ -17,6 +17,10 @@
 // Bodies are gob-encoded request/response structs. Model parameters travel
 // as flat vectors; both sides hold the architecture (as in cross-silo FL
 // deployments, where the model definition ships with the software).
+// Report responses default to the compact tagged codecs of codec.go
+// (varint-delta ranks, bit-packed votes, int8 activation payloads);
+// receivers sniff the 1-byte tag and fall back to gob, so either side may
+// run an older binary (DESIGN.md §14).
 //
 // Failure model (DESIGN.md §10): every remote call can fail — crashes,
 // stragglers, partitions, corrupted responses. RemoteClient never panics;
@@ -44,6 +48,7 @@ import (
 	"github.com/fedcleanse/fedcleanse/internal/core"
 	"github.com/fedcleanse/fedcleanse/internal/dataset"
 	"github.com/fedcleanse/fedcleanse/internal/fl"
+	"github.com/fedcleanse/fedcleanse/internal/metrics"
 	"github.com/fedcleanse/fedcleanse/internal/nn"
 	"github.com/fedcleanse/fedcleanse/internal/obs"
 )
@@ -104,6 +109,18 @@ type participant interface {
 	core.AccuracyReporter
 }
 
+// ReportWire selects how a server encodes its report responses.
+type ReportWire int
+
+const (
+	// WireCompact answers report requests with the tagged compact codecs
+	// of codec.go (the default).
+	WireCompact ReportWire = iota
+	// WireGob answers with the legacy gob response structs; receivers
+	// interoperate transparently by sniffing the codec tag.
+	WireGob
+)
+
 // ClientServer exposes one federated participant over HTTP.
 type ClientServer struct {
 	part participant
@@ -112,6 +129,10 @@ type ClientServer struct {
 	// maxBody bounds request bodies so a malicious or corrupted peer
 	// cannot make the decoder allocate unboundedly.
 	maxBody int64
+	// wire selects the report response encoding; quant the report
+	// precision shipped in compact mode (see handleRanks).
+	wire  ReportWire
+	quant metrics.ReportQuant
 
 	mu sync.Mutex // serializes access to the participant
 
@@ -133,6 +154,17 @@ func NewClientServer(part participant, template *nn.Sequential) *ClientServer {
 		maxBody: int64(template.NumParams())*16 + 1<<16,
 	}
 }
+
+// SetReportWire selects the report response encoding. It must be called
+// before Serve or Handler.
+func (cs *ClientServer) SetReportWire(w ReportWire) { cs.wire = w }
+
+// SetReportQuant selects the precision of compact-mode activation report
+// payloads: ReportInt8 ships affine-quantized Acts8 payloads (the ~8x
+// bandwidth mode, DESIGN.md §14); ReportFloat64 — the default — ships the
+// client's losslessly-encoded rank/vote reports. It must be called before
+// Serve or Handler.
+func (cs *ClientServer) SetReportQuant(q metrics.ReportQuant) { cs.quant = q }
 
 // SetMiddleware installs a handler wrapper applied around the protocol
 // mux (tests use it to inject server-side faults). It must be called
@@ -228,9 +260,15 @@ func (cs *ClientServer) handleRanks(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	cs.mu.Lock()
-	ranks := cs.part.RankReport(cs.modelFor(req.Global), req.Layer)
+	if cs.wire == WireGob {
+		ranks := cs.part.RankReport(cs.modelFor(req.Global), req.Layer)
+		cs.mu.Unlock()
+		encodeReportGob(w, RankResponse{Ranks: ranks})
+		return
+	}
+	payload := appendRankReport(nil, cs.part, cs.modelFor(req.Global), req.Layer, cs.quant)
 	cs.mu.Unlock()
-	encodeBody(w, RankResponse{Ranks: ranks})
+	writeReport(w, payload)
 }
 
 func (cs *ClientServer) handleVotes(w http.ResponseWriter, r *http.Request) {
@@ -244,9 +282,63 @@ func (cs *ClientServer) handleVotes(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	cs.mu.Lock()
-	votes := cs.part.VoteReport(cs.modelFor(req.Global), req.Layer, req.Rate)
+	if cs.wire == WireGob {
+		votes := cs.part.VoteReport(cs.modelFor(req.Global), req.Layer, req.Rate)
+		cs.mu.Unlock()
+		encodeReportGob(w, VoteResponse{Votes: votes})
+		return
+	}
+	payload := appendVoteReport(nil, cs.part, cs.modelFor(req.Global), req.Layer, req.Rate, cs.quant)
 	cs.mu.Unlock()
-	encodeBody(w, VoteResponse{Votes: votes})
+	writeReport(w, payload)
+}
+
+// appendRankReport builds the compact /v1/ranks payload for a report
+// client. In int8 mode an ActivationReporter ships its quantized
+// activation vector (Acts8) and the receiver reconstructs the ranks — one
+// small payload serves both aggregations; otherwise the client-computed
+// rank vector travels varint-delta encoded (RanksDelta), bit-identical to
+// the gob values.
+func appendRankReport(dst []byte, part core.ReportClient, m *nn.Sequential, layer int, quant metrics.ReportQuant) []byte {
+	if ar, ok := part.(core.ActivationReporter); ok && quant == metrics.ReportInt8 {
+		return AppendActs8(dst, metrics.QuantizeActivations(ar.ActivationReport(m, layer)))
+	}
+	return AppendRanksDelta(dst, part.RankReport(m, layer))
+}
+
+// appendVoteReport builds the compact /v1/votes payload: always a
+// VoteBitmap. In int8 mode the votes are derived from the quantized
+// activation vector, so they agree bit-for-bit with the ranks a receiver
+// reconstructs from the same client's Acts8 payload.
+func appendVoteReport(dst []byte, part core.ReportClient, m *nn.Sequential, layer int, rate float64, quant metrics.ReportQuant) []byte {
+	if ar, ok := part.(core.ActivationReporter); ok && quant == metrics.ReportInt8 {
+		q := metrics.QuantizeActivations(ar.ActivationReport(m, layer))
+		return AppendVoteBitmap(dst, core.VotesFromQuantized(q.Q, rate))
+	}
+	return AppendVoteBitmap(dst, part.VoteReport(m, layer, rate))
+}
+
+// reportContentType marks a tagged compact report payload.
+const reportContentType = "application/x-fedcleanse-report"
+
+// writeReport sends a compact report payload, counting its bytes.
+func writeReport(w http.ResponseWriter, payload []byte) {
+	w.Header().Set("Content-Type", reportContentType)
+	n, _ := w.Write(payload)
+	obs.M.TransportReportBytesSent.Add(uint64(n))
+}
+
+// encodeReportGob is encodeBody plus the report byte counter, for the
+// legacy report encoding.
+func encodeReportGob(w http.ResponseWriter, v any) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-gob")
+	n, _ := w.Write(buf.Bytes())
+	obs.M.TransportReportBytesSent.Add(uint64(n))
 }
 
 func (cs *ClientServer) handleAccuracy(w http.ResponseWriter, r *http.Request) {
@@ -437,22 +529,134 @@ func (rc *RemoteClient) TryLocalUpdate(ctx context.Context, global []float64, ro
 	return resp.Delta, nil
 }
 
-// TryRankReport implements core.FallibleReportClient over the wire.
+// TryRankReport implements core.FallibleReportClient over the wire. The
+// response payload is sniffed by codec tag: compact RanksDelta vectors
+// decode directly, Acts8/Acts64 activation payloads are reconstructed into
+// ranks server-side (core.RanksFromQuantized / RanksFromActivations), and
+// untagged bodies fall back to the legacy gob decode.
 func (rc *RemoteClient) TryRankReport(ctx context.Context, m *nn.Sequential, layerIdx int) ([]int, error) {
-	resp, err := call[RankResponse](rc, ctx, "/v1/ranks", RankRequest{Global: m.ParamsVector(), Layer: layerIdx})
+	resp, err := call[rankPayload](rc, ctx, "/v1/ranks", RankRequest{Global: m.ParamsVector(), Layer: layerIdx})
 	if err != nil {
 		return nil, err
 	}
 	return resp.Ranks, nil
 }
 
-// TryVoteReport implements core.FallibleReportClient over the wire.
+// TryVoteReport implements core.FallibleReportClient over the wire, with
+// the same tag-sniffing decode as TryRankReport (an activation payload is
+// reconstructed into votes at the requested rate).
 func (rc *RemoteClient) TryVoteReport(ctx context.Context, m *nn.Sequential, layerIdx int, p float64) ([]bool, error) {
-	resp, err := call[VoteResponse](rc, ctx, "/v1/votes", VoteRequest{Global: m.ParamsVector(), Layer: layerIdx, Rate: p})
+	resp, err := callFrom(rc, ctx, "/v1/votes", VoteRequest{Global: m.ParamsVector(), Layer: layerIdx, Rate: p}, votePayload{Rate: p})
 	if err != nil {
 		return nil, err
 	}
 	return resp.Votes, nil
+}
+
+// maxReportBody bounds a report response body read; the largest
+// legitimate payload (Acts64 at maxReportLen units) stays far below it.
+const maxReportBody = 1 << 28
+
+// bodyDecoder lets a response type own its wire decoding instead of the
+// default gob path; decode failures inside an attempt retry like any
+// other attempt failure.
+type bodyDecoder interface {
+	DecodeBody(r io.Reader) error
+}
+
+// rankPayload decodes a /v1/ranks response of any supported encoding.
+type rankPayload struct {
+	Ranks []int
+}
+
+// DecodeBody implements bodyDecoder.
+func (rp *rankPayload) DecodeBody(r io.Reader) error {
+	b, err := readReportBody(r)
+	if err != nil {
+		return err
+	}
+	switch {
+	case len(b) == 0:
+		return errors.New("transport: empty rank report")
+	case b[0] == TagRanksDelta:
+		rp.Ranks, err = DecodeRanksDelta(b)
+	case b[0] == TagActs8:
+		var q metrics.QuantActs
+		if q, err = DecodeActs8(b); err == nil {
+			rp.Ranks = core.RanksFromQuantized(q.Q)
+		}
+	case b[0] == TagActs64:
+		var acts []float64
+		if acts, err = DecodeActs64(b); err == nil {
+			rp.Ranks = core.RanksFromActivations(acts)
+		}
+	case b[0] == TagVoteBitmap:
+		return errors.New("transport: vote bitmap on the rank endpoint")
+	default:
+		var resp RankResponse
+		if err = gob.NewDecoder(bytes.NewReader(b)).Decode(&resp); err == nil {
+			rp.Ranks = resp.Ranks
+		}
+	}
+	if err != nil {
+		return err
+	}
+	obs.M.TransportReportBytesRecv.Add(uint64(len(b)))
+	return nil
+}
+
+// votePayload decodes a /v1/votes response of any supported encoding;
+// Rate must be set to the requested pruning rate before the call so an
+// activation payload reconstructs the same votes the client would have
+// sent.
+type votePayload struct {
+	Rate  float64
+	Votes []bool
+}
+
+// DecodeBody implements bodyDecoder.
+func (vp *votePayload) DecodeBody(r io.Reader) error {
+	b, err := readReportBody(r)
+	if err != nil {
+		return err
+	}
+	switch {
+	case len(b) == 0:
+		return errors.New("transport: empty vote report")
+	case b[0] == TagVoteBitmap:
+		vp.Votes, err = DecodeVoteBitmap(b)
+	case b[0] == TagActs8:
+		var q metrics.QuantActs
+		if q, err = DecodeActs8(b); err == nil {
+			vp.Votes = core.VotesFromQuantized(q.Q, vp.Rate)
+		}
+	case b[0] == TagActs64:
+		var acts []float64
+		if acts, err = DecodeActs64(b); err == nil {
+			vp.Votes = core.VotesFromActivations(acts, vp.Rate)
+		}
+	case b[0] == TagRanksDelta:
+		return errors.New("transport: rank vector on the vote endpoint")
+	default:
+		var resp VoteResponse
+		if err = gob.NewDecoder(bytes.NewReader(b)).Decode(&resp); err == nil {
+			vp.Votes = resp.Votes
+		}
+	}
+	if err != nil {
+		return err
+	}
+	obs.M.TransportReportBytesRecv.Add(uint64(len(b)))
+	return nil
+}
+
+// readReportBody slurps a bounded report response body.
+func readReportBody(r io.Reader) ([]byte, error) {
+	b, err := io.ReadAll(io.LimitReader(r, maxReportBody))
+	if err != nil {
+		return nil, fmt.Errorf("transport: read report body: %w", err)
+	}
+	return b, nil
 }
 
 // TryReportAccuracy implements core.FallibleAccuracyReporter over the
@@ -519,6 +723,14 @@ func (rc *RemoteClient) ReportAccuracy(m *nn.Sequential) float64 {
 // client/path/attempt attributes, and a call that exhausts its budget
 // counts into transport_call_failures_total.
 func call[Resp any](rc *RemoteClient, ctx context.Context, path string, req any) (Resp, error) {
+	var zero Resp
+	return callFrom(rc, ctx, path, req, zero)
+}
+
+// callFrom is call with a seeded response value: every attempt decodes
+// into a fresh copy of init, which lets a bodyDecoder response carry
+// request parameters (votePayload.Rate) into its decode.
+func callFrom[Resp any](rc *RemoteClient, ctx context.Context, path string, req any, init Resp) (Resp, error) {
 	sp := obs.StartSpan("transport.call", obs.M.TransportCallSeconds)
 	defer sp.End()
 	obs.M.TransportCalls.Inc()
@@ -541,7 +753,7 @@ func call[Resp any](rc *RemoteClient, ctx context.Context, path string, req any)
 			}
 		}
 		obs.M.TransportAttempts.Inc()
-		var resp Resp
+		resp := init
 		err := rc.attempt(ctx, pol, path, payload, &resp)
 		if err == nil {
 			rc.noteErr(nil)
@@ -583,6 +795,12 @@ func (rc *RemoteClient) attempt(ctx context.Context, pol RetryPolicy, path strin
 	if hresp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(hresp.Body, 256))
 		return &StatusError{Path: path, Code: hresp.StatusCode, Body: string(bytes.TrimSpace(msg))}
+	}
+	if bd, ok := resp.(bodyDecoder); ok {
+		if err := bd.DecodeBody(hresp.Body); err != nil {
+			return fmt.Errorf("transport: decode %s: %w", path, err)
+		}
+		return nil
 	}
 	if err := gob.NewDecoder(hresp.Body).Decode(resp); err != nil {
 		return fmt.Errorf("transport: decode %s: %w", path, err)

@@ -12,6 +12,7 @@ import (
 	"github.com/fedcleanse/fedcleanse/internal/fl"
 	"github.com/fedcleanse/fedcleanse/internal/metrics"
 	"github.com/fedcleanse/fedcleanse/internal/nn"
+	"github.com/fedcleanse/fedcleanse/internal/obs"
 )
 
 // buildPopulation creates the same clients twice: once as in-process
@@ -273,4 +274,78 @@ func httpGet(url string) (int, error) {
 	}
 	defer resp.Body.Close()
 	return resp.StatusCode, nil
+}
+
+// TestReportWireModes: the same participant must produce equal reports
+// through every wire encoding — legacy gob, compact float64 (varint
+// ranks + vote bitmap) and compact int8 (Acts8 activation payloads
+// reconstructed server-side) — with the int8 mode matching an in-process
+// client configured for int8 reports bit-for-bit.
+func TestReportWireModes(t *testing.T) {
+	train, _ := dataset.GenSynthMNIST(dataset.GenConfig{TrainPerClass: 20, TestPerClass: 5, Seed: 70})
+	rng := rand.New(rand.NewSource(71))
+	template := nn.NewSmallCNN(nn.Input{C: 1, H: 16, W: 16}, 10, rng)
+	cfg := fl.Config{Rounds: 1, LocalEpochs: 1, BatchSize: 20, LR: 0.05}
+	li := template.LastConvIndex()
+
+	mk := func() *fl.Client { return fl.NewClient(0, train, template, cfg, 72) }
+
+	serve := func(configure func(*ClientServer)) (*RemoteClient, func()) {
+		cs := NewClientServer(mk(), template)
+		if configure != nil {
+			configure(cs)
+		}
+		addr, err := cs.Serve("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return NewRemoteClient(0, addr), func() { _ = cs.Shutdown(context.Background()) }
+	}
+
+	// Reference reports straight from in-process clients.
+	refRanks := mk().RankReport(template, li)
+	refVotes := mk().VoteReport(template, li, 0.5)
+	int8Client := mk()
+	int8Client.SetReportQuant(metrics.ReportInt8)
+	refRanks8 := int8Client.RankReport(template, li)
+	refVotes8 := int8Client.VoteReport(template, li, 0.5)
+
+	check := func(mode string, rc *RemoteClient, wantRanks []int, wantVotes []bool) {
+		t.Helper()
+		ranks, err := rc.TryRankReport(context.Background(), template, li)
+		if err != nil {
+			t.Fatalf("%s: TryRankReport: %v", mode, err)
+		}
+		for i := range wantRanks {
+			if ranks[i] != wantRanks[i] {
+				t.Fatalf("%s: rank[%d] = %d, want %d", mode, i, ranks[i], wantRanks[i])
+			}
+		}
+		votes, err := rc.TryVoteReport(context.Background(), template, li, 0.5)
+		if err != nil {
+			t.Fatalf("%s: TryVoteReport: %v", mode, err)
+		}
+		for i := range wantVotes {
+			if votes[i] != wantVotes[i] {
+				t.Fatalf("%s: vote[%d] = %v, want %v", mode, i, votes[i], wantVotes[i])
+			}
+		}
+	}
+
+	rcGob, stop := serve(func(cs *ClientServer) { cs.SetReportWire(WireGob) })
+	check("gob", rcGob, refRanks, refVotes)
+	stop()
+
+	rcCompact, stop := serve(nil)
+	sent := obs.M.TransportReportBytesSent.Value()
+	recv := obs.M.TransportReportBytesRecv.Value()
+	check("compact-f64", rcCompact, refRanks, refVotes)
+	if obs.M.TransportReportBytesSent.Value() == sent || obs.M.TransportReportBytesRecv.Value() == recv {
+		t.Fatal("report byte counters did not move")
+	}
+	stop()
+
+	rcInt8, stop := serve(func(cs *ClientServer) { cs.SetReportQuant(metrics.ReportInt8) })
+	check("compact-int8", rcInt8, refRanks8, refVotes8)
+	stop()
 }

@@ -9,7 +9,10 @@
 #   - the server registered the whole population (fl_registered_clients),
 #   - server heap stayed under HEAP_BOUND — memory follows the cohort,
 #     not the population (the same bound must hold for POP=10k and 100k),
-#   - the streaming window actually bounded the in-flight working set.
+#   - the streaming window actually bounded the in-flight working set,
+#   - the report-collection phase (RAP + MVP over one cohort) stayed at
+#     or under REPORT_CEIL bytes per report on the wire (compact codecs,
+#     REPORT_QUANT precision; DESIGN.md §14).
 #
 # Metrics snapshots are left in OUT_DIR (default ./load-smoke-artifacts)
 # for the CI artifact upload. Shared by `make load-smoke`, the CI
@@ -23,6 +26,8 @@ ROUNDS=${ROUNDS:-3}
 HEAP_BOUND=${HEAP_BOUND:-268435456} # 256 MiB
 TIMEOUT=${TIMEOUT:-120}
 OUT_DIR=${OUT_DIR:-load-smoke-artifacts}
+REPORT_QUANT=${REPORT_QUANT:-int8}
+REPORT_CEIL=${REPORT_CEIL:-256}
 
 workdir=$(mktemp -d)
 mkdir -p "$OUT_DIR"
@@ -41,6 +46,7 @@ fail() {
 go build -o "$workdir" ./cmd/fedload ./cmd/fedserve
 
 "$workdir/fedload" -clients "$POP" -listen 127.0.0.1:0 -ops-addr 127.0.0.1:0 \
+	-report-quant "$REPORT_QUANT" \
 	>"$workdir/fedload.log" 2>&1 &
 pids+=($!)
 
@@ -61,6 +67,7 @@ done
 
 "$workdir/fedserve" -fleet "$fleet" -fleet-count "$POP" -select "$SELECT" \
 	-streaming -rounds "$ROUNDS" -quorum 0.9 -ops-addr 127.0.0.1:0 \
+	-report-quant "$REPORT_QUANT" \
 	>"$workdir/serve.log" 2>&1 &
 serve_pid=$!
 pids+=($serve_pid)
@@ -122,5 +129,15 @@ heap=$(metric "$server_metrics" process_heap_alloc_bytes)
 peak=$(metric "$server_metrics" fl_stream_inflight_peak)
 [ "${peak:-0}" -ge 1 ] || fail "fl_stream_inflight_peak is ${peak:-0}; streaming path did not run"
 
+# Report-path bandwidth gate: the fleet must have served defense reports
+# and the server-side average payload must fit the per-report ceiling.
+reports=$(metric "$fleet_metrics" fedload_reports_total)
+[ "${reports:-0}" -ge 1 ] || fail "fleet served ${reports:-0} defense reports, want >= 1"
+per_report=$(sed -n 's/.*bytes_per_report=\([0-9]*\).*/\1/p' "$workdir/serve.log" | head -1)
+[ -n "${per_report:-}" ] || { cat "$workdir/serve.log" >&2; fail "fedserve logged no report-collection phase"; }
+[ "$per_report" -le "$REPORT_CEIL" ] ||
+	fail "report payloads average $per_report bytes ($REPORT_QUANT), exceeding ceiling $REPORT_CEIL"
+
 echo "load smoke: OK (population=$POP cohort=$SELECT rounds=$applied applied," \
-	"fleet updates=$updates, server heap=$heap bytes, peak in-flight=$peak)"
+	"fleet updates=$updates, reports=$reports at $per_report B/report ($REPORT_QUANT)," \
+	"server heap=$heap bytes, peak in-flight=$peak)"
