@@ -103,12 +103,14 @@ load-smoke:
 
 ## chaos-test: the transport fault-tolerance gate under the race detector —
 ## fault-injected federations (chaos), quorum/drop equivalence, server
-## lifecycle and the decoder fuzz seeds. Short mode skips the slowest
-## full-pipeline chaos run; the plain `test` target covers it.
+## lifecycle, the decoder fuzz seeds, and the durability suite
+## (kill-and-restart resume, torn checkpoints, cross-version wire compat).
+## Short mode skips the slowest full-pipeline chaos run; the plain `test`
+## target covers it.
 chaos-test:
 	FEDCLEANSE_WORKERS=4 $(GO) test -race -short -count=1 \
-		-run 'Chaos|Fault|Quorum|FineTune|Serve|Shutdown|RemoteClient|RoundTimeout|Fuzz|Drop' \
-		./internal/transport ./internal/fl
+		-run 'Chaos|Fault|Quorum|FineTune|Serve|Shutdown|RemoteClient|RoundTimeout|Fuzz|Drop|Checkpoint|Resume|KillRestart|Torn|CrossVersion|Versioned' \
+		./internal/transport ./internal/fl ./internal/nn ./internal/wire
 
 ## fmt: fail if any file needs gofmt
 fmt:

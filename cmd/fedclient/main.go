@@ -37,6 +37,7 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:0", "listen address")
 	seed := flag.Int64("seed", 0, "experiment seed (0 = scenario default)")
 	quantFlag := flag.String("report-quant", "float64", "activation report precision: float64 (reference) or int8 (quantized recording; ships Acts8 payloads)")
+	versionedUpdates := flag.Bool("versioned-updates", false, "serve update responses in the versioned wire envelope instead of gob (servers sniff; safe to migrate one client at a time)")
 	logf := obs.AddLogFlags()
 	flag.Parse()
 	if _, err := logf.Setup(os.Stderr); err != nil {
@@ -76,6 +77,7 @@ func main() {
 	}
 	cs := transport.NewClientServer(full, template)
 	cs.SetReportQuant(quant)
+	cs.SetVersionedUpdates(*versionedUpdates)
 	addr, err := cs.Serve(*listen)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -35,6 +35,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "fleet seed (decorrelates whole fleets)")
 	scale := flag.Float64("scale", 0, "synthetic delta coordinate bound (0 = 1e-3)")
 	quantFlag := flag.String("report-quant", "float64", "report-endpoint precision: float64 (varint ranks + vote bitmaps) or int8 (quantized Acts8 payloads)")
+	versionedUpdates := flag.Bool("versioned-updates", false, "serve update responses in the versioned wire envelope instead of gob (servers sniff; safe to migrate fleets independently)")
 	logf := obs.AddLogFlags()
 	flag.Parse()
 	logger, err := logf.Setup(os.Stderr)
@@ -54,6 +55,7 @@ func main() {
 
 	fleet := transport.NewFleet()
 	fleet.SetReportQuant(quant)
+	fleet.SetVersionedUpdates(*versionedUpdates)
 	for id := 0; id < *clients; id++ {
 		fleet.Add(&fl.SyntheticClient{Id: id, Seed: *seed, Scale: *scale})
 	}

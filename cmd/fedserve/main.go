@@ -14,6 +14,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"os"
 	"strings"
@@ -48,6 +49,10 @@ func main() {
 	retries := flag.Int("retries", 3, "attempts per remote call")
 	attemptTimeout := flag.Duration("attempt-timeout", time.Minute, "deadline per remote call attempt")
 	opsAddr := flag.String("ops-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (empty = off)")
+	ckptDir := flag.String("checkpoint-dir", "", "persist round-state checkpoints into this directory (empty = off)")
+	ckptEvery := flag.Int("checkpoint-every", 1, "write a boundary checkpoint every N completed rounds")
+	ckptFolds := flag.Int("checkpoint-folds", 0, "also write a partial checkpoint every N folded updates inside a streaming round (0 = boundaries only)")
+	resume := flag.Bool("resume", false, "resume from the newest complete checkpoint in -checkpoint-dir before training")
 	quantFlag := flag.String("report-quant", "float64", "activation report precision the federation runs at: float64 (reference) or int8 (quantized recording; compact wire) — start fedclient/fedload with the same value")
 	logf := obs.AddLogFlags()
 	prof := profiling.AddFlags()
@@ -140,10 +145,11 @@ func main() {
 		reg.RegisterRange(0, *fleetCount)
 		s.FL.SelectPerRound = *sel
 		server := fl.NewRegistryServer(template, reg, s.FL, s.Seed+300)
+		startRound := setupDurability(server, logger, *ckptDir, *ckptEvery, *ckptFolds, *resume)
 		logger.Info("serve: fleet training start",
 			"fleet", fleetAddr, "population", reg.Len(),
 			"select", *sel, "streaming", *streaming, "rounds", server.Config().Rounds)
-		for round := 0; round < server.Config().Rounds; round++ {
+		for round := startRound; round < server.Config().Rounds; round++ {
 			res := server.RoundDetail(round)
 			obs.SampleProcess()
 			logger.Info("serve: round done",
@@ -194,6 +200,7 @@ func main() {
 	// The population size follows the actually connected clients.
 	s.FL.SelectPerRound = 0
 	server := fl.NewServer(template, parts, s.FL, s.Seed+300)
+	startRound := setupDurability(server, logger, *ckptDir, *ckptEvery, *ckptFolds, *resume)
 
 	taEval := metrics.NewSuffixEvaluator(test, 0)
 	asrEval := metrics.NewCachedASR(test, s.Poison, 0)
@@ -201,7 +208,7 @@ func main() {
 	aa := func(m *nn.Sequential) float64 { return 100 * asrEval.Evaluate(m) }
 
 	logger.Info("serve: training start", "clients", len(parts), "rounds", server.Config().Rounds)
-	for round := 0; round < server.Config().Rounds; round++ {
+	for round := startRound; round < server.Config().Rounds; round++ {
 		res := server.RoundDetail(round)
 		logger.Info("serve: round done",
 			"round", round,
@@ -233,4 +240,34 @@ func main() {
 		"ta_after", fmt.Sprintf("%.1f", ta(m)),
 		"aa_before", fmt.Sprintf("%.1f", aa(server.Model)),
 		"aa_after", fmt.Sprintf("%.1f", aa(m)))
+}
+
+// setupDurability installs the checkpointer (DESIGN.md §15) and, under
+// -resume, restores the newest complete checkpoint, returning the first
+// round the training loop should run. Resuming against an empty or
+// missing directory starts fresh — the normal first boot of a durable
+// deployment.
+func setupDurability(server *fl.Server, logger *slog.Logger, dir string, every, folds int, resume bool) int {
+	if dir == "" {
+		if resume {
+			fmt.Fprintln(os.Stderr, "-resume requires -checkpoint-dir")
+			os.Exit(2)
+		}
+		return 0
+	}
+	server.SetCheckpointer(&fl.Checkpointer{Dir: dir, EveryRounds: every, EveryFolds: folds})
+	if !resume {
+		return 0
+	}
+	next, resumed, err := server.ResumeLatest(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "resume:", err)
+		os.Exit(1)
+	}
+	if !resumed {
+		logger.Info("serve: no checkpoint found, starting fresh", "dir", dir)
+		return 0
+	}
+	logger.Info("serve: resumed from checkpoint", "dir", dir, "next_round", next)
+	return next
 }

@@ -1,0 +1,419 @@
+package fl
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"github.com/fedcleanse/fedcleanse/internal/obs"
+	"github.com/fedcleanse/fedcleanse/internal/wire"
+)
+
+// Durable rounds (DESIGN.md §15). A multi-day federation is one SIGKILL
+// away from losing every applied round unless the server's state — model
+// parameters, round counter, selection-RNG position and, mid-round, the
+// streaming fold accumulator — survives on disk. A Checkpointer writes
+// that state as CRC-sealed wire.KindCheckpoint envelopes on a configurable
+// cadence, atomically (temp file + fsync + rename), so the directory only
+// ever contains complete checkpoints plus at most one torn temp file that
+// the loader ignores. Restart is LatestCheckpoint + Server.ResumeFrom.
+
+// Checkpoint section types (wire.KindCheckpoint payloads).
+const (
+	// secCkptRound: uvarints NextRound, Seed (two's-complement cast),
+	// Draws, Registered.
+	secCkptRound uint16 = 1
+	// secCkptModel: the nn.AppendModelState payload of the global model.
+	secCkptModel uint16 = 2
+	// secCkptPartial: interrupted-round state (see PartialRound).
+	secCkptPartial uint16 = 3
+)
+
+// maxCheckpointBytes caps how much DecodeCheckpoint accepts; matches the
+// model cap in nn.
+const maxCheckpointBytes = 1 << 30
+
+// Checkpoint is a server's durable state: everything needed to restart a
+// federation where it stopped. Model holds the nn.AppendModelState payload
+// of the global model; RNG pins cohort selection so the resumed run picks
+// the cohorts the uninterrupted run would have.
+type Checkpoint struct {
+	// NextRound is the first round the resumed driver should run. A
+	// partial checkpoint has NextRound == Partial.Round: the interrupted
+	// round itself.
+	NextRound int
+	// RNG is the selection-generator state after the last completed draw.
+	RNG RNGState
+	// Registered is the population size at capture, verified on resume.
+	Registered int
+	// Model is the global model's parameter/mask payload.
+	Model []byte
+	// Partial, when non-nil, is the interrupted streaming round's state.
+	Partial *PartialRound
+}
+
+// PartialRound captures a streaming round mid-fold: the cohort bookkeeping
+// plus the fold accumulator, so a resumed server re-collects only the
+// participants that had not yet folded. The fold is strictly
+// participant-ordered, so restoring Acc and continuing from the recorded
+// prefix replays the exact scalar sequence of an uninterrupted round.
+type PartialRound struct {
+	// Round is the interrupted round index.
+	Round int
+	// Selected is the full cohort drawn for the round, participant order.
+	Selected []int
+	// Completed lists the IDs folded before the checkpoint.
+	Completed []int
+	// Dropped lists the IDs that delivered nothing before the checkpoint
+	// (policy drops — always recorded in full, they precede collection —
+	// then wire failures).
+	Dropped []int
+	// FoldN is the fold count (== len(Completed)).
+	FoldN int
+	// Total is the accumulated weight of a weighted fold (0 unweighted).
+	Total float64
+	// Acc is the fold accumulator at the checkpoint.
+	Acc []float64
+}
+
+// EncodeCheckpoint serializes ck as a wire.KindCheckpoint envelope.
+func EncodeCheckpoint(ck *Checkpoint) []byte {
+	var rs []byte
+	rs = wire.AppendUint(rs, uint64(ck.NextRound))
+	rs = wire.AppendUint(rs, uint64(ck.RNG.Seed))
+	rs = wire.AppendUint(rs, ck.RNG.Draws)
+	rs = wire.AppendUint(rs, uint64(ck.Registered))
+	e := wire.NewEncoder(wire.KindCheckpoint).
+		Section(secCkptRound, rs).
+		Section(secCkptModel, ck.Model)
+	if p := ck.Partial; p != nil {
+		var ps []byte
+		ps = wire.AppendUint(ps, uint64(p.Round))
+		ps = wire.AppendInts(ps, p.Selected)
+		ps = wire.AppendInts(ps, p.Completed)
+		ps = wire.AppendInts(ps, p.Dropped)
+		ps = wire.AppendUint(ps, uint64(p.FoldN))
+		ps = wire.AppendFloat64s(ps, []float64{p.Total})
+		ps = wire.AppendUint(ps, uint64(len(p.Acc)))
+		ps = wire.AppendFloat64s(ps, p.Acc)
+		e.Section(secCkptPartial, ps)
+	}
+	return e.Bytes()
+}
+
+// DecodeCheckpoint parses a wire.KindCheckpoint envelope. Malformed input
+// errors — never panics, never allocates past the payload's own size.
+func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
+	if len(data) > maxCheckpointBytes {
+		return nil, fmt.Errorf("fl: checkpoint of %d bytes exceeds cap", len(data))
+	}
+	secs, err := wire.DecodeKind(data, wire.KindCheckpoint)
+	if err != nil {
+		return nil, fmt.Errorf("fl: DecodeCheckpoint: %w", err)
+	}
+	ck := &Checkpoint{}
+	var haveRound, haveModel bool
+	for _, s := range secs {
+		switch s.Type {
+		case secCkptRound:
+			u := make([]uint64, 4)
+			rest := s.Payload
+			for i := range u {
+				if u[i], rest, err = wire.ReadUint(rest); err != nil {
+					return nil, fmt.Errorf("fl: DecodeCheckpoint: round state: %w", err)
+				}
+			}
+			if len(rest) != 0 {
+				return nil, fmt.Errorf("fl: DecodeCheckpoint: %d trailing round-state bytes", len(rest))
+			}
+			if u[0] > 1<<31 || u[3] > 1<<31 {
+				return nil, fmt.Errorf("fl: DecodeCheckpoint: round/population out of range")
+			}
+			ck.NextRound = int(u[0])
+			ck.RNG = RNGState{Seed: int64(u[1]), Draws: u[2]}
+			ck.Registered = int(u[3])
+			haveRound = true
+		case secCkptModel:
+			ck.Model = s.Payload
+			haveModel = true
+		case secCkptPartial:
+			p, err := decodePartial(s.Payload)
+			if err != nil {
+				return nil, err
+			}
+			ck.Partial = p
+		}
+	}
+	if !haveRound || !haveModel {
+		return nil, fmt.Errorf("fl: DecodeCheckpoint: missing required section (round/model)")
+	}
+	if ck.Partial != nil && ck.Partial.Round != ck.NextRound {
+		return nil, fmt.Errorf("fl: DecodeCheckpoint: partial round %d under checkpoint for round %d",
+			ck.Partial.Round, ck.NextRound)
+	}
+	return ck, nil
+}
+
+func decodePartial(p []byte) (*PartialRound, error) {
+	fail := func(what string, err error) (*PartialRound, error) {
+		return nil, fmt.Errorf("fl: DecodeCheckpoint: partial %s: %w", what, err)
+	}
+	pr := &PartialRound{}
+	round, rest, err := wire.ReadUint(p)
+	if err != nil {
+		return fail("round", err)
+	}
+	if round > 1<<31 {
+		return nil, fmt.Errorf("fl: DecodeCheckpoint: partial round %d out of range", round)
+	}
+	pr.Round = int(round)
+	if pr.Selected, rest, err = wire.ReadInts(rest); err != nil {
+		return fail("selected", err)
+	}
+	if pr.Completed, rest, err = wire.ReadInts(rest); err != nil {
+		return fail("completed", err)
+	}
+	if pr.Dropped, rest, err = wire.ReadInts(rest); err != nil {
+		return fail("dropped", err)
+	}
+	foldN, rest, err := wire.ReadUint(rest)
+	if err != nil {
+		return fail("fold count", err)
+	}
+	if foldN != uint64(len(pr.Completed)) {
+		return nil, fmt.Errorf("fl: DecodeCheckpoint: fold count %d with %d completed",
+			foldN, len(pr.Completed))
+	}
+	pr.FoldN = int(foldN)
+	if len(rest) < 8 {
+		return nil, fmt.Errorf("fl: DecodeCheckpoint: partial total truncated")
+	}
+	tot, err := wire.Float64s(rest[:8], 1)
+	if err != nil {
+		return fail("total", err)
+	}
+	pr.Total = tot[0]
+	rest = rest[8:]
+	dim, rest, err := wire.ReadUint(rest)
+	if err != nil {
+		return fail("acc length", err)
+	}
+	if uint64(len(rest)) != 8*dim {
+		return nil, fmt.Errorf("fl: DecodeCheckpoint: %d acc bytes for dim %d", len(rest), dim)
+	}
+	if pr.Acc, err = wire.Float64s(rest, int(dim)); err != nil {
+		return fail("acc", err)
+	}
+	return pr, nil
+}
+
+// checkpointExt names complete checkpoint files; the atomic writer's temp
+// files use a different suffix so a crash mid-write leaves nothing the
+// loader would even open.
+const checkpointExt = ".fcc"
+
+// boundaryName formats a round-boundary checkpoint's file name; nextRound
+// is the first round the resumed driver runs. partialName formats a
+// mid-round checkpoint after the given fold. The widths and the 'f' < 'p'
+// suffix order make lexical file-name order equal recency order: a round's
+// partials sort after the boundary that opened the round (both carry
+// NextRound == the interrupted round), and the next boundary sorts after
+// them all.
+func boundaryName(nextRound int) string {
+	return fmt.Sprintf("ckpt-%08d-f%s", nextRound, checkpointExt)
+}
+func partialName(round, folds int) string {
+	return fmt.Sprintf("ckpt-%08d-p%06d%s", round, folds, checkpointExt)
+}
+
+// AtomicWriteFile writes data so a crash at any instant leaves either the
+// previous file or the new one, never a torn mix: write to a temp file in
+// the same directory, fsync it, rename over the target, fsync the
+// directory so the rename itself is durable.
+func AtomicWriteFile(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-ckpt-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op once renamed
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// Checkpointer writes a server's checkpoints on a cadence. Zero values
+// mean: boundary checkpoint after every round, no mid-round partials, keep
+// the last two boundaries.
+type Checkpointer struct {
+	// Dir is the checkpoint directory (must exist).
+	Dir string
+	// EveryRounds is the boundary cadence: a checkpoint after every n-th
+	// round (<= 0 means every round).
+	EveryRounds int
+	// EveryFolds, when > 0, additionally writes a partial checkpoint
+	// inside streaming rounds after every n-th folded update (plus one
+	// before the first fold, so a pre-fold crash still resumes into the
+	// round with its drawn cohort).
+	EveryFolds int
+	// Keep bounds retention: the newest Keep boundary checkpoints and
+	// anything newer survive; older files are pruned after each boundary
+	// write (<= 0 means 2).
+	Keep int
+	// WriteFile is the write seam, nil meaning AtomicWriteFile. Tests
+	// inject torn writes here to prove resume never loads a torn file.
+	WriteFile func(path string, data []byte) error
+}
+
+func (c *Checkpointer) boundaryDue(t int) bool {
+	n := c.EveryRounds
+	if n <= 0 {
+		n = 1
+	}
+	return (t+1)%n == 0
+}
+
+func (c *Checkpointer) partialDue(folds int) bool {
+	return c.EveryFolds > 0 && folds%c.EveryFolds == 0
+}
+
+// write encodes and durably writes one checkpoint under the given name,
+// feeding the fl_checkpoint_* metrics.
+func (c *Checkpointer) write(name string, ck *Checkpoint) error {
+	sp := obs.StartSpan("fl.checkpoint_write", obs.M.FLCheckpointWriteSeconds)
+	defer sp.End()
+	data := EncodeCheckpoint(ck)
+	wf := c.WriteFile
+	if wf == nil {
+		wf = AtomicWriteFile
+	}
+	if err := wf(filepath.Join(c.Dir, name), data); err != nil {
+		obs.M.FLCheckpointWriteErrors.Inc()
+		return fmt.Errorf("fl: checkpoint %s: %w", name, err)
+	}
+	obs.M.FLCheckpointWrites.Inc()
+	obs.M.FLCheckpointBytes.Add(uint64(len(data)))
+	obs.L().Debug("fl: checkpoint written", "file", name, "bytes", len(data),
+		"next_round", ck.NextRound, "partial", ck.Partial != nil)
+	return nil
+}
+
+// WriteBoundary persists a round-boundary checkpoint and prunes old files.
+func (c *Checkpointer) WriteBoundary(ck *Checkpoint) error {
+	if err := c.write(boundaryName(ck.NextRound), ck); err != nil {
+		return err
+	}
+	c.prune()
+	return nil
+}
+
+// WritePartial persists a mid-round checkpoint after the given fold count.
+func (c *Checkpointer) WritePartial(ck *Checkpoint, folds int) error {
+	if ck.Partial == nil {
+		return fmt.Errorf("fl: WritePartial without partial state")
+	}
+	obs.M.FLCheckpointPartials.Inc()
+	return c.write(partialName(ck.Partial.Round, folds), ck)
+}
+
+// prune removes checkpoint files older than the Keep-th newest boundary.
+// Best-effort: retention failures only log, they never fail a round.
+func (c *Checkpointer) prune() {
+	keep := c.Keep
+	if keep <= 0 {
+		keep = 2
+	}
+	names, err := checkpointNames(c.Dir)
+	if err != nil {
+		obs.L().Warn("fl: checkpoint prune", "err", err)
+		return
+	}
+	// Walk newest-first; cut everything older than the keep-th boundary.
+	cut := ""
+	seen := 0
+	for i := len(names) - 1; i >= 0; i-- {
+		if strings.HasSuffix(names[i], "-f"+checkpointExt) {
+			if seen++; seen == keep {
+				cut = names[i]
+				break
+			}
+		}
+	}
+	if cut == "" {
+		return
+	}
+	for _, n := range names {
+		if n >= cut {
+			break
+		}
+		if err := os.Remove(filepath.Join(c.Dir, n)); err != nil {
+			obs.L().Warn("fl: checkpoint prune", "file", n, "err", err)
+		}
+	}
+}
+
+// checkpointNames lists the directory's checkpoint files in lexical (=
+// recency) order.
+func checkpointNames(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if e.Type().IsRegular() && strings.HasPrefix(e.Name(), "ckpt-") &&
+			strings.HasSuffix(e.Name(), checkpointExt) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// LatestCheckpoint loads the newest complete checkpoint in dir. Torn or
+// corrupt files — a crashed non-atomic writer, a bad disk — fail their CRC
+// and are skipped (counted into fl_checkpoint_torn_total), so the loader
+// degrades to the previous complete checkpoint rather than resurrecting
+// garbage. Returns (nil, "", nil) when dir holds no usable checkpoint.
+func LatestCheckpoint(dir string) (*Checkpoint, string, error) {
+	names, err := checkpointNames(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, "", nil
+		}
+		return nil, "", err
+	}
+	for i := len(names) - 1; i >= 0; i-- {
+		path := filepath.Join(dir, names[i])
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, "", err
+		}
+		ck, err := DecodeCheckpoint(data)
+		if err != nil {
+			obs.M.FLCheckpointTorn.Inc()
+			obs.L().Warn("fl: skipping torn checkpoint", "file", names[i], "err", err)
+			continue
+		}
+		return ck, path, nil
+	}
+	return nil, "", nil
+}

@@ -1,0 +1,599 @@
+package fl
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/fedcleanse/fedcleanse/internal/nn"
+	"github.com/fedcleanse/fedcleanse/internal/parallel"
+	"github.com/fedcleanse/fedcleanse/internal/wire"
+)
+
+var updateCorpus = flag.Bool("update", false, "regenerate checked-in fuzz corpora")
+
+// TestCountingSourceBitIdentity pins the contract rng.go relies on: the
+// counting wrapper must emit exactly the sequences of a bare
+// rand.New(rand.NewSource(seed)) for every derived draw the server uses.
+func TestCountingSourceBitIdentity(t *testing.T) {
+	ref := rand.New(rand.NewSource(17))
+	sr := newSeededRand(17)
+	for i := 0; i < 200; i++ {
+		switch i % 4 {
+		case 0:
+			if a, b := ref.Int63(), sr.rng.Int63(); a != b {
+				t.Fatalf("Int63 draw %d: %d vs %d", i, a, b)
+			}
+		case 1:
+			if a, b := ref.Intn(1000), sr.rng.Intn(1000); a != b {
+				t.Fatalf("Intn draw %d: %d vs %d", i, a, b)
+			}
+		case 2:
+			if a, b := ref.Float64(), sr.rng.Float64(); a != b {
+				t.Fatalf("Float64 draw %d: %v vs %v", i, a, b)
+			}
+		case 3:
+			a, b := ref.Perm(7), sr.rng.Perm(7)
+			for j := range a {
+				if a[j] != b[j] {
+					t.Fatalf("Perm draw %d: %v vs %v", i, a, b)
+				}
+			}
+		}
+	}
+}
+
+// TestRNGStateRestore: capturing mid-stream and restoring into a fresh
+// generator replays the identical continuation.
+func TestRNGStateRestore(t *testing.T) {
+	sr := newSeededRand(41)
+	for i := 0; i < 37; i++ {
+		sr.rng.Intn(100)
+	}
+	st := sr.State()
+	var want []int
+	for i := 0; i < 50; i++ {
+		want = append(want, sr.rng.Intn(1<<20))
+	}
+	fresh := newSeededRand(0)
+	fresh.Restore(st)
+	if got := fresh.State(); got != st {
+		t.Fatalf("restored state %+v, want %+v", got, st)
+	}
+	for i, w := range want {
+		if got := fresh.rng.Intn(1 << 20); got != w {
+			t.Fatalf("draw %d after restore: %d, want %d", i, got, w)
+		}
+	}
+}
+
+// TestCohortSelectionResumes is the satellite-6 pin: a server restored
+// from a checkpoint must select the same cohorts, for both the resident
+// Perm path and the registry sampling path.
+func TestCohortSelectionResumes(t *testing.T) {
+	template := nn.NewSmallCNN(nn.Input{C: 1, H: 16, W: 16}, 10, rand.New(rand.NewSource(7)))
+	cfg := Config{Rounds: 6, SelectPerRound: 4, Quorum: 0.5}
+	build := func() *Server {
+		parts := make([]Participant, 9)
+		for i := range parts {
+			parts[i] = &SyntheticClient{Id: i, Seed: 5}
+		}
+		return NewServer(template, parts, cfg, 33)
+	}
+	buildReg := func() *Server {
+		reg := NewRegistry(func(id int) Participant { return &SyntheticClient{Id: id, Seed: 5} })
+		reg.RegisterRange(0, 9)
+		return NewRegistryServer(template, reg, cfg, 33)
+	}
+	for name, mk := range map[string]func() *Server{"resident": build, "registry": buildReg} {
+		t.Run(name, func(t *testing.T) {
+			ref := mk()
+			var want [][]int
+			for r := 0; r < 5; r++ {
+				var ids []int
+				for _, p := range ref.selectClients() {
+					ids = append(ids, p.ID())
+				}
+				want = append(want, ids)
+				if r == 1 {
+					// Checkpoint after the round-1 draw, resume a fresh server.
+					ck := ref.CheckpointAt(2)
+					data := EncodeCheckpoint(ck)
+					back, err := DecodeCheckpoint(data)
+					if err != nil {
+						t.Fatal(err)
+					}
+					res := mk()
+					if err := res.ResumeFrom(back); err != nil {
+						t.Fatal(err)
+					}
+					for rr := 2; rr < 5; rr++ {
+						var got []int
+						for _, p := range res.selectClients() {
+							got = append(got, p.ID())
+						}
+						want = append(want, got)
+					}
+				}
+			}
+			// want now holds rounds 0,1, resumed 2,3,4, then fresh 2,3,4 at
+			// the tail — compare the resumed draws against the reference's.
+			resumed, fresh := want[2:5], want[5:8]
+			for i := range resumed {
+				if !sameInts(fresh[i], resumed[i]) {
+					t.Fatalf("resumed cohort %d = %v, reference %v", i+2, resumed[i], fresh[i])
+				}
+			}
+		})
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	ck := &Checkpoint{
+		NextRound:  3,
+		RNG:        RNGState{Seed: -99, Draws: 1234},
+		Registered: 9,
+		Model:      []byte{1, 2, 3, 4},
+		Partial: &PartialRound{
+			Round:     3,
+			Selected:  []int{4, 7, 1, 0},
+			Completed: []int{4, 7},
+			Dropped:   []int{1},
+			FoldN:     2,
+			Total:     6.5,
+			Acc:       []float64{0.25, -1, math.Inf(1)},
+		},
+	}
+	data := EncodeCheckpoint(ck)
+	if wire.Sniff(data) != wire.FormatVersioned {
+		t.Fatal("checkpoint does not sniff as versioned")
+	}
+	got, err := DecodeCheckpoint(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NextRound != ck.NextRound || got.RNG != ck.RNG || got.Registered != ck.Registered ||
+		!bytes.Equal(got.Model, ck.Model) {
+		t.Fatalf("boundary state mismatch: %+v", got)
+	}
+	p, q := ck.Partial, got.Partial
+	if q == nil || q.Round != p.Round || !sameInts(q.Selected, p.Selected) ||
+		!sameInts(q.Completed, p.Completed) || !sameInts(q.Dropped, p.Dropped) ||
+		q.FoldN != p.FoldN || q.Total != p.Total || len(q.Acc) != len(p.Acc) {
+		t.Fatalf("partial state mismatch: %+v", q)
+	}
+	for i := range p.Acc {
+		if math.Float64bits(q.Acc[i]) != math.Float64bits(p.Acc[i]) {
+			t.Fatalf("acc %d not bit-exact", i)
+		}
+	}
+	// Boundary-only checkpoints round-trip without a partial section.
+	ck.Partial = nil
+	got, err = DecodeCheckpoint(EncodeCheckpoint(ck))
+	if err != nil || got.Partial != nil {
+		t.Fatalf("boundary-only round trip: %v, partial %v", err, got.Partial)
+	}
+}
+
+// checkpointSeeds builds the decode inputs the parser must survive.
+func checkpointSeeds(tb testing.TB) map[string][]byte {
+	good := EncodeCheckpoint(&Checkpoint{
+		NextRound: 2, RNG: RNGState{Seed: 9, Draws: 4}, Registered: 3,
+		Model: []byte{9, 9},
+		Partial: &PartialRound{Round: 2, Selected: []int{1, 2}, Completed: []int{1},
+			FoldN: 1, Acc: []float64{0.5}},
+	})
+	mismatch := EncodeCheckpoint(&Checkpoint{
+		NextRound: 2, RNG: RNGState{Seed: 9, Draws: 4}, Registered: 3,
+		Model: []byte{9, 9},
+		Partial: &PartialRound{Round: 7, Selected: []int{1, 2}, Completed: []int{1},
+			FoldN: 1, Acc: []float64{0.5}},
+	})
+	foldLie := EncodeCheckpoint(&Checkpoint{
+		NextRound: 2, RNG: RNGState{Seed: 9, Draws: 4}, Registered: 3,
+		Model: []byte{9, 9},
+		Partial: &PartialRound{Round: 2, Selected: []int{1, 2}, Completed: []int{1},
+			FoldN: 5, Acc: []float64{0.5}},
+	})
+	return map[string][]byte{
+		"valid":            good,
+		"empty":            {},
+		"truncated-header": good[:8],
+		"wrong-magic":      append([]byte("GOBX"), good[4:]...),
+		"wrong-kind":       wire.NewEncoder(wire.KindModel).Bytes(),
+		"partial-mismatch": mismatch,
+		"fold-count-lie":   foldLie,
+	}
+}
+
+func TestDecodeCheckpointRejections(t *testing.T) {
+	seeds := checkpointSeeds(t)
+	for name, data := range seeds {
+		_, err := DecodeCheckpoint(data)
+		if name == "valid" {
+			if err != nil {
+				t.Errorf("valid checkpoint rejected: %v", err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	// Note: "partial-mismatch" and "fold-count-lie" are internally
+	// inconsistent states EncodeCheckpoint happily seals — the decoder is
+	// the validation layer, exactly like a file edited on disk.
+}
+
+func TestCheckpointFuzzCorpus(t *testing.T) {
+	seeds := checkpointSeeds(t)
+	if *updateCorpus {
+		writeFuzzCorpus(t, "FuzzDecodeCheckpoint", seeds)
+		return
+	}
+	for name := range seeds {
+		p := filepath.Join("testdata", "fuzz", "FuzzDecodeCheckpoint", name)
+		if _, err := os.Stat(p); err != nil {
+			t.Errorf("corpus entry missing (rerun with -update): %v", err)
+		}
+	}
+}
+
+func writeFuzzCorpus(t *testing.T, target string, entries map[string][]byte) {
+	t.Helper()
+	dir := filepath.Join("testdata", "fuzz", target)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range entries {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func FuzzDecodeCheckpoint(f *testing.F) {
+	for _, seed := range checkpointSeeds(f) {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Must never panic or allocate past the input's own size; a
+		// decoded checkpoint must be internally consistent.
+		ck, err := DecodeCheckpoint(data)
+		if err != nil {
+			return
+		}
+		if p := ck.Partial; p != nil {
+			if p.Round != ck.NextRound || p.FoldN != len(p.Completed) {
+				t.Fatal("inconsistent checkpoint accepted")
+			}
+		}
+	})
+}
+
+func TestAtomicWriteFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.fcc")
+	if err := AtomicWriteFile(path, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := AtomicWriteFile(path, []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "two" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 1 {
+		t.Fatalf("%d entries left in dir, want 1 (no temp litter)", len(ents))
+	}
+}
+
+// tornWriter is the crash-injection seam: it writes only the first half of
+// the payload straight to the final path (no temp, no rename — the
+// behavior AtomicWriteFile exists to prevent) and reports failure.
+func tornWriter(path string, data []byte) error {
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		return err
+	}
+	return fmt.Errorf("injected crash mid-write")
+}
+
+// TestResumeNeverLoadsTornCheckpoint is the crash-safety satellite: after
+// a torn write, LatestCheckpoint must return the previous complete
+// checkpoint — never the torn file.
+func TestResumeNeverLoadsTornCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	c := &Checkpointer{Dir: dir}
+	good := &Checkpoint{NextRound: 1, RNG: RNGState{Seed: 3, Draws: 2}, Registered: 4, Model: []byte{1}}
+	if err := c.WriteBoundary(good); err != nil {
+		t.Fatal(err)
+	}
+	// A torn boundary write for round 2: fails, leaves half a file.
+	c.WriteFile = tornWriter
+	if err := c.WriteBoundary(&Checkpoint{NextRound: 2, RNG: RNGState{Seed: 3, Draws: 9},
+		Registered: 4, Model: []byte{2}}); err == nil {
+		t.Fatal("torn write reported success")
+	}
+	names, err := checkpointNames(dir)
+	if err != nil || len(names) != 2 {
+		t.Fatalf("want the good and the torn file on disk, have %v (%v)", names, err)
+	}
+	ck, path, err := LatestCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck == nil || ck.NextRound != 1 || ck.RNG.Draws != 2 {
+		t.Fatalf("loaded %+v from %s, want the previous complete checkpoint", ck, path)
+	}
+	if strings.Contains(path, "00000002") {
+		t.Fatalf("loaded the torn file %s", path)
+	}
+	// Same for a torn partial over a good boundary.
+	if err := c.WritePartial(&Checkpoint{NextRound: 1, RNG: RNGState{Seed: 3, Draws: 2},
+		Registered: 4, Model: []byte{1},
+		Partial: &PartialRound{Round: 1, Selected: []int{0}, Acc: []float64{1}}}, 0); err == nil {
+		t.Fatal("torn partial write reported success")
+	}
+	ck, _, err = LatestCheckpoint(dir)
+	if err != nil || ck == nil || ck.NextRound != 1 || ck.Partial != nil {
+		t.Fatalf("after torn partial: %+v, %v", ck, err)
+	}
+}
+
+// TestTornTempNeverVisible: a crash before rename (the injected writer
+// below dies without ever producing the final file) leaves only temp
+// litter, which the loader does not even consider.
+func TestTornTempNeverVisible(t *testing.T) {
+	dir := t.TempDir()
+	c := &Checkpointer{Dir: dir}
+	if err := c.WriteBoundary(&Checkpoint{NextRound: 1, Model: []byte{1}}); err != nil {
+		t.Fatal(err)
+	}
+	c.WriteFile = func(path string, data []byte) error {
+		// Crash mid-temp-write: short fsync, no rename.
+		return os.WriteFile(filepath.Join(dir, ".tmp-ckpt-dead"), data[:1], 0o644)
+	}
+	if err := c.WriteBoundary(&Checkpoint{NextRound: 2, Model: []byte{2}}); err != nil {
+		t.Fatal(err) // the seam itself succeeds; the file just never lands
+	}
+	ck, _, err := LatestCheckpoint(dir)
+	if err != nil || ck == nil || ck.NextRound != 1 {
+		t.Fatalf("temp litter leaked into recovery: %+v, %v", ck, err)
+	}
+}
+
+func TestCheckpointerRetention(t *testing.T) {
+	dir := t.TempDir()
+	c := &Checkpointer{Dir: dir, Keep: 2, EveryFolds: 1}
+	for r := 1; r <= 5; r++ {
+		// A partial inside round r, then the boundary that closes it.
+		if err := c.WritePartial(&Checkpoint{NextRound: r, Model: []byte{byte(r)},
+			Partial: &PartialRound{Round: r, Selected: []int{0}, Acc: []float64{1}}}, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.WriteBoundary(&Checkpoint{NextRound: r + 1, Model: []byte{byte(r)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names, err := checkpointNames(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var boundaries int
+	for _, n := range names {
+		if strings.HasSuffix(n, "-f"+checkpointExt) {
+			boundaries++
+		}
+		if n < boundaryName(5) {
+			t.Fatalf("file %s survived past retention cut %s", n, boundaryName(5))
+		}
+	}
+	if boundaries != 2 {
+		t.Fatalf("%d boundaries retained, want 2 (%v)", boundaries, names)
+	}
+	ck, _, err := LatestCheckpoint(dir)
+	if err != nil || ck == nil || ck.NextRound != 6 {
+		t.Fatalf("latest after retention: %+v, %v", ck, err)
+	}
+}
+
+// errCrash is the sentinel the scripted CrashHook panics with; the harness
+// recovers it, modeling an in-process SIGKILL.
+type crashSentinel struct {
+	point CrashPoint
+	round int
+	folds int
+}
+
+// crashAt installs a hook that kills the server the first time the given
+// point fires at the given round/fold position.
+func crashAt(s *Server, point CrashPoint, round, folds int) {
+	fired := false
+	s.CrashHook = func(p CrashPoint, r, f int) {
+		if fired || p != point || r != round || (point != CrashPostQuorumPreApply && f != folds) {
+			return
+		}
+		fired = true
+		panic(crashSentinel{p, r, f})
+	}
+}
+
+// runUntilCrash drives rounds until the scripted kill fires, returning how
+// many rounds completed before death.
+func runUntilCrash(t *testing.T, s *Server, rounds int) (completed int, crashed bool) {
+	t.Helper()
+	for r := 0; r < rounds; r++ {
+		died := func() (died bool) {
+			defer func() {
+				if rec := recover(); rec != nil {
+					if _, ok := rec.(crashSentinel); !ok {
+						panic(rec)
+					}
+					died = true
+				}
+			}()
+			s.RoundDetail(r)
+			return false
+		}()
+		if died {
+			return r, true
+		}
+	}
+	return rounds, false
+}
+
+// syntheticDurableServer builds a streaming federation of stateless
+// synthetic clients with a checkpointer attached — the fixture for the
+// kill-and-restart tests.
+func syntheticDurableServer(t *testing.T, template *nn.Sequential, dir string, drop DropPolicy) *Server {
+	t.Helper()
+	cfg := Config{Rounds: 5, SelectPerRound: 6, Quorum: 0.5, Streaming: true, Shards: 4, StreamWindow: 2}
+	parts := make([]Participant, 10)
+	for i := range parts {
+		parts[i] = &SyntheticClient{Id: i, Seed: 11}
+	}
+	s := NewServer(template, parts, cfg, 77)
+	s.Drop = drop
+	if dir != "" {
+		s.SetCheckpointer(&Checkpointer{Dir: dir, EveryFolds: 1})
+	}
+	return s
+}
+
+// TestKillRestartBitIdentity is the fl-level kill-and-restart pin: for
+// each scripted crash point, a server killed mid-run and resumed from its
+// checkpoints must finish with parameters bit-identical to an
+// uninterrupted run — including the cohorts it selects after the resumed
+// round. The cross-process, wire-served version of this suite lives in
+// internal/transport's chaos tests.
+func TestKillRestartBitIdentity(t *testing.T) {
+	template := nn.NewSmallCNN(nn.Input{C: 1, H: 16, W: 16}, 10, rand.New(rand.NewSource(7)))
+	drop := dropIDs{3: true}
+	const rounds = 5
+
+	ref := syntheticDurableServer(t, template, "", drop)
+	for r := 0; r < rounds; r++ {
+		ref.RoundDetail(r)
+	}
+	refParams := ref.Model.ParamsVector()
+
+	cases := []struct {
+		name  string
+		point CrashPoint
+		round int
+		folds int
+	}{
+		{"pre-fold", CrashPreFold, 2, 0},
+		{"mid-collection-first", CrashMidCollection, 2, 1},
+		{"mid-collection-late", CrashMidCollection, 2, 4},
+		{"post-quorum-pre-apply", CrashPostQuorumPreApply, 2, 0},
+		{"round-zero", CrashMidCollection, 0, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			s := syntheticDurableServer(t, template, dir, drop)
+			crashAt(s, tc.point, tc.round, tc.folds)
+			if _, crashed := runUntilCrash(t, s, rounds); !crashed {
+				t.Fatal("scripted crash never fired")
+			}
+			// "Restart": a fresh process image resumes from disk.
+			res := syntheticDurableServer(t, template, dir, drop)
+			next, resumed, err := res.ResumeLatest(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !resumed {
+				t.Fatal("no checkpoint found after crash")
+			}
+			for r := next; r < rounds; r++ {
+				res.RoundDetail(r)
+			}
+			got := res.Model.ParamsVector()
+			for i := range refParams {
+				if got[i] != refParams[i] {
+					t.Fatalf("param %d = %v, want %v (resumed run diverged)", i, got[i], refParams[i])
+				}
+			}
+		})
+	}
+}
+
+// TestKillRestartAcrossWorkers sweeps the fl-level kill-restart over
+// worker counts, pinning that resume determinism is independent of
+// collection concurrency.
+func TestKillRestartAcrossWorkers(t *testing.T) {
+	template := nn.NewSmallCNN(nn.Input{C: 1, H: 16, W: 16}, 10, rand.New(rand.NewSource(7)))
+	const rounds = 4
+	ref := syntheticDurableServer(t, template, "", nil)
+	for r := 0; r < rounds; r++ {
+		ref.RoundDetail(r)
+	}
+	refParams := ref.Model.ParamsVector()
+	for _, workers := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			prev := parallel.SetWorkers(workers)
+			defer parallel.SetWorkers(prev)
+			dir := t.TempDir()
+			s := syntheticDurableServer(t, template, dir, nil)
+			crashAt(s, CrashMidCollection, 1, 3)
+			if _, crashed := runUntilCrash(t, s, rounds); !crashed {
+				t.Fatal("scripted crash never fired")
+			}
+			res := syntheticDurableServer(t, template, dir, nil)
+			next, resumed, err := res.ResumeLatest(dir)
+			if err != nil || !resumed {
+				t.Fatalf("resume: %v (found %v)", err, resumed)
+			}
+			for r := next; r < rounds; r++ {
+				res.RoundDetail(r)
+			}
+			got := res.Model.ParamsVector()
+			for i := range refParams {
+				if got[i] != refParams[i] {
+					t.Fatalf("workers=%d: param %d diverged", workers, i)
+				}
+			}
+		})
+	}
+}
+
+// TestResumeRejectsPopulationMismatch: resuming against a different
+// federation is refused, not silently aggregated.
+func TestResumeRejectsPopulationMismatch(t *testing.T) {
+	template := nn.NewSmallCNN(nn.Input{C: 1, H: 16, W: 16}, 10, rand.New(rand.NewSource(7)))
+	dir := t.TempDir()
+	s := syntheticDurableServer(t, template, dir, nil)
+	s.RoundDetail(0)
+	other := syntheticDurableServer(t, template, "", nil)
+	other.Participants = other.Participants[:5]
+	if _, _, err := other.ResumeLatest(dir); err == nil {
+		t.Fatal("population mismatch accepted")
+	}
+}
+
+// TestFineTuneNeverCheckpoints: defense fine-tuning shares the round
+// machinery but must not write global-model checkpoints.
+func TestFineTuneNeverCheckpoints(t *testing.T) {
+	template := nn.NewSmallCNN(nn.Input{C: 1, H: 16, W: 16}, 10, rand.New(rand.NewSource(7)))
+	dir := t.TempDir()
+	s := syntheticDurableServer(t, template, dir, nil)
+	work := template.Clone()
+	s.FineTune(work, 2)
+	names, err := checkpointNames(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 0 {
+		t.Fatalf("fine-tuning wrote checkpoints: %v", names)
+	}
+}

@@ -113,6 +113,21 @@ func (r *Registry) Cohort(k int, rng *rand.Rand) []Participant {
 	return parts
 }
 
+// Materialize resolves explicit client IDs through the factory, in the
+// given order — the resume path's way to rebuild a checkpointed cohort
+// without consuming any sampling randomness.
+func (r *Registry) Materialize(ids []int) []Participant {
+	parts := make([]Participant, len(ids))
+	for i, id := range ids {
+		p := r.factory(id)
+		if p == nil {
+			panic(fmt.Sprintf("fl: factory returned nil participant for client %d", id))
+		}
+		parts[i] = p
+	}
+	return parts
+}
+
 // sampleIndices draws k distinct indices from [0,n) by a partial
 // Fisher–Yates shuffle whose displaced entries live in a map, so cost is
 // O(k) regardless of n. The draw sequence is a pure function of the RNG

@@ -150,22 +150,63 @@ type Server struct {
 	// Drop, when non-nil, injects client failures (see DropPolicy).
 	Drop DropPolicy
 
+	// CrashHook, when set, is invoked at scripted points inside a round
+	// (see CrashPoint). The chaos suite installs hooks that panic with a
+	// sentinel to model a SIGKILL at exactly that instant; production
+	// servers leave it nil.
+	CrashHook func(p CrashPoint, round, folds int)
+
 	cfg Config
+	// rng drives cohort selection; sr owns it so the draw position can be
+	// checkpointed (see rng.go).
 	rng *rand.Rand
+	sr  *seededRand
+	// ckpt, when non-nil, persists round state (SetCheckpointer).
+	ckpt *Checkpointer
+	// pendingPartial is an interrupted round restored by ResumeFrom,
+	// consumed by the next RoundDetail call.
+	pendingPartial *PartialRound
 	// foldScratch backs the streaming accumulator so steady-state
 	// streaming rounds reuse one buffer (DESIGN.md §12).
 	foldScratch tensor.Arena
 }
 
+// CrashPoint names the scripted kill points of a round, in execution
+// order. They exist for the kill-and-restart chaos suite: each models the
+// process dying at a different durability-critical instant.
+type CrashPoint int
+
+const (
+	// CrashPreFold fires in a streaming round after the cohort is drawn
+	// and the opening partial checkpoint (if due) is written, before any
+	// update has folded.
+	CrashPreFold CrashPoint = iota + 1
+	// CrashMidCollection fires after each folded update (folds carries
+	// the count), after any due partial checkpoint.
+	CrashMidCollection
+	// CrashPostQuorumPreApply fires once quorum is met, immediately
+	// before the aggregate is applied to the model.
+	CrashPostQuorumPreApply
+)
+
+// crash invokes the scripted kill hook, if any.
+func (s *Server) crash(p CrashPoint, round, folds int) {
+	if s.CrashHook != nil {
+		s.CrashHook(p, round, folds)
+	}
+}
+
 // NewServer builds a server over the given population. template provides
 // the global model architecture and initial weights (cloned).
 func NewServer(template *nn.Sequential, participants []Participant, cfg Config, seed int64) *Server {
+	sr := newSeededRand(seed)
 	return &Server{
 		Model:        template.Clone(),
 		Participants: append([]Participant(nil), participants...),
 		Agg:          MeanAggregator{},
 		cfg:          cfg.withDefaults(),
-		rng:          rand.New(rand.NewSource(seed)),
+		rng:          sr.rng,
+		sr:           sr,
 	}
 }
 
@@ -232,9 +273,106 @@ func (s *Server) Round(t int) []int {
 	return s.RoundDetail(t).Completed
 }
 
-// RoundDetail is Round with full failure telemetry.
+// RoundDetail is Round with full failure telemetry. On a server with a
+// checkpointer installed it also persists round state: a boundary
+// checkpoint after each due round, and — through the streaming round —
+// partial checkpoints mid-fold. A round resumed from a partial checkpoint
+// (ResumeFrom) re-enters the interrupted round here: t must equal the
+// checkpointed round.
 func (s *Server) RoundDetail(t int) RoundResult {
-	return s.runRound(s.Model, s.selectClients(), t)
+	var res RoundResult
+	if pp := s.pendingPartial; pp != nil {
+		s.pendingPartial = nil
+		if pp.Round == t {
+			res = s.resumePartialRound(pp, t)
+		} else {
+			// Driver bug: the resumed round must be replayed first. Fall
+			// back to a fresh round — correctness of this round survives,
+			// but the interrupted round's collected work is lost.
+			obs.L().Warn("fl: pending partial round dropped",
+				"partial_round", pp.Round, "round", t)
+			res = s.runRound(s.Model, s.selectClients(), t, true)
+		}
+	} else {
+		res = s.runRound(s.Model, s.selectClients(), t, true)
+	}
+	if s.ckpt != nil && s.ckpt.boundaryDue(t) {
+		if err := s.ckpt.WriteBoundary(s.CheckpointAt(t + 1)); err != nil {
+			obs.L().Warn("fl: boundary checkpoint failed", "round", t, "err", err)
+		}
+	}
+	return res
+}
+
+// SetCheckpointer installs c; subsequent training rounds persist their
+// state on c's cadence. Fine-tuning rounds never checkpoint — they run
+// inside the defense over a working model, not the global one.
+func (s *Server) SetCheckpointer(c *Checkpointer) { s.ckpt = c }
+
+// CheckpointAt captures the server's boundary state as of the given next
+// round: the global model, the selection-RNG position and the population
+// size.
+func (s *Server) CheckpointAt(nextRound int) *Checkpoint {
+	return &Checkpoint{
+		NextRound:  nextRound,
+		RNG:        s.sr.State(),
+		Registered: s.populationSize(),
+		Model:      nn.AppendModelState(nil, s.Model),
+	}
+}
+
+// ResumeFrom restores the server to a checkpoint: model parameters and
+// prune masks, selection-RNG position, and — for a partial checkpoint —
+// the interrupted round, which the next RoundDetail(ck.NextRound) call
+// completes from the recorded fold prefix. The server must be freshly
+// built from the same template, config and population as the checkpointed
+// one (the population size is verified; the rest cannot be).
+//
+// Determinism contract: a resumed run is bit-identical to the
+// uninterrupted one when participants and the DropPolicy are stateless —
+// pure functions of (id, round), like SyntheticClient and the chaos
+// suite's scripted policies. A participant or policy that carries its own
+// RNG across rounds re-runs the interrupted round with advanced state, and
+// the bit-identity claim (not correctness) is lost.
+func (s *Server) ResumeFrom(ck *Checkpoint) error {
+	if ck.Registered != s.populationSize() {
+		return fmt.Errorf("fl: resume with population %d, checkpoint has %d",
+			s.populationSize(), ck.Registered)
+	}
+	if err := nn.ApplyModelState(s.Model, ck.Model); err != nil {
+		return fmt.Errorf("fl: resume: %w", err)
+	}
+	s.sr.Restore(ck.RNG)
+	s.pendingPartial = ck.Partial
+	obs.M.FLResumes.Inc()
+	if ck.Partial != nil {
+		obs.M.FLResumedPartialRounds.Inc()
+	}
+	obs.L().Info("fl: resumed from checkpoint", "next_round", ck.NextRound,
+		"rng_draws", ck.RNG.Draws, "partial", ck.Partial != nil)
+	return nil
+}
+
+// ResumeLatest restores the server from the newest complete checkpoint in
+// dir, returning the next round to run and whether a checkpoint was found.
+func (s *Server) ResumeLatest(dir string) (nextRound int, resumed bool, err error) {
+	ck, path, err := LatestCheckpoint(dir)
+	if err != nil || ck == nil {
+		return 0, false, err
+	}
+	if err := s.ResumeFrom(ck); err != nil {
+		return 0, false, fmt.Errorf("%w (checkpoint %s)", err, path)
+	}
+	return ck.NextRound, true, nil
+}
+
+// populationSize is the registered population (registry servers) or the
+// resident participant count.
+func (s *Server) populationSize() int {
+	if s.Registry != nil {
+		return s.Registry.Len()
+	}
+	return len(s.Participants)
 }
 
 // runRound drives one aggregation round over the given cohort against
@@ -252,10 +390,12 @@ func (s *Server) RoundDetail(t int) RoundResult {
 // fl_quorum_failures_total. Instrumentation only observes the round's
 // outcome after the fact; it touches no model arithmetic, scheduling or
 // RNG stream, so rounds stay bit-identical with metrics enabled.
-func (s *Server) runRound(m *nn.Sequential, selected []Participant, t int) RoundResult {
+// durable marks training rounds against the global model — the only
+// rounds partial checkpoints may describe. Fine-tuning passes false.
+func (s *Server) runRound(m *nn.Sequential, selected []Participant, t int, durable bool) RoundResult {
 	if s.cfg.Streaming {
 		if sa, ok := s.aggregator().(StreamingAggregator); ok {
-			return s.runStreamingRound(m, sa, selected, t)
+			return s.runStreamingRound(m, sa, selected, t, durable)
 		}
 		obs.M.FLStreamFallbacks.Inc()
 		obs.L().Debug("fl: aggregator cannot stream, batch round",
@@ -359,6 +499,7 @@ func (s *Server) runBatchRound(m *nn.Sequential, selected []Participant, t int) 
 	if !s.meetsQuorum(len(ok), len(selected), t) {
 		return res
 	}
+	s.crash(CrashPostQuorumPreApply, t, len(ok))
 	if wa, isWeighted := s.Agg.(WeightedAggregator); isWeighted {
 		m.AddDeltaVector(1, wa.AggregateWeighted(ok, ids))
 	} else {
@@ -375,7 +516,7 @@ func (s *Server) runBatchRound(m *nn.Sequential, selected []Participant, t int) 
 // The fold order and the shared drop/quorum helpers make the result
 // bit-identical to runBatchRound for every shard count, worker count and
 // dropout set (the streaming equivalence suite pins this).
-func (s *Server) runStreamingRound(m *nn.Sequential, sa StreamingAggregator, selected []Participant, t int) RoundResult {
+func (s *Server) runStreamingRound(m *nn.Sequential, sa StreamingAggregator, selected []Participant, t int, durable bool) RoundResult {
 	sp := obs.StartSpan("fl.round", obs.M.FLRoundSeconds)
 	defer sp.End()
 	obs.M.FLRounds.Inc()
@@ -386,6 +527,30 @@ func (s *Server) runStreamingRound(m *nn.Sequential, sa StreamingAggregator, sel
 	defer cancel()
 
 	fold := sa.BeginFold(len(global), s.shardCount(), &s.foldScratch)
+	// The opening partial checkpoint (fold 0) records the drawn cohort and
+	// policy drops, so a crash before any update folds still resumes into
+	// this round instead of redrawing it.
+	s.partialCheckpoint(m, &res, fold, t, 0, durable)
+	s.crash(CrashPreFold, t, 0)
+	folds := s.collectAndFold(ctx, m, fold, active, global, t, &res, durable, 0)
+	agg := fold.Finish()
+	obs.M.FLStreamInFlightPeak.Set(int64(res.PeakInFlight))
+	obs.M.FLCompleted.Add(uint64(len(res.Completed)))
+	if !s.meetsQuorum(len(res.Completed), len(selected), t) {
+		return res
+	}
+	s.crash(CrashPostQuorumPreApply, t, folds)
+	m.AddDeltaVector(1, agg)
+	res.Applied = true
+	return res
+}
+
+// collectAndFold runs the streaming round's collection window over active,
+// folding survivors in participant order, and returns the final fold
+// count. startFolds carries a resumed round's recorded prefix so the
+// partial-checkpoint cadence and crash hooks see global fold counts.
+func (s *Server) collectAndFold(ctx context.Context, m *nn.Sequential, fold Fold,
+	active []Participant, global []float64, t int, res *RoundResult, durable bool, startFolds int) int {
 	window := s.windowSize(len(active))
 	type outcome struct {
 		delta []float64
@@ -422,6 +587,7 @@ func (s *Server) runStreamingRound(m *nn.Sequential, sa StreamingAggregator, sel
 			}(i)
 		}
 	}()
+	folds := startFolds
 	for i, p := range active {
 		<-ready[i]
 		out := results[i]
@@ -434,17 +600,132 @@ func (s *Server) runStreamingRound(m *nn.Sequential, sa StreamingAggregator, sel
 		res.Completed = append(res.Completed, p.ID())
 		fold.Fold(p.ID(), out.delta)
 		atomic.AddInt64(&inFlight, -1)
+		folds++
+		s.partialCheckpoint(m, res, fold, t, folds, durable)
+		s.crash(CrashMidCollection, t, folds)
 	}
-	agg := fold.Finish()
 	res.PeakInFlight = int(atomic.LoadInt64(&peak))
+	return folds
+}
+
+// partialCheckpoint writes a mid-round checkpoint when one is due:
+// quiesce the fold, snapshot its accumulator, seal it with the round's
+// bookkeeping. A failed write logs and counts — the round itself carries
+// on; durability degrades to the previous checkpoint.
+func (s *Server) partialCheckpoint(m *nn.Sequential, res *RoundResult, fold Fold, t, folds int, durable bool) {
+	if !durable || s.ckpt == nil || !s.ckpt.partialDue(folds) {
+		return
+	}
+	fc, ok := fold.(foldSnapshotter)
+	if !ok {
+		return
+	}
+	acc, n, total := fc.snapshot()
+	ck := s.CheckpointAt(t)
+	ck.Partial = &PartialRound{
+		Round:     t,
+		Selected:  res.Selected,
+		Completed: res.Completed,
+		Dropped:   res.Dropped,
+		FoldN:     n,
+		Total:     total,
+		Acc:       acc,
+	}
+	if err := s.ckpt.WritePartial(ck, folds); err != nil {
+		obs.L().Warn("fl: partial checkpoint failed", "round", t, "folds", folds, "err", err)
+	}
+}
+
+// resumePartialRound completes a round interrupted mid-stream: the cohort
+// and drop record come from the checkpoint, the fold restarts from the
+// restored accumulator, and only the participants past the recorded prefix
+// are collected — in the same participant order, so the scalar fold
+// sequence (and therefore the applied aggregate) is the uninterrupted
+// round's.
+func (s *Server) resumePartialRound(pp *PartialRound, t int) RoundResult {
+	sa, ok := s.aggregator().(StreamingAggregator)
+	if !ok {
+		// Partials are only written by streaming rounds; a server resumed
+		// with a non-streaming rule is misconfigured. Redo the round over
+		// the recorded cohort from scratch.
+		obs.L().Warn("fl: partial checkpoint under non-streaming aggregator, re-running round", "round", t)
+		return s.runRound(s.Model, s.materialize(pp.Selected), t, true)
+	}
+	sp := obs.StartSpan("fl.round", obs.M.FLRoundSeconds)
+	defer sp.End()
+	obs.M.FLRounds.Inc()
+	res := RoundResult{
+		Round:     t,
+		Selected:  append([]int(nil), pp.Selected...),
+		Completed: append([]int(nil), pp.Completed...),
+		Dropped:   append([]int(nil), pp.Dropped...),
+	}
+	m := s.Model
+	global := m.ParamsVector()
+	// The remaining cohort: selected minus everyone the checkpoint already
+	// accounts for, in the original participant order. Policy drops were
+	// all recorded before the first fold, so the policy stream is not
+	// re-consumed here.
+	accounted := make(map[int]struct{}, len(pp.Completed)+len(pp.Dropped))
+	for _, id := range pp.Completed {
+		accounted[id] = struct{}{}
+	}
+	for _, id := range pp.Dropped {
+		accounted[id] = struct{}{}
+	}
+	var remainingIDs []int
+	for _, id := range pp.Selected {
+		if _, done := accounted[id]; !done {
+			remainingIDs = append(remainingIDs, id)
+		}
+	}
+	active := s.materialize(remainingIDs)
+	ctx, cancel := s.roundContext()
+	defer cancel()
+	fold := sa.BeginFold(len(global), s.shardCount(), &s.foldScratch)
+	fc, canRestore := fold.(foldSnapshotter)
+	if !canRestore || len(pp.Acc) != len(global) {
+		obs.L().Warn("fl: checkpointed fold state unusable, re-running round",
+			"round", t, "acc_dim", len(pp.Acc), "dim", len(global))
+		fold.Finish()
+		return s.runRound(m, s.materialize(pp.Selected), t, true)
+	}
+	fc.restore(pp.Acc, pp.FoldN, pp.Total)
+	folds := s.collectAndFold(ctx, m, fold, active, global, t, &res, true, pp.FoldN)
+	agg := fold.Finish()
 	obs.M.FLStreamInFlightPeak.Set(int64(res.PeakInFlight))
-	obs.M.FLCompleted.Add(uint64(len(res.Completed)))
-	if !s.meetsQuorum(len(res.Completed), len(selected), t) {
+	obs.M.FLCompleted.Add(uint64(len(res.Completed) - len(pp.Completed)))
+	if !s.meetsQuorum(len(res.Completed), len(res.Selected), t) {
 		return res
 	}
+	s.crash(CrashPostQuorumPreApply, t, folds)
 	m.AddDeltaVector(1, agg)
 	res.Applied = true
 	return res
+}
+
+// materialize resolves checkpointed client IDs back to participants:
+// through the registry's factory, or by ID lookup over the resident
+// population. Unknown IDs — a population that changed across the restart —
+// panic: resuming against a different federation is a deployment error no
+// aggregate should paper over.
+func (s *Server) materialize(ids []int) []Participant {
+	if s.Registry != nil {
+		return s.Registry.Materialize(ids)
+	}
+	byID := make(map[int]Participant, len(s.Participants))
+	for _, p := range s.Participants {
+		byID[p.ID()] = p
+	}
+	out := make([]Participant, len(ids))
+	for i, id := range ids {
+		p, ok := byID[id]
+		if !ok {
+			panic(fmt.Sprintf("fl: resume references unknown client %d", id))
+		}
+		out[i] = p
+	}
+	return out
 }
 
 // shardCount resolves cfg.Shards (0 = the parallel worker count).
@@ -565,6 +846,6 @@ func (s *Server) FineTune(m *nn.Sequential, rounds int) {
 		if s.Registry != nil {
 			cohort = s.selectClients()
 		}
-		s.runRound(m, cohort, t)
+		s.runRound(m, cohort, t, false)
 	}
 }

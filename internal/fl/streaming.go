@@ -115,6 +115,7 @@ type shardedFold struct {
 	ranges   [][2]int
 	chans    []chan foldItem
 	wg       sync.WaitGroup
+	syncWg   sync.WaitGroup
 	n        int
 	weighted bool
 	weightFn func(id int) float64
@@ -122,6 +123,18 @@ type shardedFold struct {
 	eta      float64
 	finished bool
 }
+
+// foldSnapshotter is the checkpoint seam on a Fold: snapshot quiesces the
+// shards and copies the running state; restore seeds a fresh fold with a
+// checkpointed accumulator so a resumed round continues the exact scalar
+// sequence. Folds that cannot snapshot simply don't implement it — the
+// server then skips partial checkpoints for that aggregation rule.
+type foldSnapshotter interface {
+	snapshot() (acc []float64, n int, total float64)
+	restore(acc []float64, n int, total float64)
+}
+
+var _ foldSnapshotter = (*shardedFold)(nil)
 
 // newShardedFold sizes the shard plan and spins up the shard goroutines.
 // shards <= 0 resolves to the parallel worker count; it is capped at dim
@@ -156,6 +169,12 @@ func newShardedFold(dim, shards int, scratch *tensor.Arena, weightFn func(int) f
 			go func() {
 				defer f.wg.Done()
 				for it := range ch {
+					// A nil delta is the quiesce barrier (see snapshot):
+					// by FIFO order every prior item has been folded.
+					if it.delta == nil {
+						f.syncWg.Done()
+						continue
+					}
 					f.foldRange(it, lo, hi)
 				}
 			}()
@@ -202,6 +221,45 @@ func (f *shardedFold) Fold(id int, delta []float64) {
 	for _, ch := range f.chans {
 		ch <- it
 	}
+}
+
+// quiesce blocks until every shard has folded everything queued before the
+// call: one nil-delta barrier item per shard channel, acknowledged through
+// syncWg. The per-shard channels are FIFO with a single consumer, so once
+// every barrier is acknowledged the accumulator is consistent — and the
+// WaitGroup edge publishes the shard goroutines' acc writes to the caller.
+func (f *shardedFold) quiesce() {
+	if f.chans == nil {
+		return
+	}
+	f.syncWg.Add(len(f.chans))
+	for _, ch := range f.chans {
+		ch <- foldItem{}
+	}
+	f.syncWg.Wait()
+}
+
+// snapshot implements foldSnapshotter: the accumulator copy plus the fold
+// count and accumulated weight, consistent as of every Fold call that
+// returned before snapshot was called.
+func (f *shardedFold) snapshot() ([]float64, int, float64) {
+	f.quiesce()
+	return append([]float64(nil), f.acc...), f.n, f.total
+}
+
+// restore implements foldSnapshotter. Must be called before the first
+// Fold; the channel sends of subsequent folds publish the restored state
+// to the shard goroutines.
+func (f *shardedFold) restore(acc []float64, n int, total float64) {
+	if f.n != 0 {
+		panic("fl: fold restore after Fold")
+	}
+	if len(acc) != len(f.acc) {
+		panic(fmt.Sprintf("fl: fold restore dim %d vs %d", len(acc), len(f.acc)))
+	}
+	copy(f.acc, acc)
+	f.n = n
+	f.total = total
 }
 
 // Finish implements Fold: it drains and joins the shard goroutines —

@@ -1,0 +1,266 @@
+package nn
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"github.com/fedcleanse/fedcleanse/internal/wire"
+)
+
+// Versioned model serialization (DESIGN.md §15). The gob Snapshot format
+// of serialize.go ties writer and reader to one binary version — gob
+// streams carry Go type descriptors, so a renamed field is a broken
+// federation. The versioned format encodes the same information as typed
+// wire sections over raw little-endian payloads: stable across binaries,
+// self-describing enough for readers to skip sections they do not know,
+// and closed by a CRC so a torn file decodes to an error instead of a
+// corrupt model. Load-side dispatch sniffs the first byte (wire.Sniff),
+// so readers accept both formats transparently and old gob files stay
+// readable forever.
+
+// Section types of wire.KindModel payloads.
+const (
+	// secModelBuilder is the model-zoo builder name (UTF-8).
+	secModelBuilder uint16 = 1
+	// secModelGeometry is C, H, W, classes as four uvarints.
+	secModelGeometry uint16 = 2
+	// secModelState is the parameter/mask payload (see AppendModelState).
+	secModelState uint16 = 3
+)
+
+// maxModelBytes caps how much LoadAny will buffer: generous for any model
+// this repository builds (the largest is a few MiB of float64 params),
+// far below anything that could balloon memory.
+const maxModelBytes = 1 << 30
+
+// EncodeVersionedModel encodes m as a wire.KindModel payload. builderName
+// must identify the constructor that built m (see BuilderByName); in and
+// classes must match the constructor arguments.
+func EncodeVersionedModel(builderName string, in Input, classes int, m *Sequential) ([]byte, error) {
+	if _, err := BuilderByName(builderName); err != nil {
+		return nil, fmt.Errorf("nn: EncodeVersionedModel: %w", err)
+	}
+	var geo []byte
+	geo = wire.AppendUint(geo, uint64(in.C))
+	geo = wire.AppendUint(geo, uint64(in.H))
+	geo = wire.AppendUint(geo, uint64(in.W))
+	geo = wire.AppendUint(geo, uint64(classes))
+	return wire.NewEncoder(wire.KindModel).
+		Section(secModelBuilder, []byte(builderName)).
+		Section(secModelGeometry, geo).
+		Section(secModelState, AppendModelState(nil, m)).
+		Bytes(), nil
+}
+
+// SaveVersioned writes the versioned encoding of m to w; the arguments
+// mirror Save.
+func SaveVersioned(w io.Writer, builderName string, in Input, classes int, m *Sequential) error {
+	data, err := EncodeVersionedModel(builderName, in, classes, m)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(data); err != nil {
+		return fmt.Errorf("nn: SaveVersioned: %w", err)
+	}
+	return nil
+}
+
+// DecodeVersionedModel reconstructs a model from a wire.KindModel payload,
+// with the same validation as the gob Load path: the builder must be
+// registered, the geometry positive, the parameter vector and masks sized
+// to the architecture. Unknown section types are skipped. It never
+// panics on malformed input.
+func DecodeVersionedModel(data []byte) (*Sequential, error) {
+	secs, err := wire.DecodeKind(data, wire.KindModel)
+	if err != nil {
+		return nil, fmt.Errorf("nn: DecodeVersionedModel: %w", err)
+	}
+	var builderName string
+	var geo, state []byte
+	for _, s := range secs {
+		switch s.Type {
+		case secModelBuilder:
+			builderName = string(s.Payload)
+		case secModelGeometry:
+			geo = s.Payload
+		case secModelState:
+			state = s.Payload
+		}
+	}
+	if builderName == "" || geo == nil || state == nil {
+		return nil, fmt.Errorf("nn: DecodeVersionedModel: missing required section (builder/geometry/state)")
+	}
+	build, err := BuilderByName(builderName)
+	if err != nil {
+		return nil, fmt.Errorf("nn: DecodeVersionedModel: %w", err)
+	}
+	var dims [4]uint64
+	rest := geo
+	for i := range dims {
+		if dims[i], rest, err = wire.ReadUint(rest); err != nil {
+			return nil, fmt.Errorf("nn: DecodeVersionedModel: geometry: %w", err)
+		}
+		if dims[i] == 0 || dims[i] > 1<<20 {
+			return nil, fmt.Errorf("nn: DecodeVersionedModel: geometry value %d out of range", dims[i])
+		}
+	}
+	in := Input{C: int(dims[0]), H: int(dims[1]), W: int(dims[2])}
+	classes := int(dims[3])
+	m := build(in, classes, rand.New(rand.NewSource(0)))
+	if err := ApplyModelState(m, state); err != nil {
+		return nil, fmt.Errorf("nn: DecodeVersionedModel: %w", err)
+	}
+	return m, nil
+}
+
+// LoadAny reads one model of either serialization from r: the first byte
+// selects the versioned decoder or the legacy gob path (wire.Sniff). The
+// read is capped, so a hostile stream cannot balloon memory.
+func LoadAny(r io.Reader) (*Sequential, error) {
+	br := bufio.NewReader(r)
+	first, err := br.Peek(1)
+	if err != nil {
+		return nil, fmt.Errorf("nn: LoadAny: %w", err)
+	}
+	if wire.Sniff(first) == wire.FormatVersioned {
+		data, err := wire.ReadPayload(br, maxModelBytes)
+		if err != nil {
+			return nil, fmt.Errorf("nn: LoadAny: %w", err)
+		}
+		return DecodeVersionedModel(data)
+	}
+	return Load(io.LimitReader(br, maxModelBytes))
+}
+
+// AppendModelState appends m's mutable state — the flat parameter vector
+// and the prune masks — to dst as an opaque payload:
+//
+//	uvarint nparams, nparams raw float64 LE,
+//	uvarint nmasks, each: uvarint layer, uvarint units, ceil(units/8)
+//	bitmap bytes (LSB first; only layers with at least one pruned unit
+//	are emitted)
+//
+// Checkpoints embed it as a section (internal/fl); ApplyModelState is the
+// inverse onto a freshly built model of the same architecture.
+func AppendModelState(dst []byte, m *Sequential) []byte {
+	params := m.ParamsVector()
+	dst = wire.AppendUint(dst, uint64(len(params)))
+	dst = wire.AppendFloat64s(dst, params)
+	type layerMask struct {
+		li   int
+		mask []bool
+	}
+	var masks []layerMask
+	for li, l := range m.Layers() {
+		p, ok := l.(Prunable)
+		if !ok {
+			continue
+		}
+		mask := make([]bool, p.Units())
+		any := false
+		for u := range mask {
+			mask[u] = p.UnitPruned(u)
+			any = any || mask[u]
+		}
+		if any {
+			masks = append(masks, layerMask{li, mask})
+		}
+	}
+	dst = wire.AppendUint(dst, uint64(len(masks)))
+	for _, lm := range masks {
+		dst = wire.AppendUint(dst, uint64(lm.li))
+		dst = wire.AppendBools(dst, lm.mask)
+	}
+	return dst
+}
+
+// ApplyModelState restores an AppendModelState payload onto m, which must
+// be a same-architecture model without prune masks of its own (a freshly
+// built or cloned template; Prunable layers cannot un-prune, so restoring
+// onto an already-pruned model would union the masks). Masks install
+// first, then the parameter vector — SetParamsVector re-applies the
+// masks, so masked units stay zero even if the payload was edited.
+func ApplyModelState(m *Sequential, p []byte) error {
+	nparams, rest, err := wire.ReadUint(p)
+	if err != nil {
+		return fmt.Errorf("nn: ApplyModelState: %w", err)
+	}
+	if nparams != uint64(m.NumParams()) {
+		return fmt.Errorf("nn: ApplyModelState: payload has %d params, architecture wants %d",
+			nparams, m.NumParams())
+	}
+	if uint64(len(rest)) < 8*nparams {
+		return fmt.Errorf("nn: ApplyModelState: %d param bytes, want %d", len(rest), 8*nparams)
+	}
+	params, err := wire.Float64s(rest[:8*nparams], int(nparams))
+	if err != nil {
+		return fmt.Errorf("nn: ApplyModelState: %w", err)
+	}
+	rest = rest[8*nparams:]
+	nmasks, rest, err := wire.ReadUint(rest)
+	if err != nil {
+		return fmt.Errorf("nn: ApplyModelState: %w", err)
+	}
+	if nmasks > uint64(m.NumLayers()) {
+		return fmt.Errorf("nn: ApplyModelState: %d masks for %d layers", nmasks, m.NumLayers())
+	}
+	for i := uint64(0); i < nmasks; i++ {
+		li64, r2, err := wire.ReadUint(rest)
+		if err != nil {
+			return fmt.Errorf("nn: ApplyModelState: mask %d: %w", i, err)
+		}
+		mask, r3, err := wire.ReadBools(r2)
+		if err != nil {
+			return fmt.Errorf("nn: ApplyModelState: mask %d: %w", i, err)
+		}
+		rest = r3
+		li := int(li64)
+		if li64 >= uint64(m.NumLayers()) {
+			return fmt.Errorf("nn: ApplyModelState: mask for layer %d of %d", li64, m.NumLayers())
+		}
+		pr, ok := m.Layer(li).(Prunable)
+		if !ok {
+			return fmt.Errorf("nn: ApplyModelState: layer %d is not prunable", li)
+		}
+		if len(mask) != pr.Units() {
+			return fmt.Errorf("nn: ApplyModelState: mask length %d for layer %d with %d units",
+				len(mask), li, pr.Units())
+		}
+		for u, pruned := range mask {
+			if pruned {
+				pr.PruneUnit(u)
+			}
+		}
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("nn: ApplyModelState: %d trailing bytes", len(rest))
+	}
+	m.SetParamsVector(params)
+	return nil
+}
+
+// EncodeModelState wraps AppendModelState in a standalone CRC-sealed
+// envelope (wire.KindModelState) for on-disk phase snapshots that apply
+// onto a known architecture without carrying a builder name.
+func EncodeModelState(m *Sequential) []byte {
+	return wire.NewEncoder(wire.KindModelState).
+		Section(secModelState, AppendModelState(nil, m)).
+		Bytes()
+}
+
+// DecodeModelStateInto restores an EncodeModelState payload onto m (same
+// freshness contract as ApplyModelState).
+func DecodeModelStateInto(m *Sequential, data []byte) error {
+	secs, err := wire.DecodeKind(data, wire.KindModelState)
+	if err != nil {
+		return fmt.Errorf("nn: DecodeModelStateInto: %w", err)
+	}
+	for _, s := range secs {
+		if s.Type == secModelState {
+			return ApplyModelState(m, s.Payload)
+		}
+	}
+	return fmt.Errorf("nn: DecodeModelStateInto: no model-state section")
+}

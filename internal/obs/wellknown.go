@@ -34,6 +34,16 @@ var M = struct {
 	FLStreamFallbacks    *Counter   // streaming rounds degraded to batch (non-streaming rule)
 	FLShardMergeSeconds  *Histogram // shard-partial merge + final scale per streaming round
 
+	// Durable rounds (internal/fl, DESIGN.md §15).
+	FLCheckpointWrites       *Counter   // checkpoints written (boundary + partial)
+	FLCheckpointPartials     *Counter   // the mid-round partial subset of writes
+	FLCheckpointWriteErrors  *Counter   // checkpoint writes that failed (round continues)
+	FLCheckpointBytes        *Counter   // encoded checkpoint bytes written
+	FLCheckpointWriteSeconds *Histogram // one atomic checkpoint write (encode + fsync + rename)
+	FLCheckpointTorn         *Counter   // checkpoint files skipped as torn/corrupt on load
+	FLResumes                *Counter   // servers restored from a checkpoint
+	FLResumedPartialRounds   *Counter   // resumes that re-entered an interrupted round
+
 	// Defense pipeline (internal/core).
 	DefensePipelines            *Counter   // RunPipeline invocations
 	DefensePrunedUnits          *Counter   // units left pruned by PruneToThreshold
@@ -56,6 +66,9 @@ var M = struct {
 	// decoded by RemoteClient, any encoding.
 	TransportReportBytesSent *Counter
 	TransportReportBytesRecv *Counter
+	// Update-path bandwidth (DESIGN.md §15): payload bytes of /v1/update
+	// responses as successfully decoded by RemoteClient, any encoding.
+	TransportUpdateBytesRecv *Counter
 
 	// Worker pool (internal/parallel).
 	PoolTasks      *Counter // tasks submitted to parallel.Pool
@@ -88,6 +101,15 @@ var M = struct {
 	FLStreamFallbacks:    Default.Counter("fl_stream_fallbacks_total"),
 	FLShardMergeSeconds:  Default.Histogram("fl_shard_merge_seconds", DurationBuckets),
 
+	FLCheckpointWrites:       Default.Counter("fl_checkpoint_writes_total"),
+	FLCheckpointPartials:     Default.Counter("fl_checkpoint_partials_total"),
+	FLCheckpointWriteErrors:  Default.Counter("fl_checkpoint_write_errors_total"),
+	FLCheckpointBytes:        Default.Counter("fl_checkpoint_bytes_total"),
+	FLCheckpointWriteSeconds: Default.Histogram("fl_checkpoint_write_seconds", DurationBuckets),
+	FLCheckpointTorn:         Default.Counter("fl_checkpoint_torn_total"),
+	FLResumes:                Default.Counter("fl_resumes_total"),
+	FLResumedPartialRounds:   Default.Counter("fl_resumed_partial_rounds_total"),
+
 	DefensePipelines:            Default.Counter("defense_pipeline_runs_total"),
 	DefensePrunedUnits:          Default.Counter("defense_pruned_units_total"),
 	DefenseZeroedWeights:        Default.Counter("defense_zeroed_weights_total"),
@@ -105,6 +127,7 @@ var M = struct {
 	TransportCallSeconds:     Default.Histogram("transport_call_seconds", DurationBuckets),
 	TransportReportBytesSent: Default.Counter("transport_report_bytes_sent_total"),
 	TransportReportBytesRecv: Default.Counter("transport_report_bytes_recv_total"),
+	TransportUpdateBytesRecv: Default.Counter("transport_update_bytes_recv_total"),
 
 	PoolTasks:      Default.Counter("parallel_pool_tasks_total"),
 	PoolQueueDepth: Default.Gauge("parallel_pool_queue_depth"),

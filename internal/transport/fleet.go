@@ -39,10 +39,11 @@ import (
 // instead of taking down the other tens of thousands of clients sharing
 // the process.
 type Fleet struct {
-	mu      sync.RWMutex
-	slots   map[int]*fleetSlot
-	maxBody int64
-	quant   metrics.ReportQuant
+	mu        sync.RWMutex
+	slots     map[int]*fleetSlot
+	maxBody   int64
+	quant     metrics.ReportQuant
+	versioned bool
 
 	life lifecycle
 }
@@ -80,6 +81,14 @@ func (f *Fleet) SetReportQuant(q metrics.ReportQuant) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.quant = q
+}
+
+// SetVersionedUpdates selects the versioned envelope encoding for the
+// fleet's update responses (see ClientServer.SetVersionedUpdates).
+func (f *Fleet) SetVersionedUpdates(v bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.versioned = v
 }
 
 // Add registers participants under their IDs. A duplicate ID is a
@@ -153,6 +162,7 @@ func (f *Fleet) route(w http.ResponseWriter, r *http.Request) {
 	slot := f.slots[id]
 	maxBody := f.maxBody
 	quant := f.quant
+	versioned := f.versioned
 	f.mu.RUnlock()
 	if slot == nil {
 		http.Error(w, fmt.Sprintf("unknown client %d", id), http.StatusNotFound)
@@ -160,7 +170,7 @@ func (f *Fleet) route(w http.ResponseWriter, r *http.Request) {
 	}
 	switch tail {
 	case "v1/update":
-		f.handleUpdate(w, r, slot, maxBody)
+		f.handleUpdate(w, r, slot, maxBody, versioned)
 	case "v1/ranks":
 		f.handleRanks(w, r, slot, maxBody, quant)
 	case "v1/votes":
@@ -266,7 +276,7 @@ func (f *Fleet) handleAccuracy(w http.ResponseWriter, r *http.Request, slot *fle
 	obs.M.FedloadReports.Inc()
 }
 
-func (f *Fleet) handleUpdate(w http.ResponseWriter, r *http.Request, slot *fleetSlot, maxBody int64) {
+func (f *Fleet) handleUpdate(w http.ResponseWriter, r *http.Request, slot *fleetSlot, maxBody int64, versioned bool) {
 	sp := obs.StartSpan("fedload.update", obs.M.FedloadUpdateSeconds)
 	defer sp.End()
 	var req UpdateRequest
@@ -277,7 +287,12 @@ func (f *Fleet) handleUpdate(w http.ResponseWriter, r *http.Request, slot *fleet
 	delta := slot.part.LocalUpdate(req.Global, req.Round)
 	slot.mu.Unlock()
 	cw := &countingWriter{ResponseWriter: w}
-	encodeBody(cw, UpdateResponse{Delta: delta})
+	if versioned {
+		cw.Header().Set("Content-Type", updateContentType)
+		_, _ = cw.Write(AppendVersionedUpdate(nil, delta))
+	} else {
+		encodeBody(cw, UpdateResponse{Delta: delta})
+	}
 	obs.M.FedloadBytesOut.Add(uint64(cw.n))
 	obs.M.FedloadUpdates.Inc()
 }

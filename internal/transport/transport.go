@@ -133,6 +133,9 @@ type ClientServer struct {
 	// precision shipped in compact mode (see handleRanks).
 	wire  ReportWire
 	quant metrics.ReportQuant
+	// versioned switches /v1/update responses to the versioned envelope
+	// encoding (update_codec.go) instead of legacy gob.
+	versioned bool
 
 	mu sync.Mutex // serializes access to the participant
 
@@ -158,6 +161,13 @@ func NewClientServer(part participant, template *nn.Sequential) *ClientServer {
 // SetReportWire selects the report response encoding. It must be called
 // before Serve or Handler.
 func (cs *ClientServer) SetReportWire(w ReportWire) { cs.wire = w }
+
+// SetVersionedUpdates selects the versioned envelope encoding for
+// /v1/update responses (DESIGN.md §15). Receivers interoperate with
+// either encoding transparently by first-byte sniffing, so a fleet can
+// be migrated one server at a time. It must be called before Serve or
+// Handler.
+func (cs *ClientServer) SetVersionedUpdates(v bool) { cs.versioned = v }
 
 // SetReportQuant selects the precision of compact-mode activation report
 // payloads: ReportInt8 ships affine-quantized Acts8 payloads (the ~8x
@@ -251,6 +261,11 @@ func (cs *ClientServer) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	cs.mu.Lock()
 	delta := cs.part.LocalUpdate(req.Global, req.Round)
 	cs.mu.Unlock()
+	if cs.versioned {
+		w.Header().Set("Content-Type", updateContentType)
+		_, _ = w.Write(AppendVersionedUpdate(nil, delta))
+		return
+	}
 	encodeBody(w, UpdateResponse{Delta: delta})
 }
 
@@ -520,9 +535,13 @@ func (rc *RemoteClient) noteErr(err error) {
 	rc.errMu.Unlock()
 }
 
-// TryLocalUpdate implements fl.FallibleParticipant over the wire.
+// TryLocalUpdate implements fl.FallibleParticipant over the wire. The
+// response body is sniffed by its first byte: a versioned KindUpdate
+// envelope decodes through update_codec.go, anything else falls back to
+// the legacy gob UpdateResponse — so one client release speaks to servers
+// on either side of the encoding migration.
 func (rc *RemoteClient) TryLocalUpdate(ctx context.Context, global []float64, round int) ([]float64, error) {
-	resp, err := call[UpdateResponse](rc, ctx, "/v1/update", UpdateRequest{Global: global, Round: round})
+	resp, err := call[updatePayload](rc, ctx, "/v1/update", UpdateRequest{Global: global, Round: round})
 	if err != nil {
 		return nil, err
 	}

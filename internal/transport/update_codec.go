@@ -1,0 +1,104 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/fedcleanse/fedcleanse/internal/obs"
+	"github.com/fedcleanse/fedcleanse/internal/wire"
+)
+
+// Versioned update responses (DESIGN.md §15). The legacy /v1/update
+// response is a gob-encoded UpdateResponse; the versioned form wraps the
+// delta in the wire envelope (KindUpdate), which buys a CRC over the
+// payload, forward-compatible section skipping and a future-version
+// refusal — the same durability contract the model and checkpoint
+// payloads get. Receivers interoperate with both by first-byte sniffing
+// (wire.Sniff), exactly like the compact report codecs.
+
+// secUpdateDelta is the delta section of a KindUpdate envelope: a uvarint
+// coordinate count followed by the raw little-endian float64 values.
+const secUpdateDelta = 1
+
+// maxUpdateBody bounds an update response body read — generous enough for
+// the largest model this repository trains, small enough that a hostile
+// length field cannot balloon memory.
+const maxUpdateBody = 1 << 30
+
+// updateContentType marks a versioned update payload.
+const updateContentType = "application/x-fedcleanse-update"
+
+// AppendVersionedUpdate appends a KindUpdate envelope carrying the delta.
+// A nil delta (a participant that produced no update) encodes as a zero
+// count and decodes back to nil, preserving the gob response's semantics.
+func AppendVersionedUpdate(dst []byte, delta []float64) []byte {
+	payload := wire.AppendUint(nil, uint64(len(delta)))
+	payload = wire.AppendFloat64s(payload, delta)
+	return append(dst, wire.NewEncoder(wire.KindUpdate).Section(secUpdateDelta, payload).Bytes()...)
+}
+
+// DecodeVersionedUpdate parses a KindUpdate envelope back into the delta,
+// bit-exactly. Unknown section types are skipped (forward compatibility);
+// a missing delta section, a count that disagrees with the section length
+// or trailing bytes are errors, never panics.
+func DecodeVersionedUpdate(data []byte) ([]float64, error) {
+	secs, err := wire.DecodeKind(data, wire.KindUpdate)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range secs {
+		if s.Type != secUpdateDelta {
+			continue
+		}
+		n, rest, err := wire.ReadUint(s.Payload)
+		if err != nil {
+			return nil, fmt.Errorf("transport: update delta count: %w", err)
+		}
+		if n > uint64(len(rest))/8 {
+			return nil, fmt.Errorf("transport: update delta claims %d values in %d bytes", n, len(rest))
+		}
+		delta, err := wire.Float64s(rest, int(n))
+		if err != nil {
+			return nil, fmt.Errorf("transport: update delta: %w", err)
+		}
+		if n == 0 {
+			return nil, nil
+		}
+		return delta, nil
+	}
+	return nil, errors.New("transport: update envelope has no delta section")
+}
+
+// updatePayload decodes a /v1/update response of either encoding: a
+// versioned KindUpdate envelope or the legacy gob UpdateResponse,
+// dispatched by first-byte sniffing.
+type updatePayload struct {
+	Delta []float64
+}
+
+// DecodeBody implements bodyDecoder.
+func (up *updatePayload) DecodeBody(r io.Reader) error {
+	b, err := wire.ReadPayload(r, maxUpdateBody)
+	if err != nil {
+		return fmt.Errorf("transport: read update body: %w", err)
+	}
+	switch wire.Sniff(b) {
+	case wire.FormatVersioned:
+		up.Delta, err = DecodeVersionedUpdate(b)
+	case wire.FormatGob:
+		var resp UpdateResponse
+		if err = gob.NewDecoder(bytes.NewReader(b)).Decode(&resp); err == nil {
+			up.Delta = resp.Delta
+		}
+	default:
+		err = errors.New("transport: unrecognized update response encoding")
+	}
+	if err != nil {
+		return err
+	}
+	obs.M.TransportUpdateBytesRecv.Add(uint64(len(b)))
+	return nil
+}

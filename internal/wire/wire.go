@@ -1,0 +1,348 @@
+// Package wire defines the repository's versioned, self-describing
+// serialization envelope (DESIGN.md §15): a fixed magic, a format version,
+// a payload kind and a sequence of typed sections over raw little-endian
+// scalar payloads, closed by a CRC32 of everything preceding it.
+//
+//	offset 0  magic   4 bytes  0xFC 'F' 'C' 'W'
+//	       4  version uint16 LE (currently 1; larger values are rejected)
+//	       6  kind    uint16 LE (payload kind, see Kind*)
+//	       8  nsect   uint16 LE (number of sections)
+//	      10  sections, each: type uint16 LE | length uint32 LE | payload
+//	     end  crc32   uint32 LE, IEEE, over every preceding byte
+//
+// The envelope exists so models, update deltas and round-state checkpoints
+// survive binary upgrades: a reader skips section types it does not know
+// (forward compatibility within a version) and refuses versions from the
+// future (a version bump means the section semantics changed). The CRC
+// turns a torn file — a crash mid-write on a filesystem without atomic
+// rename — into a clean decode error instead of silently corrupt state.
+//
+// Interoperability with the two legacy encodings is by first-byte
+// sniffing, the same trick the compact report codecs use (transport
+// codec.go): a gob stream opens with the byte length of its first message
+// — a type descriptor, always tens of bytes — so its first byte is a
+// small positive value well below 0x80; gob only emits a leading 0xFC for
+// a first message of 2^24..2^32-1 bytes, which a type descriptor never
+// is. The compact report tags occupy 0x01–0x04. Magic byte 0xFC therefore
+// collides with neither, and Sniff classifies any payload from its first
+// byte alone.
+//
+// Decoding never panics and never allocates beyond the input: Decode
+// slices sections out of the caller's buffer, and ReadPayload caps an
+// io.Reader at an explicit budget through io.LimitReader before any
+// parsing happens, so a hostile length field cannot balloon memory.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// Version is the current envelope version. Decoders accept payloads at or
+// below it and reject anything newer.
+const Version = 1
+
+// Magic opens every versioned payload.
+var Magic = [4]byte{0xFC, 'F', 'C', 'W'}
+
+// headerLen is magic + version + kind + nsect; minLen adds the CRC.
+const (
+	headerLen = 10
+	crcLen    = 4
+	minLen    = headerLen + crcLen
+	secHdrLen = 6 // type uint16 + length uint32
+)
+
+// Payload kinds. New kinds append; numbers are wire-stable.
+const (
+	// KindModel is a self-contained model snapshot (builder + geometry +
+	// parameter/mask state; internal/nn).
+	KindModel uint16 = 1
+	// KindCheckpoint is a federated round-state checkpoint (internal/fl).
+	KindCheckpoint uint16 = 2
+	// KindUpdate is one client's update delta (internal/transport).
+	KindUpdate uint16 = 3
+	// KindModelState is a bare parameter/mask payload applied onto an
+	// existing architecture (defense-phase snapshots; internal/nn).
+	KindModelState uint16 = 4
+)
+
+// Format classifies a payload by its first byte.
+type Format int
+
+const (
+	// FormatUnknown is an empty payload.
+	FormatUnknown Format = iota
+	// FormatVersioned is this package's envelope.
+	FormatVersioned
+	// FormatReportTag is a compact tagged report codec (transport
+	// codec.go, tags 0x01–0x04).
+	FormatReportTag
+	// FormatGob is a legacy gob stream (anything else).
+	FormatGob
+)
+
+// Sniff classifies a payload from its first byte; see the package comment
+// for why the three families cannot collide.
+func Sniff(p []byte) Format {
+	if len(p) == 0 {
+		return FormatUnknown
+	}
+	switch {
+	case p[0] == Magic[0]:
+		return FormatVersioned
+	case p[0] >= 0x01 && p[0] <= 0x04:
+		return FormatReportTag
+	default:
+		return FormatGob
+	}
+}
+
+// Section is one typed payload slice; Payload aliases the decoded buffer.
+type Section struct {
+	Type    uint16
+	Payload []byte
+}
+
+// Sentinel error families, matchable with errors.Is.
+var (
+	// ErrMagic marks a payload that is not a versioned envelope at all.
+	ErrMagic = errors.New("wire: bad magic")
+	// ErrVersion marks an envelope from a future format version.
+	ErrVersion = errors.New("wire: unsupported version")
+	// ErrTruncated marks an envelope shorter than its own headers claim.
+	ErrTruncated = errors.New("wire: truncated payload")
+	// ErrChecksum marks a CRC mismatch — a torn or corrupted payload.
+	ErrChecksum = errors.New("wire: checksum mismatch")
+	// ErrTrailing marks bytes between the last section and the CRC; the
+	// encoding is canonical, so slack is corruption.
+	ErrTrailing = errors.New("wire: trailing bytes")
+)
+
+// Encoder accumulates sections for one payload.
+type Encoder struct {
+	kind uint16
+	secs []Section
+}
+
+// NewEncoder opens an envelope of the given kind.
+func NewEncoder(kind uint16) *Encoder {
+	return &Encoder{kind: kind}
+}
+
+// Section appends one typed section. The payload is retained until Bytes.
+func (e *Encoder) Section(typ uint16, payload []byte) *Encoder {
+	if len(payload) > math.MaxUint32 {
+		panic(fmt.Sprintf("wire: section %d payload %d bytes exceeds uint32", typ, len(payload)))
+	}
+	e.secs = append(e.secs, Section{Type: typ, Payload: payload})
+	return e
+}
+
+// Bytes emits the envelope: header, sections in append order, CRC.
+func (e *Encoder) Bytes() []byte {
+	if len(e.secs) > math.MaxUint16 {
+		panic(fmt.Sprintf("wire: %d sections exceed uint16", len(e.secs)))
+	}
+	n := minLen
+	for _, s := range e.secs {
+		n += secHdrLen + len(s.Payload)
+	}
+	out := make([]byte, 0, n)
+	out = append(out, Magic[:]...)
+	out = binary.LittleEndian.AppendUint16(out, Version)
+	out = binary.LittleEndian.AppendUint16(out, e.kind)
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(e.secs)))
+	for _, s := range e.secs {
+		out = binary.LittleEndian.AppendUint16(out, s.Type)
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(s.Payload)))
+		out = append(out, s.Payload...)
+	}
+	return binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(out))
+}
+
+// Decode parses a versioned envelope, verifying magic, version, section
+// bounds and the CRC. Sections alias data — the caller keeps data alive
+// for as long as it uses them. Decode errors, never panics, on any
+// malformed input, and performs no allocation proportional to claimed
+// (rather than actual) lengths.
+func Decode(data []byte) (kind uint16, secs []Section, err error) {
+	if len(data) < minLen {
+		return 0, nil, fmt.Errorf("%w: %d bytes, need at least %d", ErrTruncated, len(data), minLen)
+	}
+	if data[0] != Magic[0] || data[1] != Magic[1] || data[2] != Magic[2] || data[3] != Magic[3] {
+		return 0, nil, fmt.Errorf("%w: % x", ErrMagic, data[:4])
+	}
+	v := binary.LittleEndian.Uint16(data[4:6])
+	if v == 0 || v > Version {
+		return 0, nil, fmt.Errorf("%w: %d (this binary reads up to %d)", ErrVersion, v, Version)
+	}
+	body, tail := data[:len(data)-crcLen], data[len(data)-crcLen:]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(tail); got != want {
+		return 0, nil, fmt.Errorf("%w: computed %08x, stored %08x", ErrChecksum, got, want)
+	}
+	kind = binary.LittleEndian.Uint16(data[6:8])
+	nsect := int(binary.LittleEndian.Uint16(data[8:10]))
+	rest := body[headerLen:]
+	if nsect > 0 {
+		secs = make([]Section, 0, min(nsect, len(rest)/secHdrLen+1))
+	}
+	for i := 0; i < nsect; i++ {
+		if len(rest) < secHdrLen {
+			return 0, nil, fmt.Errorf("%w: section %d header", ErrTruncated, i)
+		}
+		typ := binary.LittleEndian.Uint16(rest[0:2])
+		ln := binary.LittleEndian.Uint32(rest[2:6])
+		rest = rest[secHdrLen:]
+		if uint64(ln) > uint64(len(rest)) {
+			return 0, nil, fmt.Errorf("%w: section %d claims %d bytes, %d remain", ErrTruncated, i, ln, len(rest))
+		}
+		secs = append(secs, Section{Type: typ, Payload: rest[:ln:ln]})
+		rest = rest[ln:]
+	}
+	if len(rest) != 0 {
+		return 0, nil, fmt.Errorf("%w: %d bytes after last section", ErrTrailing, len(rest))
+	}
+	return kind, secs, nil
+}
+
+// DecodeKind is Decode constrained to one expected payload kind.
+func DecodeKind(data []byte, want uint16) ([]Section, error) {
+	kind, secs, err := Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	if kind != want {
+		return nil, fmt.Errorf("wire: payload kind %d, want %d", kind, want)
+	}
+	return secs, nil
+}
+
+// ReadPayload reads one whole payload from r, refusing to buffer more
+// than max bytes — the io.LimitReader cap that keeps a hostile stream
+// from ballooning memory before Decode even looks at it.
+func ReadPayload(r io.Reader, max int64) ([]byte, error) {
+	data, err := io.ReadAll(io.LimitReader(r, max+1))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(data)) > max {
+		return nil, fmt.Errorf("wire: payload exceeds %d-byte budget", max)
+	}
+	return data, nil
+}
+
+// Scalar and slice payload helpers. These are the section *contents*; the
+// envelope above carries them opaquely.
+
+// AppendUint appends a uvarint.
+func AppendUint(dst []byte, v uint64) []byte { return binary.AppendUvarint(dst, v) }
+
+// ReadUint consumes one uvarint from p.
+func ReadUint(p []byte) (v uint64, rest []byte, err error) {
+	v, n := binary.Uvarint(p)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("%w: uvarint", ErrTruncated)
+	}
+	return v, p[n:], nil
+}
+
+// AppendFloat64s appends raw little-endian IEEE float64 values.
+func AppendFloat64s(dst []byte, v []float64) []byte {
+	for _, x := range v {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(x))
+	}
+	return dst
+}
+
+// Float64s decodes a raw little-endian float64 payload of exactly n
+// values (bit-exact; NaN payloads and signed zeros survive).
+func Float64s(p []byte, n int) ([]float64, error) {
+	if n < 0 || len(p) != 8*n {
+		return nil, fmt.Errorf("wire: float64 payload %d bytes, want %d", len(p), 8*n)
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(p[8*i:]))
+	}
+	return out, nil
+}
+
+// AppendInts appends a uvarint count followed by zigzag-varint values.
+func AppendInts(dst []byte, v []int) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(v)))
+	for _, x := range v {
+		dst = binary.AppendVarint(dst, int64(x))
+	}
+	return dst
+}
+
+// ReadInts consumes a varint-encoded int slice from p, bounding the
+// declared count by what the remaining bytes could possibly hold (one
+// byte per value minimum) so a forged header cannot over-allocate.
+func ReadInts(p []byte) (v []int, rest []byte, err error) {
+	n, rest, err := ReadUint(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n > uint64(len(rest)) {
+		return nil, nil, fmt.Errorf("%w: %d ints claimed in %d bytes", ErrTruncated, n, len(rest))
+	}
+	v = make([]int, n)
+	for i := range v {
+		x, k := binary.Varint(rest)
+		if k <= 0 {
+			return nil, nil, fmt.Errorf("%w: int %d of %d", ErrTruncated, i, n)
+		}
+		if x < math.MinInt32 || x > math.MaxInt32 {
+			return nil, nil, fmt.Errorf("wire: int value %d outside int32", x)
+		}
+		v[i] = int(x)
+		rest = rest[k:]
+	}
+	return v, rest, nil
+}
+
+// AppendBools appends a uvarint count followed by an LSB-first bitmap.
+func AppendBools(dst []byte, v []bool) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(v)))
+	var cur byte
+	for i, b := range v {
+		if b {
+			cur |= 1 << (i % 8)
+		}
+		if i%8 == 7 {
+			dst = append(dst, cur)
+			cur = 0
+		}
+	}
+	if len(v)%8 != 0 {
+		dst = append(dst, cur)
+	}
+	return dst
+}
+
+// ReadBools consumes a bitmap-encoded bool slice from p, rejecting
+// nonzero pad bits so the encoding stays canonical.
+func ReadBools(p []byte) (v []bool, rest []byte, err error) {
+	n, rest, err := ReadUint(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	nb := (n + 7) / 8
+	if nb > uint64(len(rest)) {
+		return nil, nil, fmt.Errorf("%w: %d bools claimed in %d bytes", ErrTruncated, n, len(rest))
+	}
+	v = make([]bool, n)
+	for i := range v {
+		v[i] = rest[i/8]&(1<<(i%8)) != 0
+	}
+	if n%8 != 0 && rest[nb-1]>>(n%8) != 0 {
+		return nil, nil, fmt.Errorf("wire: bool bitmap pad bits not zero")
+	}
+	return v, rest[nb:], nil
+}

@@ -1,0 +1,191 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math"
+	"strings"
+	"testing"
+)
+
+func sample() []byte {
+	return NewEncoder(KindCheckpoint).
+		Section(1, []byte("alpha")).
+		Section(2, nil).
+		Section(7, []byte{0xde, 0xad}).
+		Bytes()
+}
+
+func TestRoundtrip(t *testing.T) {
+	data := sample()
+	kind, secs, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != KindCheckpoint {
+		t.Fatalf("kind %d, want %d", kind, KindCheckpoint)
+	}
+	want := []Section{{1, []byte("alpha")}, {2, []byte{}}, {7, []byte{0xde, 0xad}}}
+	if len(secs) != len(want) {
+		t.Fatalf("%d sections, want %d", len(secs), len(want))
+	}
+	for i, s := range secs {
+		if s.Type != want[i].Type || !bytes.Equal(s.Payload, want[i].Payload) {
+			t.Fatalf("section %d = %+v, want %+v", i, s, want[i])
+		}
+	}
+}
+
+func TestDecodeRejections(t *testing.T) {
+	good := sample()
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"short", good[:8], ErrTruncated},
+		{"bad magic", append([]byte("GOBX"), good[4:]...), ErrMagic},
+		{"future version", func() []byte {
+			d := append([]byte(nil), good...)
+			binary.LittleEndian.PutUint16(d[4:6], Version+1)
+			return d
+		}(), ErrVersion},
+		{"version zero", func() []byte {
+			d := append([]byte(nil), good...)
+			binary.LittleEndian.PutUint16(d[4:6], 0)
+			return d
+		}(), ErrVersion},
+		{"flipped byte", func() []byte {
+			d := append([]byte(nil), good...)
+			d[12] ^= 0x40
+			return d
+		}(), ErrChecksum},
+		{"truncated section", good[:len(good)-6], ErrChecksum},
+	}
+	for _, tc := range cases {
+		if _, _, err := Decode(tc.data); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestDecodeOversizedSectionNoAlloc: a forged section length larger than
+// the remaining bytes errors before any allocation proportional to it.
+func TestDecodeOversizedSection(t *testing.T) {
+	d := append([]byte(nil), sample()...)
+	// First section header starts at offset 10; its length field at 12.
+	binary.LittleEndian.PutUint32(d[12:16], math.MaxUint32)
+	// Re-seal the CRC so the length check, not the checksum, fires.
+	reseal(d)
+	if _, _, err := Decode(d); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("err %v, want %v", err, ErrTruncated)
+	}
+}
+
+// reseal recomputes a tampered envelope's CRC in place.
+func reseal(d []byte) {
+	binary.LittleEndian.PutUint32(d[len(d)-4:], crc32.ChecksumIEEE(d[:len(d)-4]))
+}
+
+func TestTrailingBytesRejected(t *testing.T) {
+	good := sample()
+	// Claim one section fewer than encoded: the second section's bytes
+	// become slack before the CRC.
+	d := append([]byte(nil), good...)
+	binary.LittleEndian.PutUint16(d[8:10], 2)
+	reseal(d)
+	if _, _, err := Decode(d); !errors.Is(err, ErrTrailing) {
+		t.Fatalf("err %v, want %v", err, ErrTrailing)
+	}
+}
+
+func TestDecodeKind(t *testing.T) {
+	if _, err := DecodeKind(sample(), KindModel); err == nil ||
+		!strings.Contains(err.Error(), "kind") {
+		t.Fatalf("kind mismatch not rejected: %v", err)
+	}
+	if _, err := DecodeKind(sample(), KindCheckpoint); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSniff(t *testing.T) {
+	cases := []struct {
+		p    []byte
+		want Format
+	}{
+		{nil, FormatUnknown},
+		{sample(), FormatVersioned},
+		{[]byte{0x01, 0x00}, FormatReportTag},
+		{[]byte{0x04}, FormatReportTag},
+		{[]byte{0x2a, 0xff}, FormatGob},
+		{[]byte{0x7f}, FormatGob},
+	}
+	for i, tc := range cases {
+		if got := Sniff(tc.p); got != tc.want {
+			t.Errorf("case %d: Sniff = %v, want %v", i, got, tc.want)
+		}
+	}
+}
+
+func TestReadPayloadBudget(t *testing.T) {
+	data := sample()
+	got, err := ReadPayload(bytes.NewReader(data), int64(len(data)))
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("ReadPayload at exact budget: %v", err)
+	}
+	if _, err := ReadPayload(bytes.NewReader(data), int64(len(data))-1); err == nil {
+		t.Fatal("over-budget payload accepted")
+	}
+}
+
+func TestScalarHelpers(t *testing.T) {
+	f := []float64{0, -1.5, math.Inf(1), math.Copysign(0, -1), math.NaN()}
+	fp := AppendFloat64s(nil, f)
+	got, err := Float64s(fp, len(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range f {
+		if math.Float64bits(got[i]) != math.Float64bits(f[i]) {
+			t.Fatalf("float %d not bit-exact: %x vs %x", i, got[i], f[i])
+		}
+	}
+	if _, err := Float64s(fp[:len(fp)-1], len(f)); err == nil {
+		t.Fatal("short float payload accepted")
+	}
+
+	ints := []int{0, -5, 1 << 20, math.MaxInt32, math.MinInt32}
+	ip := AppendInts(nil, ints)
+	gotI, rest, err := ReadInts(append(ip, 0x99))
+	if err != nil || len(rest) != 1 {
+		t.Fatalf("ReadInts: %v (rest %d)", err, len(rest))
+	}
+	for i := range ints {
+		if gotI[i] != ints[i] {
+			t.Fatalf("int %d = %d, want %d", i, gotI[i], ints[i])
+		}
+	}
+	if _, _, err := ReadInts([]byte{0xff, 0xff, 0xff, 0xff, 0x01}); err == nil {
+		t.Fatal("oversized int count accepted")
+	}
+
+	bools := []bool{true, false, true, true, false, false, true, false, true}
+	bp := AppendBools(nil, bools)
+	gotB, rest, err := ReadBools(bp)
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("ReadBools: %v", err)
+	}
+	for i := range bools {
+		if gotB[i] != bools[i] {
+			t.Fatalf("bool %d mismatch", i)
+		}
+	}
+	bp[len(bp)-1] |= 0x80 // pad bit past element 8
+	if _, _, err := ReadBools(bp); err == nil {
+		t.Fatal("nonzero pad bits accepted")
+	}
+}

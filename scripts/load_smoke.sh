@@ -12,7 +12,11 @@
 #   - the streaming window actually bounded the in-flight working set,
 #   - the report-collection phase (RAP + MVP over one cohort) stayed at
 #     or under REPORT_CEIL bytes per report on the wire (compact codecs,
-#     REPORT_QUANT precision; DESIGN.md §14).
+#     REPORT_QUANT precision; DESIGN.md §14),
+#   - a durable run SIGKILLed right after its first checkpoint restarts
+#     with -resume, actually resumes (fl_resumes_total), finishes the
+#     remaining rounds under the same heap bound, and leaves the fleet
+#     with zero recovered panics (DESIGN.md §15).
 #
 # Metrics snapshots are left in OUT_DIR (default ./load-smoke-artifacts)
 # for the CI artifact upload. Shared by `make load-smoke`, the CI
@@ -28,6 +32,8 @@ TIMEOUT=${TIMEOUT:-120}
 OUT_DIR=${OUT_DIR:-load-smoke-artifacts}
 REPORT_QUANT=${REPORT_QUANT:-int8}
 REPORT_CEIL=${REPORT_CEIL:-256}
+RESUME_ROUNDS=${RESUME_ROUNDS:-$ROUNDS}
+VERSIONED_UPDATES=${VERSIONED_UPDATES:-true}
 
 workdir=$(mktemp -d)
 mkdir -p "$OUT_DIR"
@@ -46,7 +52,7 @@ fail() {
 go build -o "$workdir" ./cmd/fedload ./cmd/fedserve
 
 "$workdir/fedload" -clients "$POP" -listen 127.0.0.1:0 -ops-addr 127.0.0.1:0 \
-	-report-quant "$REPORT_QUANT" \
+	-report-quant "$REPORT_QUANT" -versioned-updates="$VERSIONED_UPDATES" \
 	>"$workdir/fedload.log" 2>&1 &
 pids+=($!)
 
@@ -141,3 +147,79 @@ per_report=$(sed -n 's/.*bytes_per_report=\([0-9]*\).*/\1/p' "$workdir/serve.log
 echo "load smoke: OK (population=$POP cohort=$SELECT rounds=$applied applied," \
 	"fleet updates=$updates, reports=$reports at $per_report B/report ($REPORT_QUANT)," \
 	"server heap=$heap bytes, peak in-flight=$peak)"
+
+# ---- Kill-and-resume leg (DESIGN.md §15) -----------------------------
+# A fresh durable run against the still-warm fleet: SIGKILL fedserve as
+# soon as its first checkpoint lands, restart it with -resume, and
+# require the restart to actually resume and finish RESUME_ROUNDS more
+# rounds. The killed run gets an effectively unbounded round budget so
+# the kill always lands mid-run regardless of scale; the restart's round
+# target is derived from the checkpoint it resumes (the boundary file
+# name carries the next round). The torn temp file a mid-write kill can
+# leave behind must be skipped, not fatal.
+ckpt="$workdir/ckpt"
+mkdir -p "$ckpt"
+
+"$workdir/fedserve" -fleet "$fleet" -fleet-count "$POP" -select "$SELECT" \
+	-streaming -rounds 1000000 -quorum 0.9 \
+	-report-quant "$REPORT_QUANT" \
+	-checkpoint-dir "$ckpt" -checkpoint-every 1 \
+	>"$workdir/serve_kill.log" 2>&1 &
+kill_pid=$!
+pids+=($kill_pid)
+
+have_ckpt=
+for _ in $(seq 1 1200); do
+	if ls "$ckpt"/ckpt-*.fcc >/dev/null 2>&1; then have_ckpt=1; break; fi
+	kill -0 "$kill_pid" 2>/dev/null || break
+	sleep 0.1
+done
+[ -n "$have_ckpt" ] || { cat "$workdir/serve_kill.log" >&2; fail "no checkpoint appeared before the scripted kill"; }
+kill -9 "$kill_pid" 2>/dev/null || fail "fedserve died before the scripted SIGKILL"
+wait "$kill_pid" 2>/dev/null || true
+cp "$workdir/serve_kill.log" "$OUT_DIR/serve_kill.log"
+
+# The newest boundary checkpoint ckpt-NNNNNNNN-f.fcc names the round the
+# restart resumes at; run RESUME_ROUNDS more rounds from there.
+next=$(ls "$ckpt"/ckpt-*-f.fcc | sort | tail -1 |
+	sed -n 's/.*ckpt-\([0-9]*\)-f\.fcc/\1/p')
+[ -n "${next:-}" ] || fail "could not parse the resume round from $ckpt"
+next=$((10#$next))
+
+"$workdir/fedserve" -fleet "$fleet" -fleet-count "$POP" -select "$SELECT" \
+	-streaming -rounds $((next + RESUME_ROUNDS)) -quorum 0.9 \
+	-report-quant "$REPORT_QUANT" \
+	-checkpoint-dir "$ckpt" -resume \
+	>"$workdir/serve_resume.log" 2>&1 &
+resume_pid=$!
+pids+=($resume_pid)
+
+deadline=$((SECONDS + TIMEOUT))
+while kill -0 "$resume_pid" 2>/dev/null; do
+	if [ "$SECONDS" -ge "$deadline" ]; then
+		cat "$workdir/serve_resume.log" >&2
+		fail "resumed fedserve did not finish within ${TIMEOUT}s"
+	fi
+	sleep 1
+done
+wait "$resume_pid" || { cat "$workdir/serve_resume.log" >&2; fail "resumed fedserve exited non-zero"; }
+cp "$workdir/serve_resume.log" "$OUT_DIR/serve_resume.log"
+
+grep -q 'resumed from checkpoint' "$workdir/serve_resume.log" ||
+	{ cat "$workdir/serve_resume.log" >&2; fail "restart did not resume from the checkpoint"; }
+resume_metrics=$(sed -n '/final metrics snapshot:/,$p' "$workdir/serve_resume.log")
+resumes=$(metric "$resume_metrics" fl_resumes_total)
+[ "${resumes:-0}" -ge 1 ] || fail "fl_resumes_total is ${resumes:-0} after restart, want >= 1"
+rheap=$(metric "$resume_metrics" process_heap_alloc_bytes)
+[ -n "${rheap:-}" ] && [ "$rheap" -gt 0 ] || fail "resumed server heap gauge missing from exit snapshot"
+[ "$rheap" -lt "$HEAP_BOUND" ] ||
+	fail "resumed server heap $rheap bytes >= bound $HEAP_BOUND"
+rapplied=$(grep -c 'applied=true' "$workdir/serve_resume.log" || true)
+[ "$rapplied" -ge 1 ] || { cat "$workdir/serve_resume.log" >&2; fail "resumed run applied no round"; }
+fleet_metrics=$(curl -fsS "http://$fleet_ops/metrics")
+panics=$(metric "$fleet_metrics" fedload_handler_panics_total)
+[ "${panics:-0}" = "0" ] ||
+	fail "fleet recovered $panics handler panics across the kill-and-resume leg, want 0"
+
+echo "load smoke: kill-and-resume OK (resumes=$resumes," \
+	"applied=$rapplied rounds after restart, heap=$rheap bytes, fleet panics=0)"
