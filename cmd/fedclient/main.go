@@ -38,11 +38,15 @@ func main() {
 	seed := flag.Int64("seed", 0, "experiment seed (0 = scenario default)")
 	quantFlag := flag.String("report-quant", "float64", "activation report precision: float64 (reference) or int8 (quantized recording; ships Acts8 payloads)")
 	versionedUpdates := flag.Bool("versioned-updates", false, "serve update responses in the versioned wire envelope instead of gob (servers sniff; safe to migrate one client at a time)")
+	traceSeed := flag.Int64("trace-seed", 0, "seed for deterministic trace/span IDs (0 = unique per process)")
 	logf := obs.AddLogFlags()
 	flag.Parse()
 	if _, err := logf.Setup(os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	if *traceSeed != 0 {
+		obs.SetTraceSeed(*traceSeed)
 	}
 	quant, err := metrics.ParseReportQuant(*quantFlag)
 	if err != nil {
@@ -88,6 +92,12 @@ func main() {
 		role = "ATTACKER"
 	}
 	fmt.Printf("participant %d (%s) serving on %s\n", *index, role, addr)
+	obs.SampleProcess()
+	defer func() {
+		obs.SampleProcess()
+		fmt.Fprintln(os.Stderr, "\nfinal metrics snapshot:")
+		_ = obs.Default.WriteText(os.Stderr)
+	}()
 
 	// Serve until interrupted or the server dies underneath us; a clean
 	// Shutdown delivers nil on the error channel.

@@ -116,6 +116,7 @@ func main() {
 		"aa_before", fmt.Sprintf("%.1f", t.AA()),
 		"aa_after", fmt.Sprintf("%.1f", t.ModelAA(m)))
 
+	obs.SampleProcess()
 	fmt.Println("\nfinal metrics snapshot:")
 	_ = obs.Default.WriteText(os.Stdout)
 }

@@ -36,12 +36,16 @@ func main() {
 	scale := flag.Float64("scale", 0, "synthetic delta coordinate bound (0 = 1e-3)")
 	quantFlag := flag.String("report-quant", "float64", "report-endpoint precision: float64 (varint ranks + vote bitmaps) or int8 (quantized Acts8 payloads)")
 	versionedUpdates := flag.Bool("versioned-updates", false, "serve update responses in the versioned wire envelope instead of gob (servers sniff; safe to migrate fleets independently)")
+	traceSeed := flag.Int64("trace-seed", 0, "seed for deterministic trace/span IDs (0 = unique per process)")
 	logf := obs.AddLogFlags()
 	flag.Parse()
 	logger, err := logf.Setup(os.Stderr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	if *traceSeed != 0 {
+		obs.SetTraceSeed(*traceSeed)
 	}
 	quant, err := metrics.ParseReportQuant(*quantFlag)
 	if err != nil {

@@ -6,8 +6,12 @@
 //
 // While a run is in flight, -ops-addr exposes the live diagnostics
 // surface: /metrics (text or JSON snapshot of the obs registry),
-// /healthz, and net/http/pprof. -log-level/-log-json control the
-// structured event stream; a final metrics snapshot prints on exit.
+// /healthz, /trace (Chrome trace-event JSON of the recent span ring),
+// /rounds (the flight recorder's recent audit records), and
+// net/http/pprof. -log-level/-log-json control the structured event
+// stream; a final metrics snapshot prints on exit. -flight-recorder
+// appends the per-round audit trail to a JSONL file (DESIGN.md §16);
+// -trace-seed pins the trace/span ID sequence for reproducible runs.
 package main
 
 import (
@@ -54,6 +58,8 @@ func main() {
 	ckptFolds := flag.Int("checkpoint-folds", 0, "also write a partial checkpoint every N folded updates inside a streaming round (0 = boundaries only)")
 	resume := flag.Bool("resume", false, "resume from the newest complete checkpoint in -checkpoint-dir before training")
 	quantFlag := flag.String("report-quant", "float64", "activation report precision the federation runs at: float64 (reference) or int8 (quantized recording; compact wire) — start fedclient/fedload with the same value")
+	flightPath := flag.String("flight-recorder", "", "append one JSONL audit record per applied round to this file (empty = off); the recent records are also served at /rounds on -ops-addr")
+	traceSeed := flag.Int64("trace-seed", 0, "seed for deterministic trace/span IDs (0 = unique per process)")
 	logf := obs.AddLogFlags()
 	prof := profiling.AddFlags()
 	flag.Parse()
@@ -63,6 +69,9 @@ func main() {
 		os.Exit(2)
 	}
 	defer prof.Start()()
+	if *traceSeed != 0 {
+		obs.SetTraceSeed(*traceSeed)
+	}
 	quant, err := metrics.ParseReportQuant(*quantFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -111,9 +120,24 @@ func main() {
 		}()
 	}
 	defer func() {
+		obs.SampleProcess()
 		fmt.Println("\nfinal metrics snapshot:")
 		_ = obs.Default.WriteText(os.Stdout)
 	}()
+
+	// The flight recorder is the durable audit trail (DESIGN.md §16): one
+	// JSONL record per round, plus the recent window on /rounds.
+	var flight *obs.FlightRecorder
+	if *flightPath != "" {
+		flight, err = obs.NewFlightRecorder(*flightPath, 0)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		obs.SetFlightRecorder(flight)
+		logger.Info("serve: flight recorder on", "path", flight.Path())
+		defer flight.Close()
+	}
 
 	template, _, test, validation := eval.Components(s)
 	retry := transport.DefaultRetryPolicy()
@@ -145,6 +169,7 @@ func main() {
 		reg.RegisterRange(0, *fleetCount)
 		s.FL.SelectPerRound = *sel
 		server := fl.NewRegistryServer(template, reg, s.FL, s.Seed+300)
+		server.Audit = flight
 		startRound := setupDurability(server, logger, *ckptDir, *ckptEvery, *ckptFolds, *resume)
 		logger.Info("serve: fleet training start",
 			"fleet", fleetAddr, "population", reg.Len(),
@@ -200,6 +225,7 @@ func main() {
 	// The population size follows the actually connected clients.
 	s.FL.SelectPerRound = 0
 	server := fl.NewServer(template, parts, s.FL, s.Seed+300)
+	server.Audit = flight
 	startRound := setupDurability(server, logger, *ckptDir, *ckptEvery, *ckptFolds, *resume)
 
 	taEval := metrics.NewSuffixEvaluator(test, 0)
@@ -207,13 +233,31 @@ func main() {
 	ta := func(m *nn.Sequential) float64 { return 100 * taEval.Evaluate(m) }
 	aa := func(m *nn.Sequential) float64 { return 100 * asrEval.Evaluate(m) }
 
+	// Each round is evaluated exactly once. With a flight recorder the
+	// evaluation runs inside the AuditAmend hook — the record and the log
+	// line below then report the same numbers; without one the loop
+	// evaluates directly.
+	var lastTA, lastAA float64
+	evaluated := false
+	if flight != nil {
+		server.AuditAmend = func(a *fl.RoundAudit) {
+			tav, aav := ta(server.Model), aa(server.Model)
+			a.TestAccuracy, a.AttackSuccessRate = &tav, &aav
+			lastTA, lastAA, evaluated = tav, aav, true
+		}
+	}
+
 	logger.Info("serve: training start", "clients", len(parts), "rounds", server.Config().Rounds)
 	for round := startRound; round < server.Config().Rounds; round++ {
 		res := server.RoundDetail(round)
+		if !evaluated {
+			lastTA, lastAA = ta(server.Model), aa(server.Model)
+		}
+		evaluated = false
 		logger.Info("serve: round done",
 			"round", round,
-			"ta", fmt.Sprintf("%.1f", ta(server.Model)),
-			"aa", fmt.Sprintf("%.1f", aa(server.Model)),
+			"ta", fmt.Sprintf("%.1f", lastTA),
+			"aa", fmt.Sprintf("%.1f", lastAA),
 			"dropped", len(res.Dropped),
 			"applied", res.Applied)
 	}

@@ -1,0 +1,233 @@
+// Command fedtrace renders the observability artifacts of a federated
+// run as text: the span ring captured from an ops endpoint
+// (GET /trace?format=records, saved to a file) and the flight recorder's
+// JSONL audit trail (-flight-recorder on fedserve, or the /rounds
+// surface). It prints greppable "summary:" lines — per-phase span
+// statistics with the slowest spans of each phase, and a per-client
+// completion/drop table over the audited rounds — so a CI job or an
+// operator can assert over a run without loading Chrome's about:tracing.
+//
+// Example:
+//
+//	curl -s 'http://127.0.0.1:7101/trace?format=records' > spans.json
+//	fedtrace -trace spans.json -flight flight.jsonl
+//
+// Malformed input is a hard failure: any JSON that does not parse exits
+// nonzero, so the command doubles as the smoke-test validator for both
+// formats.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"github.com/fedcleanse/fedcleanse/internal/fl"
+	"github.com/fedcleanse/fedcleanse/internal/obs"
+)
+
+func main() {
+	tracePath := flag.String("trace", "", "span records JSON file (saved from /trace?format=records)")
+	flightPath := flag.String("flight", "", "flight recorder JSONL file (written by -flight-recorder)")
+	roundsPath := flag.String("rounds", "", "/rounds JSON capture from an ops endpoint")
+	top := flag.Int("top", 3, "slowest spans to print per phase")
+	flag.Parse()
+	if *tracePath == "" && *flightPath == "" && *roundsPath == "" {
+		fmt.Fprintln(os.Stderr, "at least one of -trace, -flight or -rounds is required")
+		os.Exit(2)
+	}
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	if *tracePath != "" {
+		dump, err := readTrace(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fedtrace:", err)
+			os.Exit(1)
+		}
+		writeLines(out, traceSummary(dump, *top))
+	}
+	if *flightPath != "" {
+		audits, err := readFlight(*flightPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fedtrace:", err)
+			os.Exit(1)
+		}
+		writeLines(out, flightSummary(audits))
+	}
+	if *roundsPath != "" {
+		audits, total, err := readRounds(*roundsPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fedtrace:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(out, "summary: rounds endpoint retained=%d recorded=%d\n", len(audits), total)
+		writeLines(out, flightSummary(audits))
+	}
+}
+
+func writeLines(w io.Writer, lines []string) {
+	for _, l := range lines {
+		fmt.Fprintln(w, l)
+	}
+}
+
+// traceDump mirrors the /trace?format=records response body.
+type traceDump struct {
+	Total   uint64           `json:"total"`
+	Dropped uint64           `json:"dropped"`
+	Spans   []obs.SpanRecord `json:"spans"`
+}
+
+func readTrace(path string) (traceDump, error) {
+	var d traceDump
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return d, err
+	}
+	if err := json.Unmarshal(b, &d); err != nil {
+		return d, fmt.Errorf("%s: malformed span records: %w", path, err)
+	}
+	return d, nil
+}
+
+// readFlight parses a flight-recorder JSONL file: one RoundAudit per
+// non-empty line.
+func readFlight(path string) ([]fl.RoundAudit, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var audits []fl.RoundAudit
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var a fl.RoundAudit
+		if err := json.Unmarshal(sc.Bytes(), &a); err != nil {
+			return nil, fmt.Errorf("%s:%d: malformed audit record: %w", path, line, err)
+		}
+		audits = append(audits, a)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return audits, nil
+}
+
+// readRounds parses a /rounds ops capture: the retained audit window
+// plus the recorder's lifetime total.
+func readRounds(path string) ([]fl.RoundAudit, uint64, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	var resp struct {
+		Total   uint64            `json:"total"`
+		Records []json.RawMessage `json:"records"`
+	}
+	if err := json.Unmarshal(b, &resp); err != nil {
+		return nil, 0, fmt.Errorf("%s: malformed rounds capture: %w", path, err)
+	}
+	audits := make([]fl.RoundAudit, 0, len(resp.Records))
+	for i, raw := range resp.Records {
+		var a fl.RoundAudit
+		if err := json.Unmarshal(raw, &a); err != nil {
+			return nil, 0, fmt.Errorf("%s: malformed audit record %d: %w", path, i, err)
+		}
+		audits = append(audits, a)
+	}
+	return audits, resp.Total, nil
+}
+
+// traceSummary renders per-phase span statistics: every distinct span
+// name is a phase, and each phase reports its count, cumulative and
+// maximum duration, then its top slowest spans.
+func traceSummary(d traceDump, top int) []string {
+	lines := []string{fmt.Sprintf("summary: trace spans=%d recorded=%d dropped=%d",
+		len(d.Spans), d.Total, d.Dropped)}
+	byPhase := map[string][]obs.SpanRecord{}
+	for _, s := range d.Spans {
+		byPhase[s.Name] = append(byPhase[s.Name], s)
+	}
+	phases := make([]string, 0, len(byPhase))
+	for name := range byPhase {
+		phases = append(phases, name)
+	}
+	sort.Strings(phases)
+	for _, name := range phases {
+		spans := byPhase[name]
+		sort.Slice(spans, func(i, j int) bool { return spans[i].Dur > spans[j].Dur })
+		var total int64
+		for _, s := range spans {
+			total += int64(s.Dur)
+		}
+		lines = append(lines, fmt.Sprintf("summary: phase name=%s spans=%d total_ms=%.3f max_ms=%.3f",
+			name, len(spans), float64(total)/1e6, float64(spans[0].Dur)/1e6))
+		for i := 0; i < len(spans) && i < top; i++ {
+			s := spans[i]
+			lines = append(lines, fmt.Sprintf(
+				"summary: slowest phase=%s dur_ms=%.3f trace=%s span=%s round=%d client=%d attempt=%d",
+				name, float64(s.Dur)/1e6, s.Trace, s.Span, s.Round, s.Client, s.Attempt))
+		}
+	}
+	return lines
+}
+
+// flightSummary renders the audited rounds: run-level totals followed by
+// the per-client completion/drop table.
+func flightSummary(audits []fl.RoundAudit) []string {
+	type clientStat struct{ completed, dropped, errs int }
+	clients := map[int]*clientStat{}
+	stat := func(id int) *clientStat {
+		if s, ok := clients[id]; ok {
+			return s
+		}
+		s := &clientStat{}
+		clients[id] = s
+		return s
+	}
+	var applied, resumed int
+	var retries, attempts uint64
+	for _, a := range audits {
+		if a.Applied {
+			applied++
+		}
+		if a.Resumed {
+			resumed++
+		}
+		retries += a.Retries
+		attempts += a.Attempts
+		for _, id := range a.Completed {
+			stat(id).completed++
+		}
+		for _, id := range a.Dropped {
+			stat(id).dropped++
+		}
+		for id := range a.Errors {
+			stat(id).errs++
+		}
+	}
+	lines := []string{fmt.Sprintf(
+		"summary: rounds total=%d applied=%d resumed=%d retries=%d attempts=%d",
+		len(audits), applied, resumed, retries, attempts)}
+	ids := make([]int, 0, len(clients))
+	for id := range clients {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		s := clients[id]
+		lines = append(lines, fmt.Sprintf("summary: client id=%d completed=%d dropped=%d errors=%d",
+			id, s.completed, s.dropped, s.errs))
+	}
+	return lines
+}

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/fedcleanse/fedcleanse/internal/fl"
+	"github.com/fedcleanse/fedcleanse/internal/obs"
+)
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestReadTraceRoundTrip(t *testing.T) {
+	dump := traceDump{
+		Total:   3,
+		Dropped: 1,
+		Spans: []obs.SpanRecord{
+			{Name: "fl.round", Trace: 0xabc, Span: 1, Start: 100, Dur: 5 * time.Millisecond, Round: 2, Client: -1, Attempt: -1},
+			{Name: "transport.attempt", Trace: 0xabc, Span: 2, Parent: 1, Start: 120, Dur: 2 * time.Millisecond, Round: -1, Client: 3, Attempt: 1},
+		},
+	}
+	b, err := json.Marshal(dump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := readTrace(writeFile(t, "spans.json", string(b)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Total != 3 || got.Dropped != 1 || len(got.Spans) != 2 {
+		t.Fatalf("round trip mangled the dump: %+v", got)
+	}
+	if got.Spans[0].Trace != 0xabc || got.Spans[1].Parent != 1 {
+		t.Fatalf("hex IDs did not survive: %+v", got.Spans)
+	}
+}
+
+func TestReadTraceMalformed(t *testing.T) {
+	if _, err := readTrace(writeFile(t, "bad.json", `{"spans": [{]`)); err == nil {
+		t.Fatal("malformed span records parsed without error")
+	}
+}
+
+func TestTraceSummaryPhasesAndSlowest(t *testing.T) {
+	dump := traceDump{Total: 4, Spans: []obs.SpanRecord{
+		{Name: "fl.round", Dur: 9 * time.Millisecond, Round: 0, Client: -1, Attempt: -1},
+		{Name: "fl.round", Dur: 4 * time.Millisecond, Round: 1, Client: -1, Attempt: -1},
+		{Name: "transport.attempt", Dur: 1 * time.Millisecond, Client: 2, Round: -1, Attempt: 1},
+	}}
+	out := strings.Join(traceSummary(dump, 1), "\n")
+	for _, want := range []string{
+		"summary: trace spans=3 recorded=4 dropped=0",
+		"summary: phase name=fl.round spans=2 total_ms=13.000 max_ms=9.000",
+		"summary: phase name=transport.attempt spans=1",
+		"dur_ms=9.000",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+	// top=1: the 4ms fl.round span must not appear as a slowest line.
+	if strings.Contains(out, "dur_ms=4.000") {
+		t.Errorf("top=1 leaked a second slowest span:\n%s", out)
+	}
+}
+
+func TestReadFlightAndSummary(t *testing.T) {
+	audits := []fl.RoundAudit{
+		{Round: 0, Selected: []int{0, 1, 2}, Completed: []int{0, 1, 2}, Applied: true, Attempts: 3},
+		{Round: 1, Selected: []int{0, 1, 2}, Completed: []int{0, 1}, Dropped: []int{2},
+			Errors: map[int]string{2: "conn refused"}, Applied: true, Resumed: true,
+			ResumePrefix: 1, Retries: 2, Attempts: 5},
+	}
+	var sb strings.Builder
+	for _, a := range audits {
+		b, err := json.Marshal(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb.Write(b)
+		sb.WriteByte('\n')
+	}
+	path := writeFile(t, "flight.jsonl", sb.String())
+	got, err := readFlight(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[1].ResumePrefix != 1 || got[1].Errors[2] != "conn refused" {
+		t.Fatalf("flight round trip mangled the audits: %+v", got)
+	}
+	out := strings.Join(flightSummary(got), "\n")
+	for _, want := range []string{
+		"summary: rounds total=2 applied=2 resumed=1 retries=2 attempts=8",
+		"summary: client id=0 completed=2 dropped=0 errors=0",
+		"summary: client id=2 completed=1 dropped=1 errors=1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReadFlightMalformed(t *testing.T) {
+	if _, err := readFlight(writeFile(t, "bad.jsonl", "{\"round\": 0}\n{oops\n")); err == nil {
+		t.Fatal("malformed audit line parsed without error")
+	}
+}
+
+func TestReadRoundsCapture(t *testing.T) {
+	body := `{"total":7,"path":"/tmp/flight.jsonl","records":[{"round":5,"applied":true,"completed":[1,2]}]}`
+	audits, total, err := readRounds(writeFile(t, "rounds.json", body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 7 || len(audits) != 1 || audits[0].Round != 5 || !audits[0].Applied {
+		t.Fatalf("rounds capture mangled: total=%d audits=%+v", total, audits)
+	}
+	if _, _, err := readRounds(writeFile(t, "bad.json", `{"records":[{"round":]}`)); err == nil {
+		t.Fatal("malformed rounds capture parsed without error")
+	}
+}

@@ -169,8 +169,9 @@ func RunPipeline(m *nn.Sequential, clients []ReportClient, tuner Tuner, eval Sco
 	if len(clients) == 0 {
 		panic("core: RunPipeline with no clients")
 	}
-	sp := obs.StartSpan("defense.pipeline", obs.M.DefensePipelineSeconds)
+	sp := obs.StartRoot("defense.pipeline", obs.M.DefensePipelineSeconds)
 	defer sp.End()
+	psc := sp.Context()
 	obs.M.DefensePipelines.Inc()
 	layerIdx := cfg.TargetLayer
 	if layerIdx < 0 {
@@ -186,11 +187,16 @@ func RunPipeline(m *nn.Sequential, clients []ReportClient, tuner Tuner, eval Sco
 	// Step 1 — federated pruning.
 	rep.AccAfterPrune = rep.AccBefore
 	if !cfg.SkipPrune {
-		collected := GlobalPruneOrderDetail(m, clients, layerIdx, cfg)
+		csp := obs.StartChildOf(psc, "defense.prune.collect", nil)
+		collected := GlobalPruneOrderDetailCtx(
+			obs.ContextWithSpan(context.Background(), csp.Context()), m, clients, layerIdx, cfg)
+		csp.End()
 		rep.ReportDropouts = collected.Dropped
 		obs.M.DefenseReportDropouts.Add(uint64(len(collected.Dropped)))
 		minAcc := rep.AccBefore - cfg.MaxAccuracyDrop
+		ssp := obs.StartChildOf(psc, "defense.prune.sweep", nil)
 		rep.Prune = PruneToThreshold(m, layerIdx, collected.Order, eval, minAcc, cfg.MaxPruneUnits)
+		ssp.End()
 		rep.AccAfterPrune = rep.Prune.FinalAccuracy
 		obs.L().Info("defense: pruning done", "pruned", len(rep.Prune.Pruned),
 			"dropouts", len(collected.Dropped), "acc", rep.AccAfterPrune)
@@ -202,7 +208,9 @@ func RunPipeline(m *nn.Sequential, clients []ReportClient, tuner Tuner, eval Sco
 		if tuner == nil {
 			panic("core: fine-tuning requested without a Tuner")
 		}
+		fsp := obs.StartChildOf(psc, "defense.finetune", nil)
 		rep.FineTune = FineTune(m, tuner, cfg.FineTuneRounds, cfg.FineTunePatience, eval)
+		fsp.End()
 		rep.AccAfterFineTune = rep.FineTune.Accuracies[len(rep.FineTune.Accuracies)-1]
 		obs.L().Info("defense: fine-tuning done",
 			"rounds", rep.FineTune.Rounds, "acc", rep.AccAfterFineTune)
@@ -233,7 +241,12 @@ func RunPipeline(m *nn.Sequential, clients []ReportClient, tuner Tuner, eval Sco
 			// later (often more backdoor-critical) layers.
 			aw.MinAccuracy = eval.Evaluate(m) - drop
 		}
+		// The span's attempt slot carries the swept layer index — AW has
+		// no client or retry identity, and the layer is what a trace
+		// reader needs to tell the sweeps apart.
+		asp := obs.StartChildOf(psc, "defense.aw.layer", nil).WithAttempt(li)
 		res := AdjustWeights(m, li, aw, eval)
+		asp.End()
 		if i == 0 {
 			rep.AW = res
 		} else {
@@ -299,7 +312,16 @@ func GlobalPruneOrder(m *nn.Sequential, clients []ReportClient, layerIdx int, cf
 // the client from this aggregation. It panics when no report arrives or
 // fewer than cfg.ReportQuorum of the cohort responds.
 func GlobalPruneOrderDetail(m *nn.Sequential, clients []ReportClient, layerIdx int, cfg PipelineConfig) PruneOrderResult {
-	ctx, cancel := reportCtx(cfg.ReportTimeout)
+	return GlobalPruneOrderDetailCtx(context.Background(), m, clients, layerIdx, cfg)
+}
+
+// GlobalPruneOrderDetailCtx is GlobalPruneOrderDetail with a caller
+// context: the collection context (and cfg.ReportTimeout, when set)
+// derives from ctx, so cancellation and any trace span context it
+// carries propagate into the per-client report calls — a remote
+// client's wire attempts become children of the caller's span.
+func GlobalPruneOrderDetailCtx(ctx context.Context, m *nn.Sequential, clients []ReportClient, layerIdx int, cfg PipelineConfig) PruneOrderResult {
+	ctx, cancel := reportCtx(ctx, cfg.ReportTimeout)
 	defer cancel()
 	res := PruneOrderResult{}
 	switch cfg.Method {
@@ -390,12 +412,13 @@ func requireReportQuorum(got, cohort int, quorum float64) {
 	}
 }
 
-// reportCtx builds the collection context for a report fan-out.
-func reportCtx(timeout time.Duration) (context.Context, context.CancelFunc) {
+// reportCtx builds the collection context for a report fan-out on top of
+// the caller's context.
+func reportCtx(parent context.Context, timeout time.Duration) (context.Context, context.CancelFunc) {
 	if timeout > 0 {
-		return context.WithTimeout(context.Background(), timeout)
+		return context.WithTimeout(parent, timeout)
 	}
-	return context.WithCancel(context.Background())
+	return context.WithCancel(parent)
 }
 
 // MeanReportedAccuracy averages client-reported accuracies, the fallback
@@ -431,7 +454,7 @@ func MeanReportedAccuracyDetail(m *nn.Sequential, clients []ReportClient, cfg Pi
 	if len(reporters) == 0 {
 		panic("core: no client implements AccuracyReporter")
 	}
-	ctx, cancel := reportCtx(cfg.ReportTimeout)
+	ctx, cancel := reportCtx(context.Background(), cfg.ReportTimeout)
 	defer cancel()
 	accs := make([]float64, len(reporters))
 	errs := make([]error, len(reporters))

@@ -1,0 +1,80 @@
+package fl
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"github.com/fedcleanse/fedcleanse/internal/nn"
+	"github.com/fedcleanse/fedcleanse/internal/obs"
+)
+
+// TestRoundAuditRecords pins the audit plumbing in isolation: a server
+// with a memory-only flight recorder writes exactly one record per round,
+// mirroring the RoundResult, with distinct trace IDs and the AuditAmend
+// hook applied; a server without a recorder writes nothing and never
+// calls the hook.
+func TestRoundAuditRecords(t *testing.T) {
+	template := nn.NewSmallCNN(nn.Input{C: 1, H: 8, W: 8}, 4, rand.New(rand.NewSource(7)))
+	parts := make([]Participant, 4)
+	for i := range parts {
+		parts[i] = &SyntheticClient{Id: i, Seed: 5}
+	}
+	cfg := Config{Rounds: 3, Quorum: 0.5}
+	s := NewServer(template, parts, cfg, 33)
+	fr, err := obs.NewFlightRecorder("", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fr.Close()
+	s.Audit = fr
+	amended := 0
+	s.AuditAmend = func(a *RoundAudit) {
+		amended++
+		acc := float64(90 + a.Round)
+		a.TestAccuracy = &acc
+	}
+
+	var results []RoundResult
+	for r := 0; r < cfg.Rounds; r++ {
+		results = append(results, s.RoundDetail(r))
+	}
+	recent := fr.Recent()
+	if len(recent) != cfg.Rounds || amended != cfg.Rounds {
+		t.Fatalf("recorded %d audits (amended %d), want %d", len(recent), amended, cfg.Rounds)
+	}
+	seen := map[obs.TraceID]bool{}
+	for i, raw := range recent {
+		var a RoundAudit
+		if err := json.Unmarshal(raw, &a); err != nil {
+			t.Fatalf("audit %d: %v", i, err)
+		}
+		rr := results[i]
+		if a.Round != rr.Round || a.Applied != rr.Applied ||
+			len(a.Selected) != len(rr.Selected) || len(a.Completed) != len(rr.Completed) {
+			t.Fatalf("audit %d diverges from result:\naudit  %+v\nresult %+v", i, a, rr)
+		}
+		if a.Quorum != s.quorumCount(len(rr.Selected)) || a.Aggregator == "" {
+			t.Fatalf("audit %d lost round context: %+v", i, a)
+		}
+		if a.Checkpoint != "" {
+			t.Fatalf("audit %d names a checkpoint on an undurable server: %q", i, a.Checkpoint)
+		}
+		if a.TestAccuracy == nil || *a.TestAccuracy != float64(90+i) {
+			t.Fatalf("audit %d missing the amended accuracy: %+v", i, a.TestAccuracy)
+		}
+		if a.Trace == 0 || seen[a.Trace] {
+			t.Fatalf("audit %d trace %s not distinct", i, a.Trace)
+		}
+		seen[a.Trace] = true
+	}
+
+	// No recorder: rounds run, nothing records, the hook stays uncalled.
+	s2 := NewServer(template, parts, cfg, 33)
+	called := false
+	s2.AuditAmend = func(*RoundAudit) { called = true }
+	s2.RoundDetail(0)
+	if called {
+		t.Fatal("AuditAmend ran without a flight recorder installed")
+	}
+}

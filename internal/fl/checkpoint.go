@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 
 	"github.com/fedcleanse/fedcleanse/internal/obs"
 	"github.com/fedcleanse/fedcleanse/internal/wire"
@@ -281,6 +282,20 @@ type Checkpointer struct {
 	// WriteFile is the write seam, nil meaning AtomicWriteFile. Tests
 	// inject torn writes here to prove resume never loads a torn file.
 	WriteFile func(path string, data []byte) error
+
+	// lastMu guards lastPath, the most recent successfully written
+	// checkpoint file (see LastPath).
+	lastMu   sync.Mutex
+	lastPath string
+}
+
+// LastPath returns the path of the most recent successfully written
+// checkpoint ("" before the first write). The round audit trail records
+// it, so each RoundAudit names the checkpoint that covers it.
+func (c *Checkpointer) LastPath() string {
+	c.lastMu.Lock()
+	defer c.lastMu.Unlock()
+	return c.lastPath
 }
 
 func (c *Checkpointer) boundaryDue(t int) bool {
@@ -305,10 +320,14 @@ func (c *Checkpointer) write(name string, ck *Checkpoint) error {
 	if wf == nil {
 		wf = AtomicWriteFile
 	}
-	if err := wf(filepath.Join(c.Dir, name), data); err != nil {
+	path := filepath.Join(c.Dir, name)
+	if err := wf(path, data); err != nil {
 		obs.M.FLCheckpointWriteErrors.Inc()
 		return fmt.Errorf("fl: checkpoint %s: %w", name, err)
 	}
+	c.lastMu.Lock()
+	c.lastPath = path
+	c.lastMu.Unlock()
 	obs.M.FLCheckpointWrites.Inc()
 	obs.M.FLCheckpointBytes.Add(uint64(len(data)))
 	obs.L().Debug("fl: checkpoint written", "file", name, "bytes", len(data),

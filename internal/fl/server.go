@@ -156,6 +156,15 @@ type Server struct {
 	// servers leave it nil.
 	CrashHook func(p CrashPoint, round, folds int)
 
+	// Audit, when non-nil, receives one RoundAudit record per RoundDetail
+	// call — the durable flight-recorder trail (DESIGN.md §16). nil keeps
+	// auditing off, so embedded servers and tests pay nothing.
+	Audit *obs.FlightRecorder
+	// AuditAmend, when set, edits each audit record before it is written;
+	// drivers use it to attach evaluation results (TA/ASR) computed
+	// outside the round.
+	AuditAmend func(*RoundAudit)
+
 	cfg Config
 	// rng drives cohort selection; sr owns it so the draw position can be
 	// checkpointed (see rng.go).
@@ -279,28 +288,47 @@ func (s *Server) Round(t int) []int {
 // partial checkpoints mid-fold. A round resumed from a partial checkpoint
 // (ResumeFrom) re-enters the interrupted round here: t must equal the
 // checkpointed round.
+//
+// The whole round is one trace (DESIGN.md §16): RoundDetail roots the
+// "fl.round" span (feeding fl_round_seconds), every remote call, retry
+// attempt, fold merge and checkpoint write hangs off it as a child span,
+// and — via the transport's trace headers — so does the handler work in
+// the client and fleet processes serving the cohort. When an Audit
+// recorder is installed, the round's outcome is additionally persisted as
+// one RoundAudit record.
 func (s *Server) RoundDetail(t int) RoundResult {
+	sp := obs.StartRoot("fl.round", obs.M.FLRoundSeconds).WithRound(t)
+	sc := sp.Context()
+	retries0 := obs.M.TransportRetries.Value()
+	attempts0 := obs.M.TransportAttempts.Value()
 	var res RoundResult
+	resumed, resumePrefix := false, 0
 	if pp := s.pendingPartial; pp != nil {
 		s.pendingPartial = nil
 		if pp.Round == t {
-			res = s.resumePartialRound(pp, t)
+			resumed, resumePrefix = true, pp.FoldN
+			res = s.resumePartialRound(pp, t, sc)
 		} else {
 			// Driver bug: the resumed round must be replayed first. Fall
 			// back to a fresh round — correctness of this round survives,
 			// but the interrupted round's collected work is lost.
 			obs.L().Warn("fl: pending partial round dropped",
 				"partial_round", pp.Round, "round", t)
-			res = s.runRound(s.Model, s.selectClients(), t, true)
+			res = s.runRound(s.Model, s.selectClients(), t, true, sc)
 		}
 	} else {
-		res = s.runRound(s.Model, s.selectClients(), t, true)
+		res = s.runRound(s.Model, s.selectClients(), t, true, sc)
 	}
 	if s.ckpt != nil && s.ckpt.boundaryDue(t) {
+		csp := obs.StartChildOf(sc, "fl.checkpoint", nil).WithRound(t)
 		if err := s.ckpt.WriteBoundary(s.CheckpointAt(t + 1)); err != nil {
 			obs.L().Warn("fl: boundary checkpoint failed", "round", t, "err", err)
 		}
+		csp.End()
 	}
+	dur := sp.End()
+	s.recordAudit(&res, sc.Trace, dur, resumed, resumePrefix,
+		obs.M.TransportRetries.Value()-retries0, obs.M.TransportAttempts.Value()-attempts0)
 	return res
 }
 
@@ -383,25 +411,27 @@ func (s *Server) populationSize() int {
 // failure-recording and quorum helpers below, so their survivor sets —
 // and therefore their aggregates — cannot drift apart.
 //
-// The round is traced as an obs span feeding the fl_round_seconds
-// histogram; every drop — policy or wire — counts into fl_dropped_total
-// (wire failures additionally log the client's error with round/client
-// attributes), and a below-quorum round counts into
-// fl_quorum_failures_total. Instrumentation only observes the round's
-// outcome after the fact; it touches no model arithmetic, scheduling or
-// RNG stream, so rounds stay bit-identical with metrics enabled.
-// durable marks training rounds against the global model — the only
-// rounds partial checkpoints may describe. Fine-tuning passes false.
-func (s *Server) runRound(m *nn.Sequential, selected []Participant, t int, durable bool) RoundResult {
+// The round runs under the trace rooted by its driver (RoundDetail or
+// FineTune): sc is the round span's context, threaded into the collection
+// context so every remote call and retry attempt becomes a child span,
+// headers included across process boundaries. Every drop — policy or
+// wire — counts into fl_dropped_total (wire failures additionally log the
+// client's error with round/client attributes), and a below-quorum round
+// counts into fl_quorum_failures_total. Instrumentation only observes the
+// round's outcome after the fact; it touches no model arithmetic,
+// scheduling or RNG stream, so rounds stay bit-identical with metrics
+// enabled. durable marks training rounds against the global model — the
+// only rounds partial checkpoints may describe. Fine-tuning passes false.
+func (s *Server) runRound(m *nn.Sequential, selected []Participant, t int, durable bool, sc obs.SpanContext) RoundResult {
 	if s.cfg.Streaming {
 		if sa, ok := s.aggregator().(StreamingAggregator); ok {
-			return s.runStreamingRound(m, sa, selected, t, durable)
+			return s.runStreamingRound(m, sa, selected, t, durable, sc)
 		}
 		obs.M.FLStreamFallbacks.Inc()
 		obs.L().Debug("fl: aggregator cannot stream, batch round",
 			"round", t, "agg", fmt.Sprintf("%T", s.aggregator()))
 	}
-	return s.runBatchRound(m, selected, t)
+	return s.runBatchRound(m, selected, t, sc)
 }
 
 // beginRound opens a round's telemetry record.
@@ -443,12 +473,19 @@ func (res *RoundResult) noteWireFailure(id, t int, err error) {
 	obs.L().Warn("fl: client update failed", "round", t, "client", id, "err", err)
 }
 
-// roundContext derives the round's collection deadline.
-func (s *Server) roundContext() (context.Context, context.CancelFunc) {
-	if s.cfg.RoundTimeout > 0 {
-		return context.WithTimeout(context.Background(), s.cfg.RoundTimeout)
+// roundContext derives the round's collection context: the deadline, plus
+// the round span's context so remote calls trace as children of the round
+// (the one context allocation per round; individual spans allocate
+// nothing).
+func (s *Server) roundContext(sc obs.SpanContext) (context.Context, context.CancelFunc) {
+	ctx := context.Background()
+	if sc.Valid() {
+		ctx = obs.ContextWithSpan(ctx, sc)
 	}
-	return context.Background(), func() {}
+	if s.cfg.RoundTimeout > 0 {
+		return context.WithTimeout(ctx, s.cfg.RoundTimeout)
+	}
+	return ctx, func() {}
 }
 
 // meetsQuorum decides whether a round with the given number of arrived
@@ -467,14 +504,12 @@ func (s *Server) meetsQuorum(arrived, selected, t int) bool {
 
 // runBatchRound is the legacy round: materialize every delta, compact the
 // survivors in participant order, aggregate once at round end.
-func (s *Server) runBatchRound(m *nn.Sequential, selected []Participant, t int) RoundResult {
-	sp := obs.StartSpan("fl.round", obs.M.FLRoundSeconds)
-	defer sp.End()
+func (s *Server) runBatchRound(m *nn.Sequential, selected []Participant, t int, sc obs.SpanContext) RoundResult {
 	obs.M.FLRounds.Inc()
 	res := beginRound(selected, t)
 	global := m.ParamsVector()
 	active := s.filterByPolicy(selected, t, &res)
-	ctx, cancel := s.roundContext()
+	ctx, cancel := s.roundContext(sc)
 	defer cancel()
 	deltas := make([][]float64, len(active))
 	errs := make([]error, len(active))
@@ -516,24 +551,24 @@ func (s *Server) runBatchRound(m *nn.Sequential, selected []Participant, t int) 
 // The fold order and the shared drop/quorum helpers make the result
 // bit-identical to runBatchRound for every shard count, worker count and
 // dropout set (the streaming equivalence suite pins this).
-func (s *Server) runStreamingRound(m *nn.Sequential, sa StreamingAggregator, selected []Participant, t int, durable bool) RoundResult {
-	sp := obs.StartSpan("fl.round", obs.M.FLRoundSeconds)
-	defer sp.End()
+func (s *Server) runStreamingRound(m *nn.Sequential, sa StreamingAggregator, selected []Participant, t int, durable bool, sc obs.SpanContext) RoundResult {
 	obs.M.FLRounds.Inc()
 	res := beginRound(selected, t)
 	global := m.ParamsVector()
 	active := s.filterByPolicy(selected, t, &res)
-	ctx, cancel := s.roundContext()
+	ctx, cancel := s.roundContext(sc)
 	defer cancel()
 
 	fold := sa.BeginFold(len(global), s.shardCount(), &s.foldScratch)
 	// The opening partial checkpoint (fold 0) records the drawn cohort and
 	// policy drops, so a crash before any update folds still resumes into
 	// this round instead of redrawing it.
-	s.partialCheckpoint(m, &res, fold, t, 0, durable)
+	s.partialCheckpoint(m, &res, fold, t, 0, durable, sc)
 	s.crash(CrashPreFold, t, 0)
 	folds := s.collectAndFold(ctx, m, fold, active, global, t, &res, durable, 0)
+	msp := obs.StartChildOf(sc, "fl.fold.merge", nil).WithRound(t)
 	agg := fold.Finish()
+	msp.End()
 	obs.M.FLStreamInFlightPeak.Set(int64(res.PeakInFlight))
 	obs.M.FLCompleted.Add(uint64(len(res.Completed)))
 	if !s.meetsQuorum(len(res.Completed), len(selected), t) {
@@ -601,7 +636,7 @@ func (s *Server) collectAndFold(ctx context.Context, m *nn.Sequential, fold Fold
 		fold.Fold(p.ID(), out.delta)
 		atomic.AddInt64(&inFlight, -1)
 		folds++
-		s.partialCheckpoint(m, res, fold, t, folds, durable)
+		s.partialCheckpoint(m, res, fold, t, folds, durable, obs.SpanContextFrom(ctx))
 		s.crash(CrashMidCollection, t, folds)
 	}
 	res.PeakInFlight = int(atomic.LoadInt64(&peak))
@@ -612,7 +647,7 @@ func (s *Server) collectAndFold(ctx context.Context, m *nn.Sequential, fold Fold
 // quiesce the fold, snapshot its accumulator, seal it with the round's
 // bookkeeping. A failed write logs and counts — the round itself carries
 // on; durability degrades to the previous checkpoint.
-func (s *Server) partialCheckpoint(m *nn.Sequential, res *RoundResult, fold Fold, t, folds int, durable bool) {
+func (s *Server) partialCheckpoint(m *nn.Sequential, res *RoundResult, fold Fold, t, folds int, durable bool, sc obs.SpanContext) {
 	if !durable || s.ckpt == nil || !s.ckpt.partialDue(folds) {
 		return
 	}
@@ -620,6 +655,8 @@ func (s *Server) partialCheckpoint(m *nn.Sequential, res *RoundResult, fold Fold
 	if !ok {
 		return
 	}
+	csp := obs.StartChildOf(sc, "fl.checkpoint", nil).WithRound(t)
+	defer csp.End()
 	acc, n, total := fc.snapshot()
 	ck := s.CheckpointAt(t)
 	ck.Partial = &PartialRound{
@@ -642,16 +679,18 @@ func (s *Server) partialCheckpoint(m *nn.Sequential, res *RoundResult, fold Fold
 // are collected — in the same participant order, so the scalar fold
 // sequence (and therefore the applied aggregate) is the uninterrupted
 // round's.
-func (s *Server) resumePartialRound(pp *PartialRound, t int) RoundResult {
+func (s *Server) resumePartialRound(pp *PartialRound, t int, sc obs.SpanContext) RoundResult {
 	sa, ok := s.aggregator().(StreamingAggregator)
 	if !ok {
 		// Partials are only written by streaming rounds; a server resumed
 		// with a non-streaming rule is misconfigured. Redo the round over
 		// the recorded cohort from scratch.
 		obs.L().Warn("fl: partial checkpoint under non-streaming aggregator, re-running round", "round", t)
-		return s.runRound(s.Model, s.materialize(pp.Selected), t, true)
+		return s.runRound(s.Model, s.materialize(pp.Selected), t, true, sc)
 	}
-	sp := obs.StartSpan("fl.round", obs.M.FLRoundSeconds)
+	// The resume suffix is a child span of the round, so a resumed round's
+	// tree shows the recorded prefix boundary explicitly.
+	sp := obs.StartChildOf(sc, "fl.round.resume", nil).WithRound(t)
 	defer sp.End()
 	obs.M.FLRounds.Inc()
 	res := RoundResult{
@@ -680,7 +719,7 @@ func (s *Server) resumePartialRound(pp *PartialRound, t int) RoundResult {
 		}
 	}
 	active := s.materialize(remainingIDs)
-	ctx, cancel := s.roundContext()
+	ctx, cancel := s.roundContext(sc)
 	defer cancel()
 	fold := sa.BeginFold(len(global), s.shardCount(), &s.foldScratch)
 	fc, canRestore := fold.(foldSnapshotter)
@@ -688,11 +727,13 @@ func (s *Server) resumePartialRound(pp *PartialRound, t int) RoundResult {
 		obs.L().Warn("fl: checkpointed fold state unusable, re-running round",
 			"round", t, "acc_dim", len(pp.Acc), "dim", len(global))
 		fold.Finish()
-		return s.runRound(m, s.materialize(pp.Selected), t, true)
+		return s.runRound(m, s.materialize(pp.Selected), t, true, sc)
 	}
 	fc.restore(pp.Acc, pp.FoldN, pp.Total)
 	folds := s.collectAndFold(ctx, m, fold, active, global, t, &res, true, pp.FoldN)
+	msp := obs.StartChildOf(sc, "fl.fold.merge", nil).WithRound(t)
 	agg := fold.Finish()
+	msp.End()
 	obs.M.FLStreamInFlightPeak.Set(int64(res.PeakInFlight))
 	obs.M.FLCompleted.Add(uint64(len(res.Completed) - len(pp.Completed)))
 	if !s.meetsQuorum(len(res.Completed), len(res.Selected), t) {
@@ -846,6 +887,11 @@ func (s *Server) FineTune(m *nn.Sequential, rounds int) {
 		if s.Registry != nil {
 			cohort = s.selectClients()
 		}
-		s.runRound(m, cohort, t, false)
+		// Each fine-tuning round roots its own trace: it is driven by the
+		// defense pipeline, not RoundDetail, so no round span exists above
+		// it.
+		sp := obs.StartRoot("fl.finetune.round", obs.M.FLRoundSeconds).WithRound(t)
+		s.runRound(m, cohort, t, false, sp.Context())
+		sp.End()
 	}
 }

@@ -55,3 +55,31 @@ func TestSpanWarmAllocFree(t *testing.T) {
 		t.Errorf("warm span start/end: %v allocs/op, want 0", allocs)
 	}
 }
+
+// TestTraceSpanWarmAllocFree gates the traced warm path (ISSUE 10): a
+// child span under a valid parent — whose End appends a record to the
+// default span ring — must stay alloc-free once its name is interned.
+func TestTraceSpanWarmAllocFree(t *testing.T) {
+	SetLogger(nil)
+	parent := SpanContext{Trace: NewTraceID(), Span: NewSpanID()}
+	h := NewRegistry().Histogram("traced_span_seconds", DurationBuckets)
+	StartChildOf(parent, "alloc.traced", h).End() // interns the name
+	if allocs := testing.AllocsPerRun(100, func() {
+		sp := StartChildOf(parent, "alloc.traced", h).WithClient(1).WithRound(2).WithAttempt(3)
+		sp.End()
+	}); allocs != 0 {
+		t.Errorf("warm traced span start/end: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestSpanRingAppendWarmAllocFree gates the raw ring append, the
+// primitive every traced End runs through.
+func TestSpanRingAppendWarmAllocFree(t *testing.T) {
+	r := NewSpanRing(64)
+	rec := SpanRecord{Name: "alloc.ring", Trace: 1, Span: 2, Parent: 3,
+		Start: 4, Dur: 5, Client: 6, Round: 7, Attempt: 8}
+	r.Append(rec) // interns the name
+	if allocs := testing.AllocsPerRun(100, func() { r.Append(rec) }); allocs != 0 {
+		t.Errorf("warm SpanRing.Append: %v allocs/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+type testAudit struct {
+	Round   int  `json:"round"`
+	Applied bool `json:"applied"`
+}
+
+func TestFlightRecorderFileAndRecent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "flight.jsonl")
+	fr, err := NewFlightRecorder(path, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if err := fr.Record(testAudit{Round: i, Applied: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fr.Total() != 6 {
+		t.Fatalf("Total = %d, want 6", fr.Total())
+	}
+	// The in-memory window keeps the newest 4, oldest first.
+	recent := fr.Recent()
+	if len(recent) != 4 {
+		t.Fatalf("Recent kept %d records, want 4", len(recent))
+	}
+	for i, raw := range recent {
+		var a testAudit
+		if err := json.Unmarshal(raw, &a); err != nil {
+			t.Fatalf("recent record %d is not JSON: %v", i, err)
+		}
+		if want := i + 2; a.Round != want {
+			t.Fatalf("recent record %d: round %d, want %d", i, a.Round, want)
+		}
+	}
+	if err := fr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The file keeps everything: one JSON object per line, in order.
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(b)), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("file holds %d lines, want 6", len(lines))
+	}
+	for i, line := range lines {
+		var a testAudit
+		if err := json.Unmarshal([]byte(line), &a); err != nil {
+			t.Fatalf("file line %d is not JSON: %v", i, err)
+		}
+		if a.Round != i || !a.Applied {
+			t.Fatalf("file line %d mangled: %+v", i, a)
+		}
+	}
+}
+
+func TestFlightRecorderMemoryOnly(t *testing.T) {
+	fr, err := NewFlightRecorder("", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fr.Close()
+	if err := fr.Record(testAudit{Round: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if fr.Path() != "" || fr.Total() != 1 || len(fr.Recent()) != 1 {
+		t.Fatalf("memory-only recorder misbehaved: path=%q total=%d recent=%d",
+			fr.Path(), fr.Total(), len(fr.Recent()))
+	}
+}
+
+func TestFlightRecorderUnmarshalable(t *testing.T) {
+	fr, err := NewFlightRecorder("", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fr.Close()
+	if err := fr.Record(func() {}); err == nil {
+		t.Fatal("unmarshalable record accepted")
+	}
+	if fr.Total() != 0 || len(fr.Recent()) != 0 {
+		t.Fatal("failed record still counted")
+	}
+}
+
+func TestGlobalFlightRecorder(t *testing.T) {
+	prev := CurrentFlightRecorder()
+	defer SetFlightRecorder(prev)
+	fr, err := NewFlightRecorder("", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fr.Close()
+	SetFlightRecorder(fr)
+	if CurrentFlightRecorder() != fr {
+		t.Fatal("SetFlightRecorder did not install the recorder")
+	}
+}

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -15,12 +16,41 @@ import (
 //	GET /metrics        — prometheus-style text snapshot
 //	GET /metrics?format=json (or Accept: application/json) — JSON snapshot
 //	GET /healthz        — liveness probe, always "ok"
+//	GET /trace          — Chrome trace-event JSON of the span ring
+//	GET /trace?format=records — raw span records (fedtrace's input)
+//	GET /rounds         — the flight recorder's retained audit records
 //	GET /debug/pprof/*  — the standard runtime profiles
 //
 // File-based profiles (-cpuprofile/-memprofile) remain the job of
 // internal/profiling; this handler serves the on-demand counterparts.
 func NewOpsHandler(r *Registry) http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		recs := DefaultSpans.Snapshot()
+		if req.URL.Query().Get("format") == "records" {
+			_ = json.NewEncoder(w).Encode(struct {
+				Total   uint64       `json:"total"`
+				Dropped uint64       `json:"dropped"`
+				Spans   []SpanRecord `json:"spans"`
+			}{Total: DefaultSpans.Total(), Dropped: DefaultSpans.Dropped(), Spans: recs})
+			return
+		}
+		_ = WriteChromeTrace(w, recs)
+	})
+	mux.HandleFunc("/rounds", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fr := CurrentFlightRecorder()
+		resp := struct {
+			Total   uint64            `json:"total"`
+			Path    string            `json:"path"`
+			Records []json.RawMessage `json:"records"`
+		}{Records: []json.RawMessage{}}
+		if fr != nil {
+			resp.Total, resp.Path, resp.Records = fr.Total(), fr.Path(), fr.Recent()
+		}
+		_ = json.NewEncoder(w).Encode(resp)
+	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		SampleProcess()
 		if req.URL.Query().Get("format") == "json" ||

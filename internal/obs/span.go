@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"log/slog"
 	"time"
 )
@@ -13,31 +14,94 @@ import (
 // caller's stack and the debug events are guarded by Enabled), so spans
 // are safe around paths gated by make alloc-test.
 //
-// Spans deliberately do not form a tree and carry no context: the stages
-// they cover are coarse and strictly nested by call structure, and keeping
-// them value-typed is what keeps them free.
+// Spans come in two flavors. StartSpan spans are context-free, exactly as
+// before: no identity, no tree, nothing recorded beyond the histogram.
+// StartRoot/StartChild spans additionally carry a SpanContext (DESIGN.md
+// §16): they link into a per-trace tree via parent IDs, optionally tag the
+// client/round/attempt they cover (WithClient, WithRound, WithAttempt),
+// and on End record themselves into DefaultSpans, the process-wide ring
+// served at /trace. Both flavors stay value-typed and allocation-free on
+// the warm path.
 type Span struct {
-	name  string
-	hist  *Histogram
-	start time.Time
+	name    string
+	hist    *Histogram
+	start   time.Time
+	sc      SpanContext
+	parent  SpanID
+	client  int64
+	round   int64
+	attempt int64
 }
 
-// StartSpan begins a span. hist receives the duration in seconds at End
-// and may be nil for spans that only exist for their events.
+// StartSpan begins an untraced span. hist receives the duration in seconds
+// at End and may be nil for spans that only exist for their events.
 func StartSpan(name string, hist *Histogram) Span {
 	if Enabled(slog.LevelDebug) {
 		L().Debug("span start", "span", name)
 	}
-	return Span{name: name, hist: hist, start: time.Now()}
+	return Span{name: name, hist: hist, start: time.Now(), client: -1, round: -1, attempt: -1}
 }
 
-// End closes the span: it observes the elapsed duration and returns it.
-// End on the zero Span is a harmless no-op returning a meaningless
-// duration, so instrumented code never needs nil checks.
+// StartRoot begins a traced span that roots a new trace: fresh TraceID,
+// fresh SpanID, no parent. Use it at the top of a causal unit (one
+// federated round, one defense pipeline run).
+func StartRoot(name string, hist *Histogram) Span {
+	s := StartSpan(name, hist)
+	s.sc = SpanContext{Trace: NewTraceID(), Span: NewSpanID()}
+	return s
+}
+
+// StartChild begins a traced span under the span context carried by ctx.
+// When ctx carries none, the span roots a new trace instead, so call trees
+// that are sometimes entered without a propagated parent still trace.
+func StartChild(ctx context.Context, name string, hist *Histogram) Span {
+	return StartChildOf(SpanContextFrom(ctx), name, hist)
+}
+
+// StartChildOf begins a traced span under an explicit parent context; a
+// zero parent roots a new trace.
+func StartChildOf(parent SpanContext, name string, hist *Histogram) Span {
+	s := StartSpan(name, hist)
+	if parent.Valid() {
+		s.sc = SpanContext{Trace: parent.Trace, Span: NewSpanID()}
+		s.parent = parent.Span
+	} else {
+		s.sc = SpanContext{Trace: NewTraceID(), Span: NewSpanID()}
+	}
+	return s
+}
+
+// Context returns the span's propagation context (zero for untraced
+// spans). Hand it to ContextWithSpan or InjectHeaders so remote work joins
+// this span's tree.
+func (s Span) Context() SpanContext { return s.sc }
+
+// WithClient tags the span with the client ID it covers.
+func (s Span) WithClient(id int) Span { s.client = int64(id); return s }
+
+// WithRound tags the span with the federated round it covers.
+func (s Span) WithRound(t int) Span { s.round = int64(t); return s }
+
+// WithAttempt tags the span with a transport attempt ordinal.
+func (s Span) WithAttempt(n int) Span { s.attempt = int64(n); return s }
+
+// End closes the span: it observes the elapsed duration into the
+// histogram, records traced spans into DefaultSpans, and returns the
+// duration. End on the zero Span returns 0 and records nothing — neither
+// the histogram nor the ring sees it — so instrumented code never needs
+// nil checks around conditionally started spans.
 func (s Span) End() time.Duration {
+	if s.start.IsZero() {
+		return 0
+	}
 	d := time.Since(s.start)
 	if s.hist != nil {
 		s.hist.Observe(d.Seconds())
+	}
+	if s.sc.Valid() {
+		DefaultSpans.append(internName(s.name), s.sc, s.parent,
+			s.start.UnixNano(), d, s.client, s.round, s.attempt)
+		M.TraceSpans.Inc()
 	}
 	if s.name != "" && Enabled(slog.LevelDebug) {
 		L().Debug("span end", "span", s.name, "dur", d)

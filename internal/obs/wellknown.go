@@ -73,6 +73,14 @@ var M = struct {
 	// Worker pool (internal/parallel).
 	PoolTasks      *Counter // tasks submitted to parallel.Pool
 	PoolQueueDepth *Gauge   // pool tasks submitted but not yet finished
+	// Bare For/ForBlocks loops (internal/parallel). Counted per block,
+	// never per index, so the kernels' warm paths stay atomic-add cheap.
+	ForTasks      *Counter // blocks executed by For/ForBlocks
+	ForQueueDepth *Gauge   // fanned-out blocks started but not yet finished
+
+	// Tracing + flight recorder (DESIGN.md §16).
+	TraceSpans    *Counter // traced spans recorded into the span ring
+	FlightRecords *Counter // audit records written by the flight recorder
 
 	// Load generation (transport.Fleet / cmd/fedload).
 	FedloadClients       *Gauge     // synthetic clients hosted by the fleet
@@ -131,6 +139,11 @@ var M = struct {
 
 	PoolTasks:      Default.Counter("parallel_pool_tasks_total"),
 	PoolQueueDepth: Default.Gauge("parallel_pool_queue_depth"),
+	ForTasks:       Default.Counter("parallel_for_tasks_total"),
+	ForQueueDepth:  Default.Gauge("parallel_for_queue_depth"),
+
+	TraceSpans:    Default.Counter("trace_spans_total"),
+	FlightRecords: Default.Counter("flight_records_total"),
 
 	FedloadClients:       Default.Gauge("fedload_clients"),
 	FedloadUpdates:       Default.Counter("fedload_updates_total"),

@@ -21,6 +21,8 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+
+	"github.com/fedcleanse/fedcleanse/internal/obs"
 )
 
 // EnvWorkers is the environment variable that pins the worker count for a
@@ -145,16 +147,25 @@ func ForBlocksIndexed(n int, f func(blk, lo, hi int)) {
 	}
 	w := NumBlocks(n)
 	if w <= 1 {
+		obs.M.ForTasks.Inc()
 		f(0, 0, n)
 		return
 	}
+	// One counter add and one gauge inc/dec per *block*, never per index:
+	// atomics don't allocate, so the kernels' alloc gates hold (see
+	// alloc_test.go), and the per-call cost is noise next to the block's
+	// work. The queue-depth gauge covers only the fanned-out blocks — the
+	// inline path above never queues.
+	obs.M.ForTasks.Add(uint64(w))
 	var wg sync.WaitGroup
 	var pr panicRecorder
 	for i, b := range Partition(n, w) {
 		blk, lo, hi := i, b[0], b[1]
 		wg.Add(1)
+		obs.M.ForQueueDepth.Inc()
 		go func() {
 			defer wg.Done()
+			defer obs.M.ForQueueDepth.Dec()
 			defer func() {
 				if v := recover(); v != nil {
 					pr.record(v)

@@ -60,9 +60,10 @@ func (p *Pool) Close() {
 //
 // Each task counts into parallel_pool_tasks_total; the
 // parallel_pool_queue_depth gauge tracks tasks submitted but not yet
-// finished. The per-index For/ForBlocks fast paths are deliberately left
-// uninstrumented — they sit inside tensor kernels where even an atomic
-// add per index would be measurable.
+// finished. The bare For/ForBlocks loops carry the matching
+// parallel_for_tasks_total / parallel_for_queue_depth pair, instrumented
+// per block (never per index) so the tensor kernels' warm paths stay
+// alloc-free and atomic-add cheap.
 func (p *Pool) Run(tasks ...func()) {
 	if len(tasks) == 0 {
 		return

@@ -215,6 +215,8 @@ func reportClient(w http.ResponseWriter, slot *fleetSlot) (core.ReportClient, bo
 // unlike ClientServer it validates neither the parameter vector nor the
 // layer index; synthetic participants ignore both.
 func (f *Fleet) handleRanks(w http.ResponseWriter, r *http.Request, slot *fleetSlot, maxBody int64, quant metrics.ReportQuant) {
+	sp := requestSpan(r, "fedload.ranks", nil).WithClient(slot.part.ID())
+	defer sp.End()
 	var req RankRequest
 	if !decodeFleetBody(w, r, maxBody, &req) {
 		return
@@ -235,6 +237,8 @@ func (f *Fleet) handleRanks(w http.ResponseWriter, r *http.Request, slot *fleetS
 // handleVotes serves /c/<id>/v1/votes from the participant's canned
 // reports.
 func (f *Fleet) handleVotes(w http.ResponseWriter, r *http.Request, slot *fleetSlot, maxBody int64, quant metrics.ReportQuant) {
+	sp := requestSpan(r, "fedload.votes", nil).WithClient(slot.part.ID())
+	defer sp.End()
 	var req VoteRequest
 	if !decodeFleetBody(w, r, maxBody, &req) {
 		return
@@ -258,6 +262,8 @@ func (f *Fleet) handleVotes(w http.ResponseWriter, r *http.Request, slot *fleetS
 
 // handleAccuracy serves /c/<id>/v1/accuracy.
 func (f *Fleet) handleAccuracy(w http.ResponseWriter, r *http.Request, slot *fleetSlot, maxBody int64) {
+	sp := requestSpan(r, "fedload.accuracy", nil).WithClient(slot.part.ID())
+	defer sp.End()
 	var req AccuracyRequest
 	if !decodeFleetBody(w, r, maxBody, &req) {
 		return
@@ -277,12 +283,13 @@ func (f *Fleet) handleAccuracy(w http.ResponseWriter, r *http.Request, slot *fle
 }
 
 func (f *Fleet) handleUpdate(w http.ResponseWriter, r *http.Request, slot *fleetSlot, maxBody int64, versioned bool) {
-	sp := obs.StartSpan("fedload.update", obs.M.FedloadUpdateSeconds)
-	defer sp.End()
+	sp := requestSpan(r, "fedload.update", obs.M.FedloadUpdateSeconds).WithClient(slot.part.ID())
+	defer func() { sp.End() }()
 	var req UpdateRequest
 	if !decodeFleetBody(w, r, maxBody, &req) {
 		return
 	}
+	sp = sp.WithRound(req.Round)
 	slot.mu.Lock()
 	delta := slot.part.LocalUpdate(req.Global, req.Round)
 	slot.mu.Unlock()

@@ -253,11 +253,26 @@ func (cs *ClientServer) checkLayer(w http.ResponseWriter, layer int) bool {
 	return true
 }
 
+// requestSpan opens the server-side span for one protocol request: a
+// child of the caller's attempt span when the request carries trace
+// headers — linking this process's work into the caller's round tree —
+// and an untraced span otherwise, so callers without tracing do not
+// scatter one-span trees through the ring.
+func requestSpan(r *http.Request, name string, hist *obs.Histogram) obs.Span {
+	if sc := obs.ExtractHeaders(r.Header); sc.Valid() {
+		return obs.StartChildOf(sc, name, hist)
+	}
+	return obs.StartSpan(name, hist)
+}
+
 func (cs *ClientServer) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	sp := requestSpan(r, "client.update", nil).WithClient(cs.part.ID())
+	defer func() { sp.End() }()
 	var req UpdateRequest
 	if !cs.decodeBody(w, r, &req) || !cs.checkGlobal(w, req.Global) {
 		return
 	}
+	sp = sp.WithRound(req.Round)
 	cs.mu.Lock()
 	delta := cs.part.LocalUpdate(req.Global, req.Round)
 	cs.mu.Unlock()
@@ -270,6 +285,8 @@ func (cs *ClientServer) handleUpdate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (cs *ClientServer) handleRanks(w http.ResponseWriter, r *http.Request) {
+	sp := requestSpan(r, "client.ranks", nil).WithClient(cs.part.ID())
+	defer sp.End()
 	var req RankRequest
 	if !cs.decodeBody(w, r, &req) || !cs.checkGlobal(w, req.Global) || !cs.checkLayer(w, req.Layer) {
 		return
@@ -287,6 +304,8 @@ func (cs *ClientServer) handleRanks(w http.ResponseWriter, r *http.Request) {
 }
 
 func (cs *ClientServer) handleVotes(w http.ResponseWriter, r *http.Request) {
+	sp := requestSpan(r, "client.votes", nil).WithClient(cs.part.ID())
+	defer sp.End()
 	var req VoteRequest
 	if !cs.decodeBody(w, r, &req) || !cs.checkGlobal(w, req.Global) || !cs.checkLayer(w, req.Layer) {
 		return
@@ -357,6 +376,8 @@ func encodeReportGob(w http.ResponseWriter, v any) {
 }
 
 func (cs *ClientServer) handleAccuracy(w http.ResponseWriter, r *http.Request) {
+	sp := requestSpan(r, "client.accuracy", nil).WithClient(cs.part.ID())
+	defer sp.End()
 	var req AccuracyRequest
 	if !cs.decodeBody(w, r, &req) || !cs.checkGlobal(w, req.Global) {
 		return
@@ -736,11 +757,16 @@ func (rc *RemoteClient) ReportAccuracy(m *nn.Sequential) float64 {
 // context cancellation and on permanent (4xx) rejections.
 //
 // Every logical call is traced as an obs span feeding
-// transport_call_seconds; each HTTP attempt counts into
-// transport_attempts_total (retries — and therefore backoff waits — into
-// transport_retries_total), per-attempt failures log at debug with
-// client/path/attempt attributes, and a call that exhausts its budget
-// counts into transport_call_failures_total.
+// transport_call_seconds — a child of the span context carried by ctx
+// (DESIGN.md §16), so a round's tree covers its remote calls. Each HTTP
+// attempt is a further child span with a fresh span ID, and that attempt
+// span's context rides the request as trace headers: the receiving
+// handler links under the exact attempt that reached it, retries
+// included. Each attempt counts into transport_attempts_total (retries —
+// and therefore backoff waits — into transport_retries_total),
+// per-attempt failures log at debug with client/path/attempt attributes,
+// and a call that exhausts its budget counts into
+// transport_call_failures_total.
 func call[Resp any](rc *RemoteClient, ctx context.Context, path string, req any) (Resp, error) {
 	var zero Resp
 	return callFrom(rc, ctx, path, req, zero)
@@ -750,7 +776,7 @@ func call[Resp any](rc *RemoteClient, ctx context.Context, path string, req any)
 // into a fresh copy of init, which lets a bodyDecoder response carry
 // request parameters (votePayload.Rate) into its decode.
 func callFrom[Resp any](rc *RemoteClient, ctx context.Context, path string, req any, init Resp) (Resp, error) {
-	sp := obs.StartSpan("transport.call", obs.M.TransportCallSeconds)
+	sp := obs.StartChild(ctx, "transport.call", obs.M.TransportCallSeconds).WithClient(rc.id)
 	defer sp.End()
 	obs.M.TransportCalls.Inc()
 	var zero Resp
@@ -772,8 +798,11 @@ func callFrom[Resp any](rc *RemoteClient, ctx context.Context, path string, req 
 			}
 		}
 		obs.M.TransportAttempts.Inc()
+		asp := obs.StartChildOf(sp.Context(), "transport.attempt", nil).
+			WithClient(rc.id).WithAttempt(attempt + 1)
 		resp := init
-		err := rc.attempt(ctx, pol, path, payload, &resp)
+		err := rc.attempt(ctx, pol, path, payload, &resp, asp.Context())
+		asp.End()
 		if err == nil {
 			rc.noteErr(nil)
 			return resp, nil
@@ -795,7 +824,10 @@ func callFrom[Resp any](rc *RemoteClient, ctx context.Context, path string, req 
 }
 
 // attempt performs a single HTTP exchange under the per-attempt timeout.
-func (rc *RemoteClient) attempt(ctx context.Context, pol RetryPolicy, path string, payload []byte, resp any) error {
+// sc is the attempt span's context, injected as trace headers so the
+// receiving handler joins this attempt's tree; the headers are orthogonal
+// to the body encoding and ride gob and versioned-envelope requests alike.
+func (rc *RemoteClient) attempt(ctx context.Context, pol RetryPolicy, path string, payload []byte, resp any, sc obs.SpanContext) error {
 	if pol.AttemptTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, pol.AttemptTimeout)
@@ -806,6 +838,7 @@ func (rc *RemoteClient) attempt(ctx context.Context, pol RetryPolicy, path strin
 		return fmt.Errorf("transport: %s: %w", path, err)
 	}
 	hreq.Header.Set("Content-Type", "application/x-gob")
+	obs.InjectHeaders(hreq.Header, sc)
 	hresp, err := rc.httpc.Do(hreq)
 	if err != nil {
 		return fmt.Errorf("transport: %s: %w", path, err)

@@ -16,7 +16,13 @@
 #   - a durable run SIGKILLed right after its first checkpoint restarts
 #     with -resume, actually resumes (fl_resumes_total), finishes the
 #     remaining rounds under the same heap bound, and leaves the fleet
-#     with zero recovered panics (DESIGN.md §15).
+#     with zero recovered panics (DESIGN.md §15),
+#   - the tracing + audit trail (DESIGN.md §16): the server's /trace and
+#     /rounds surfaces and the -flight-recorder JSONL all parse through
+#     fedtrace (which exits non-zero on malformed JSON), the audit count
+#     matches the rounds the logs show — including across the
+#     SIGKILL-and-resume leg, whose two processes append to one file —
+#     and both the server's and the fleet's rings carry their spans.
 #
 # Metrics snapshots are left in OUT_DIR (default ./load-smoke-artifacts)
 # for the CI artifact upload. Shared by `make load-smoke`, the CI
@@ -49,7 +55,7 @@ fail() {
 	exit 1
 }
 
-go build -o "$workdir" ./cmd/fedload ./cmd/fedserve
+go build -o "$workdir" ./cmd/fedload ./cmd/fedserve ./cmd/fedtrace
 
 "$workdir/fedload" -clients "$POP" -listen 127.0.0.1:0 -ops-addr 127.0.0.1:0 \
 	-report-quant "$REPORT_QUANT" -versioned-updates="$VERSIONED_UPDATES" \
@@ -74,6 +80,7 @@ done
 "$workdir/fedserve" -fleet "$fleet" -fleet-count "$POP" -select "$SELECT" \
 	-streaming -rounds "$ROUNDS" -quorum 0.9 -ops-addr 127.0.0.1:0 \
 	-report-quant "$REPORT_QUANT" \
+	-flight-recorder "$workdir/flight.jsonl" \
 	>"$workdir/serve.log" 2>&1 &
 serve_pid=$!
 pids+=($serve_pid)
@@ -96,9 +103,14 @@ while kill -0 "$serve_pid" 2>/dev/null; do
 		fail "fedserve did not finish $ROUNDS rounds within ${TIMEOUT}s"
 	fi
 	if [ -n "$serve_ops" ]; then
-		curl -fsS "http://$serve_ops/metrics?format=json" \
-			>"$OUT_DIR/server_metrics.json.tmp" 2>/dev/null &&
-			mv "$OUT_DIR/server_metrics.json.tmp" "$OUT_DIR/server_metrics.json" || true
+		for ep in "metrics?format=json:server_metrics.json" \
+			"trace:server_trace.json" \
+			"trace?format=records:server_trace_records.json" \
+			"rounds:server_rounds.json"; do
+			curl -fsS "http://$serve_ops/${ep%%:*}" \
+				>"$OUT_DIR/${ep#*:}.tmp" 2>/dev/null &&
+				mv "$OUT_DIR/${ep#*:}.tmp" "$OUT_DIR/${ep#*:}" || true
+		done
 	fi
 	sleep 1
 done
@@ -148,6 +160,45 @@ echo "load smoke: OK (population=$POP cohort=$SELECT rounds=$applied applied," \
 	"fleet updates=$updates, reports=$reports at $per_report B/report ($REPORT_QUANT)," \
 	"server heap=$heap bytes, peak in-flight=$peak)"
 
+# ---- Tracing + audit-trail gates (DESIGN.md §16) ---------------------
+# fedtrace exits non-zero on any malformed JSON, so piping every captured
+# artifact through it doubles as the well-formedness gate; the summaries
+# land in OUT_DIR next to the raw captures.
+cp "$workdir/flight.jsonl" "$OUT_DIR/flight.jsonl" 2>/dev/null ||
+	fail "fedserve left no flight-recorder file"
+"$workdir/fedtrace" -flight "$OUT_DIR/flight.jsonl" >"$OUT_DIR/flight_summary.txt" ||
+	fail "flight-recorder JSONL is malformed"
+audits=$(sed -n 's/^summary: rounds total=\([0-9]*\).*/\1/p' "$OUT_DIR/flight_summary.txt" | head -1)
+[ "${audits:-0}" = "$ROUNDS" ] ||
+	fail "flight recorder audited ${audits:-0} rounds, want $ROUNDS"
+audit_applied=$(sed -n 's/^summary: rounds total=[0-9]* applied=\([0-9]*\).*/\1/p' \
+	"$OUT_DIR/flight_summary.txt" | head -1)
+[ "${audit_applied:-0}" = "$applied" ] ||
+	fail "flight recorder shows ${audit_applied:-0} applied rounds, log shows $applied"
+[ -s "$OUT_DIR/server_trace.json" ] && [ -s "$OUT_DIR/server_trace_records.json" ] &&
+	[ -s "$OUT_DIR/server_rounds.json" ] ||
+	fail "missing /trace or /rounds captures from the server ops endpoint"
+"$workdir/fedtrace" -trace "$OUT_DIR/server_trace_records.json" \
+	-rounds "$OUT_DIR/server_rounds.json" >"$OUT_DIR/server_trace_summary.txt" ||
+	fail "server /trace or /rounds capture is malformed"
+grep -q '^summary: phase name=fl.round ' "$OUT_DIR/server_trace_summary.txt" ||
+	fail "server span ring recorded no fl.round spans"
+grep -q '^summary: phase name=transport.attempt ' "$OUT_DIR/server_trace_summary.txt" ||
+	fail "server span ring recorded no transport.attempt spans"
+grep -q '^summary: rounds endpoint retained=' "$OUT_DIR/server_trace_summary.txt" ||
+	fail "/rounds capture carried no audit window"
+# The fleet's ring holds the far side of the same traces.
+curl -fsS "http://$fleet_ops/trace?format=records" >"$OUT_DIR/fedload_trace_records.json" ||
+	fail "could not capture the fleet's /trace records"
+"$workdir/fedtrace" -trace "$OUT_DIR/fedload_trace_records.json" \
+	>"$OUT_DIR/fedload_trace_summary.txt" ||
+	fail "fleet /trace capture is malformed"
+grep -q '^summary: phase name=fedload.update ' "$OUT_DIR/fedload_trace_summary.txt" ||
+	fail "fleet span ring recorded no fedload.update spans"
+
+echo "load smoke: tracing OK (audits=$audits rounds, applied=$audit_applied," \
+	"server and fleet rings populated, all captures parse)"
+
 # ---- Kill-and-resume leg (DESIGN.md §15) -----------------------------
 # A fresh durable run against the still-warm fleet: SIGKILL fedserve as
 # soon as its first checkpoint lands, restart it with -resume, and
@@ -164,6 +215,7 @@ mkdir -p "$ckpt"
 	-streaming -rounds 1000000 -quorum 0.9 \
 	-report-quant "$REPORT_QUANT" \
 	-checkpoint-dir "$ckpt" -checkpoint-every 1 \
+	-flight-recorder "$workdir/flight_kill.jsonl" \
 	>"$workdir/serve_kill.log" 2>&1 &
 kill_pid=$!
 pids+=($kill_pid)
@@ -190,6 +242,7 @@ next=$((10#$next))
 	-streaming -rounds $((next + RESUME_ROUNDS)) -quorum 0.9 \
 	-report-quant "$REPORT_QUANT" \
 	-checkpoint-dir "$ckpt" -resume \
+	-flight-recorder "$workdir/flight_kill.jsonl" \
 	>"$workdir/serve_resume.log" 2>&1 &
 resume_pid=$!
 pids+=($resume_pid)
@@ -221,5 +274,21 @@ panics=$(metric "$fleet_metrics" fedload_handler_panics_total)
 [ "${panics:-0}" = "0" ] ||
 	fail "fleet recovered $panics handler panics across the kill-and-resume leg, want 0"
 
+# The two coordinator processes append to one flight-recorder file; the
+# audit trail must parse whole (a SIGKILL must not leave a torn line) and
+# cover every round the two logs show completed — at most one extra for a
+# round audited in the kill window before its log line flushed.
+cp "$workdir/flight_kill.jsonl" "$OUT_DIR/flight_kill.jsonl" 2>/dev/null ||
+	fail "kill-and-resume leg left no flight-recorder file"
+"$workdir/fedtrace" -flight "$OUT_DIR/flight_kill.jsonl" >"$OUT_DIR/flight_kill_summary.txt" ||
+	fail "kill-and-resume flight-recorder JSONL is malformed"
+kaudits=$(sed -n 's/^summary: rounds total=\([0-9]*\).*/\1/p' "$OUT_DIR/flight_kill_summary.txt" | head -1)
+kill_done=$(grep -c 'round done' "$workdir/serve_kill.log" || true)
+resume_done=$(grep -c 'round done' "$workdir/serve_resume.log" || true)
+done_total=$((kill_done + resume_done))
+[ "${kaudits:-0}" -ge "$done_total" ] && [ "${kaudits:-0}" -le $((done_total + 1)) ] ||
+	fail "kill-and-resume audit trail has ${kaudits:-0} rounds, logs show $done_total completed"
+
 echo "load smoke: kill-and-resume OK (resumes=$resumes," \
-	"applied=$rapplied rounds after restart, heap=$rheap bytes, fleet panics=0)"
+	"applied=$rapplied rounds after restart, heap=$rheap bytes, fleet panics=0," \
+	"audit trail=$kaudits rounds across the kill)"
